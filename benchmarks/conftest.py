@@ -1,0 +1,18 @@
+"""Benchmark-suite configuration.
+
+Every paper figure has a ``test_bench_fig*.py`` regenerating its data under
+``pytest-benchmark`` timing; ablation benches cover the design choices
+DESIGN.md calls out (block size dynamism, transpose-vs-pipeline, engine
+vectorisation, schedule overheads).  Sizes are chosen so the full suite runs
+in about a minute: the *figures'* fidelity is asserted in tests/ — here the
+benchmark clock measures the harness itself.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def bench(benchmark):
+    """A pytest-benchmark handle tuned for fast, stable runs."""
+    benchmark._min_rounds = 3
+    return benchmark

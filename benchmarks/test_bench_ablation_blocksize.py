@@ -1,0 +1,50 @@
+"""Ablation: dynamism of the optimal block size (the paper's future work).
+
+Sweeps b* across problem size, processor count and machine parameters, and
+times the two ways of obtaining it: the closed-form Equation (1) versus a
+full simulated sweep.  DESIGN.md lists this as ablation ABL-BS.
+"""
+
+from repro.apps import suite
+from repro.machine import CRAY_T3E, pipelined_wavefront
+from repro.models import model2
+
+
+def test_closed_form_vs_search(bench):
+    def optimum_table():
+        rows = []
+        for n in (129, 257, 513):
+            for p in (4, 8, 16):
+                m = model2(CRAY_T3E, n - 1, p, cols=n)
+                rows.append((n, p, m.optimal_block_size()))
+        return rows
+
+    table = bench(optimum_table)
+    # b* shrinks with p at fixed n.
+    by_n = {n: [b for (nn, _, b) in table if nn == n] for n in (129, 257, 513)}
+    for bs in by_n.values():
+        assert bs == sorted(bs, reverse=True)
+
+
+def test_simulated_block_size_sweep(bench):
+    compiled = suite.get("single-stream").build(129)
+
+    def sweep():
+        times = {}
+        for b in (1, 2, 4, 8, 16, 24, 32, 48, 64, 96, 128):
+            times[b] = pipelined_wavefront(
+                compiled, CRAY_T3E, n_procs=8, block_size=b, compute_values=False
+            ).total_time
+        return min(times, key=times.get)
+
+    best = bench(sweep)
+    predicted = model2(CRAY_T3E, 128, 8, cols=129).optimal_block_size()
+    # The simulated optimum lands near the model's (within the sweep grid).
+    assert abs(best - predicted) <= 16
+
+
+def test_model_evaluation_cost(bench):
+    # Equation (1) is effectively free next to simulation — quantify it.
+    m = model2(CRAY_T3E, 256, 8)
+    value = bench(m.optimal_block_size_continuous)
+    assert value > 1.0

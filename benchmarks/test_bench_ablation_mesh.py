@@ -1,0 +1,64 @@
+"""Ablation: 1-D vs 2-D processor-mesh pipelining (DESIGN.md's MESH entry).
+
+The paper's Fig. 4 draws a 2x2 mesh; this bench quantifies the choice for a
+fixed processor budget: a 1-D chain maximises wavefront depth, a 2-D mesh
+shortens each chain's messages (surface-to-volume).
+"""
+
+import pytest
+
+from repro.apps import suite
+from repro.machine import (
+    CRAY_T3E,
+    pipelined_wavefront,
+    pipelined_wavefront_mesh,
+)
+
+N = 257
+BUDGET = 16
+
+
+def test_mesh_1d(bench):
+    compiled = suite.get("single-stream").build(N)
+    outcome = bench(
+        pipelined_wavefront,
+        compiled,
+        CRAY_T3E,
+        n_procs=BUDGET,
+        block_size=16,
+        compute_values=False,
+    )
+    assert outcome.total_time > 0
+
+
+@pytest.mark.parametrize("mesh", [(8, 2), (4, 4)], ids=["8x2", "4x4"])
+def test_mesh_2d(bench, mesh):
+    compiled = suite.get("single-stream").build(N)
+    outcome = bench(
+        pipelined_wavefront_mesh,
+        compiled,
+        CRAY_T3E,
+        mesh=mesh,
+        block_size=16,
+        compute_values=False,
+    )
+    assert outcome.n_procs == BUDGET
+
+
+def test_mesh_shape_comparison(bench):
+    """One pass over all mesh shapes for the fixed budget; the result dict
+    is the ablation's data product."""
+    compiled = suite.get("single-stream").build(N)
+
+    def compare():
+        times = {}
+        for mesh in ((16, 1), (8, 2), (4, 4), (2, 8)):
+            times[mesh] = pipelined_wavefront_mesh(
+                compiled, CRAY_T3E, mesh=mesh, block_size=16, compute_values=False
+            ).total_time
+        return times
+
+    times = bench(compare)
+    # On the startup-dominated T3E, per-message cost rules: flatter meshes
+    # (fewer pipeline hops, smaller per-chain messages) win monotonically.
+    assert times[(16, 1)] > times[(8, 2)] > times[(4, 4)] > times[(2, 8)]

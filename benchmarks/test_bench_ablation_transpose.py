@@ -1,0 +1,63 @@
+"""Ablation: transpose-based redistribution vs fully pipelined execution.
+
+Section 2.2's summary scenario: a program with orthogonal wavefronts could
+transpose between them instead of pipelining.  DESIGN.md lists this as
+ablation ABL-TR; the bench measures both schedules and records the machine
+regimes where each wins.
+"""
+
+from repro.apps import suite
+from repro.machine import (
+    CRAY_T3E,
+    MachineParams,
+    pipelined_wavefront,
+    transpose_wavefront,
+)
+from repro.models import model2
+
+N = 129
+P = 8
+
+
+def test_pipelined_schedule(bench):
+    compiled = suite.get("single-stream").build(N)
+    b = model2(CRAY_T3E, N - 1, P, cols=N).optimal_block_size()
+    outcome = bench(
+        pipelined_wavefront,
+        compiled,
+        CRAY_T3E,
+        n_procs=P,
+        block_size=b,
+        compute_values=False,
+    )
+    assert outcome.total_time > 0
+
+
+def test_transpose_schedule(bench):
+    compiled = suite.get("single-stream").build(N)
+    outcome = bench(transpose_wavefront, compiled, CRAY_T3E, n_procs=P)
+    assert outcome.run.total_messages == 2 * P * (P - 1)
+
+
+def test_crossover_regimes(bench):
+    """Pipelining wins when startup dominates; transposes catch up when
+    bandwidth is free and the all-to-all is cheap."""
+    compiled = suite.get("single-stream").build(N)
+
+    def compare():
+        results = {}
+        for name, params in (
+            ("hi-alpha", MachineParams(name="hi-alpha", alpha=8000.0, beta=1.0)),
+            ("lo-alpha", MachineParams(name="lo-alpha", alpha=5.0, beta=0.05)),
+        ):
+            b = model2(params, N - 1, P, cols=N).optimal_block_size()
+            pipe = pipelined_wavefront(
+                compiled, params, n_procs=P, block_size=b, compute_values=False
+            ).total_time
+            trans = transpose_wavefront(compiled, params, n_procs=P).total_time
+            results[name] = (pipe, trans)
+        return results
+
+    results = bench(compare)
+    hi_pipe, hi_trans = results["hi-alpha"]
+    assert hi_pipe < hi_trans  # startup-dominated: pipelining wins

@@ -1,0 +1,86 @@
+"""Ablation: execution-engine throughput (vectorised vs scalar oracle).
+
+Quantifies the cost structure the HPC guides prescribe: keep the carried
+loop in Python, vectorise the parallel dimensions with numpy.  The scalar
+oracle exists for correctness, not speed — this bench records the gap.
+"""
+
+import numpy as np
+
+from repro import zpl
+from repro.compiler import compile_scan, contract
+from repro.runtime import execute_loopnest, execute_vectorized
+
+
+def _tomcatv(n):
+    """The Fig. 2(b) fragment with random well-conditioned inputs."""
+    rng = np.random.default_rng(99)
+    base = zpl.Region.square(1, n)
+    arrays = []
+    named = {}
+    for name in ("aa", "d", "dd", "rx", "ry", "r"):
+        arr = zpl.ZArray(base, name=name)
+        arr.load(rng.uniform(0.5, 1.5, size=base.shape))
+        arrays.append(arr)
+        named[name] = arr
+    named["dd"].load(rng.uniform(3.0, 4.0, size=base.shape))
+    aa, d, dd, rx, ry, r = (named[k] for k in ("aa", "d", "dd", "rx", "ry", "r"))
+    with zpl.covering(zpl.Region.of((2, n - 2), (2, n - 1))):
+        with zpl.scan(name="tomcatv", execute=False) as block:
+            r[...] = aa * (d.p @ zpl.NORTH)
+            d[...] = 1.0 / (dd - (aa @ zpl.NORTH) * r)
+            rx[...] = rx - (rx.p @ zpl.NORTH) * r
+            ry[...] = ry - (ry.p @ zpl.NORTH) * r
+    return compile_scan(block), arrays
+
+
+def test_vectorized_tomcatv_n128(bench):
+    compiled, arrays = _tomcatv(128)
+    snap = [a._data.copy() for a in arrays]
+
+    def run():
+        for a, s in zip(arrays, snap):
+            a._data[...] = s
+        execute_vectorized(compiled)
+
+    bench(run)
+
+
+def test_scalar_oracle_tomcatv_n24(bench):
+    # Deliberately small: the oracle is O(elements x refs) Python work.
+    compiled, arrays = _tomcatv(24)
+    snap = [a._data.copy() for a in arrays]
+
+    def run():
+        for a, s in zip(arrays, snap):
+            a._data[...] = s
+        execute_loopnest(compiled)
+
+    bench(run)
+
+
+def test_vectorized_with_contraction(bench):
+    compiled, arrays = _tomcatv(128)
+    r = arrays[-1]
+    contracted = contract(compiled, [r])
+    snap = [a._data.copy() for a in arrays]
+
+    def run():
+        for a, s in zip(arrays, snap):
+            a._data[...] = s
+        execute_vectorized(contracted)
+
+    bench(run)
+
+
+def test_eager_stencil_throughput(bench):
+    n = 256
+    a = zpl.from_numpy(np.ones((n, n)), base=1, name="a")
+    b = zpl.from_numpy(np.ones((n, n)), base=1, name="b")
+    inner = zpl.Region.square(2, n - 1)
+
+    def run():
+        with zpl.covering(inner):
+            a[...] = (b @ zpl.NORTH + b @ zpl.SOUTH + b @ zpl.WEST + b @ zpl.EAST) / 4.0
+
+    bench(run)

@@ -1,0 +1,38 @@
+"""Fig. 5(a) bench: regenerate the model-vs-simulation block-size series.
+
+The full paper-scale series (n=257, ~40 block sizes, p=8) regenerates in
+well under a second because the simulator skips value computation; the
+benchmark times one full regeneration and asserts the paper's headline
+facts on the result it produced.
+"""
+
+from repro.experiments import fig5a_model_vs_sim
+
+
+def test_fig5a_quick_series(bench):
+    result = bench(fig5a_model_vs_sim.run, quick=True)
+    assert result.model2_tracks_better()
+
+
+def test_fig5a_paper_scale_series(bench):
+    result = bench(fig5a_model_vs_sim.run)
+    assert result.model1_best_b == 39
+    assert result.model2_best_b == 23
+    assert result.sim_at(23) > result.sim_at(39)
+
+
+def test_fig5a_single_simulation_point(bench):
+    # One pipelined run at the paper's optimum: the DES cost per point.
+    from repro.apps import suite
+    from repro.machine import CRAY_T3E, pipelined_wavefront
+
+    compiled = suite.get("tomcatv-fragment").build(257)
+    outcome = bench(
+        pipelined_wavefront,
+        compiled,
+        CRAY_T3E,
+        n_procs=8,
+        block_size=23,
+        compute_values=False,
+    )
+    assert outcome.total_time > 0

@@ -1,0 +1,19 @@
+"""Fig. 5(b) bench: the β-dominated worst-case study."""
+
+from repro.experiments import fig5b_model_worstcase
+
+
+def test_fig5b_full_study(bench):
+    result = bench(fig5b_model_worstcase.run, quick=True)
+    assert result.model1_best_b == 20
+    assert result.model2_best_b == 3
+
+
+def test_fig5b_penalty_sweep_only(bench):
+    # The processor sweep is the expensive half; time it alone.
+    def sweep():
+        return fig5b_model_worstcase.run(quick=False).penalty_by_procs
+
+    table = bench(sweep)
+    penalties = [row[-1] for row in table.rows]
+    assert penalties[-1] > penalties[0]

@@ -1,0 +1,54 @@
+"""Fig. 6 bench: trace-driven cache studies (per machine and full figure)."""
+
+from repro.apps import tomcatv
+from repro.cache import cache_study
+from repro.experiments import fig6_cache
+from repro.machine.params import CRAY_T3E, SGI_POWERCHALLENGE
+
+N = 257
+
+
+def _forward(n=N):
+    return tomcatv.compile_forward(tomcatv.build(n))
+
+
+def test_fig6_full_figure_quick(bench):
+    result = bench(fig6_cache.run, quick=True)
+    assert len(result.results) == 4  # 2 benchmarks x 2 machines
+
+
+def test_fig6_tomcatv_t3e_component(bench):
+    compiled = _forward()
+    study = bench(cache_study, compiled, CRAY_T3E)
+    assert study.speedup > 5.0
+
+
+def test_fig6_tomcatv_powerchallenge_component(bench):
+    # The 2-way LRU set-associative path (Python loop) — the slow engine.
+    compiled = _forward(129)
+    study = bench(cache_study, compiled, SGI_POWERCHALLENGE)
+    assert study.speedup > 1.2
+
+
+def test_fig6_trace_generation_only(bench):
+    # Vectorised trace generation: should be milliseconds at n=257.
+    from repro.cache import AddressSpace, best_locality_structure, fused_trace
+
+    compiled = _forward()
+
+    def trace():
+        space = AddressSpace()
+        loops = best_locality_structure(compiled)
+        return fused_trace(compiled.statements, compiled.region, loops, space)
+
+    out = bench(trace)
+    assert out.size == compiled.region.size * (4 + len(_slots(compiled)))
+
+
+def _slots(compiled):
+    from repro.cache import statement_slots
+
+    slots = []
+    for stmt in compiled.statements:
+        slots.extend(statement_slots(stmt)[:-1])  # reads only
+    return slots

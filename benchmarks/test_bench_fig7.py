@@ -1,0 +1,19 @@
+"""Fig. 7 bench: the pipelined-vs-naive parallel speedup campaign."""
+
+from repro.experiments import fig7_pipeline_speedup
+
+
+def test_fig7_quick_campaign(bench):
+    result = bench(fig7_pipeline_speedup.run, quick=True)
+    for r in result.results:
+        assert r.whole_speedup > 1.0
+
+
+def test_fig7_paper_scale_campaign(bench):
+    result = bench(fig7_pipeline_speedup.run)
+    # Grey bars approach p; Tomcatv whole reaches the multi-x range.
+    top = result.lookup("tomcatv", "Cray T3E", 16)
+    assert top.wavefronts[0].speedup > 6.0
+    assert top.whole_speedup > 2.0
+    low = result.lookup("simple", "Cray T3E", 2)
+    assert 1.0 < low.whole_speedup < 1.2

@@ -1,0 +1,49 @@
+"""Bench: whole-program simulation (phases, collectives, wavefronts)."""
+
+from repro.apps import tomcatv
+from repro.machine import CRAY_T3E
+from repro.machine.program import WavefrontSpec, optimal_spec, simulate_program
+from repro.models.amdahl import PhaseKind
+
+N = 257
+P = 8
+
+
+def _setup(pipelined: bool):
+    profile = tomcatv.profile(N)
+    rows, cols = N - 3, N - 2
+    specs = {}
+    for phase in profile.phases:
+        if phase.kind is not PhaseKind.WAVEFRONT:
+            continue
+        m = 3 if phase.name == "forward-solve" else 2
+        if pipelined:
+            specs[phase.name] = optimal_spec(phase, CRAY_T3E, P, rows, cols, m)
+        else:
+            specs[phase.name] = WavefrontSpec(rows, cols, m, None)
+    return profile, specs
+
+
+def test_program_pipelined(bench):
+    profile, specs = _setup(pipelined=True)
+    result = bench(simulate_program, profile, CRAY_T3E, P, specs)
+    assert result.pipelined
+
+
+def test_program_naive(bench):
+    profile, specs = _setup(pipelined=False)
+    result = bench(simulate_program, profile, CRAY_T3E, P, specs)
+    assert not result.pipelined
+
+
+def test_program_many_iterations(bench):
+    # Ten Tomcatv iterations end to end: phase repeats stress the DES.
+    profile = tomcatv.profile(N, iterations=10)
+    rows, cols = N - 3, N - 2
+    specs = {
+        ph.name: optimal_spec(ph, CRAY_T3E, P, rows, cols, 3)
+        for ph in profile.phases
+        if ph.kind is PhaseKind.WAVEFRONT
+    }
+    result = bench(simulate_program, profile, CRAY_T3E, P, specs)
+    assert result.total_time > 0

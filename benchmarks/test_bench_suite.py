@@ -1,0 +1,39 @@
+"""Bench: the wavefront-kernel suite under the pipelined schedule.
+
+One timing per suite kernel (DESIGN.md's "benchmark suite of wavefront
+computations"), all at a common size and processor count, so regressions in
+the schedule or the DES core show up per-kernel.
+"""
+
+import pytest
+
+from repro.apps import suite
+from repro.machine import CRAY_T3E, pipelined_wavefront, plan_wavefront
+from repro.models import model2
+
+N = 129
+P = 8
+
+
+@pytest.mark.parametrize("entry", suite.SUITE, ids=lambda e: e.name)
+def test_suite_kernel_pipelined(bench, entry):
+    compiled = entry.build(N)
+    plan = plan_wavefront(compiled)
+    rows = compiled.region.extent(plan.wavefront_dim)
+    cols = (
+        compiled.region.extent(plan.chunk_dim)
+        if plan.chunk_dim is not None
+        else 1
+    )
+    b = model2(
+        CRAY_T3E, rows, P, boundary_rows=max(1, plan.boundary_rows), cols=cols
+    ).optimal_block_size()
+    outcome = bench(
+        pipelined_wavefront,
+        compiled,
+        CRAY_T3E,
+        n_procs=P,
+        block_size=b,
+        compute_values=False,
+    )
+    assert outcome.total_time > 0

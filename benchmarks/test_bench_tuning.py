@@ -1,0 +1,41 @@
+"""Bench: block-size selection strategies (cost of choosing well).
+
+Times each selector end to end, including its probe runs — the
+probes-vs-quality tradeoff the paper's conclusion proposed to study.
+"""
+
+from repro.apps import suite
+from repro.machine import CRAY_T3E
+from repro.models.tuning import (
+    make_simulated_probe,
+    select_dynamic,
+    select_profiled,
+    select_static,
+)
+
+N = 257
+P = 8
+
+
+def _compiled():
+    return suite.get("tomcatv-fragment").build(N)
+
+
+def test_select_static(bench):
+    compiled = _compiled()
+    result = bench(select_static, compiled, CRAY_T3E, P)
+    assert result.probes == 0
+
+
+def test_select_profiled(bench):
+    compiled = _compiled()
+    probe = make_simulated_probe(compiled, CRAY_T3E, P)
+    result = bench(select_profiled, compiled, CRAY_T3E, P, probe=probe)
+    assert result.probes == 2
+
+
+def test_select_dynamic(bench):
+    compiled = _compiled()
+    probe = make_simulated_probe(compiled, CRAY_T3E, P)
+    result = bench(select_dynamic, compiled, CRAY_T3E, P, probe=probe)
+    assert result.probes <= 24

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Block-size tuning across machines and kernels (the paper's future work).
+
+The conclusion promises to "investigate ... properties such as dynamism of
+optimal block size".  This example sweeps the wavefront-kernel suite across
+the machine presets, comparing Model2's predicted optimum against the
+simulated machine's measured optimum, and shows how b* moves with α, β,
+n and p — the sensitivities of the paper's Equation (1).
+
+Run:  python examples/block_size_tuning.py
+"""
+
+from repro.apps import suite
+from repro.machine import PRESETS, pipelined_wavefront
+from repro.models import model2
+
+N = 129
+P = 8
+
+print(f"Optimal block size by kernel and machine (n={N}, p={P}):")
+print(f"  {'kernel':>18s} {'machine':>16s} {'model b*':>9s} {'sim b*':>7s}")
+for entry in suite.SUITE:
+    compiled = entry.build(N)
+    from repro.machine import plan_wavefront
+
+    plan = plan_wavefront(compiled)
+    rows = compiled.region.extent(plan.wavefront_dim)
+    cols = (
+        compiled.region.extent(plan.chunk_dim)
+        if plan.chunk_dim is not None
+        else 1
+    )
+    for key, params in PRESETS.items():
+        predicted = model2(
+            params, rows, P, boundary_rows=max(1, plan.boundary_rows), cols=cols
+        ).optimal_block_size()
+        candidates = sorted({1, 2, 4, 8, 12, 16, 24, 32, 48, 64, predicted})
+        times = {}
+        for b in candidates:
+            if b > cols:
+                continue
+            times[b] = pipelined_wavefront(
+                compiled, params, n_procs=P, block_size=b, compute_values=False
+            ).total_time
+        measured = min(times, key=times.get)
+        print(f"  {entry.name:>18s} {params.name:>16.16s} {predicted:9d} {measured:7d}")
+
+print("\nSensitivity of b* (single-stream kernel, Cray T3E base):")
+from repro.machine import CRAY_T3E, MachineParams
+
+base = dict(alpha=CRAY_T3E.alpha, beta=CRAY_T3E.beta)
+rows = cols = 255
+
+
+def bstar(alpha: float, beta: float, n: int = rows, p: int = P) -> int:
+    return model2(
+        MachineParams(name="sweep", alpha=alpha, beta=beta), n, p, cols=n
+    ).optimal_block_size()
+
+
+print(f"  alpha x4:  b* {bstar(**base)} -> {bstar(base['alpha'] * 4, base['beta'])}"
+      "  (larger startup => bigger blocks)")
+print(f"  beta  x8:  b* {bstar(**base)} -> {bstar(base['alpha'], base['beta'] * 8)}"
+      "  (pricier words => smaller blocks)")
+print(f"  p 4 -> 32: b* {bstar(base['alpha'], base['beta'], p=4)} -> "
+      f"{bstar(base['alpha'], base['beta'], p=32)}"
+      "  (more processors to keep busy => smaller blocks)")
+print(f"  n 255 -> 2047: b* {bstar(**base)} -> "
+      f"{bstar(base['alpha'], base['beta'], n=2047)}"
+      "  (bigger problems => less sensitivity)")

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Irregular wavefronts: masked scan blocks on a banded domain.
+
+Banded solvers and alignment algorithms only need the diagonal band of
+their DP matrix.  Masks (ZPL's ``[R with m]``) carve that band out of the
+rectangular region while the wavefront still pipelines — this example runs
+a banded Smith-Waterman-style recurrence, prints the band, and verifies the
+pipelined distributed execution matches.
+
+Run:  python examples/irregular_band.py
+"""
+
+import numpy as np
+
+from repro import zpl
+from repro.compiler import compile_scan
+from repro.machine import MachineParams, pipelined_wavefront
+from repro.runtime import execute_vectorized, run_and_capture
+
+n, bandwidth = 14, 3
+
+# The band mask: |i - j| <= bandwidth, built with Index expressions.
+band = zpl.zeros(zpl.Region.square(1, n), name="band")
+with zpl.covering(band.region):
+    band[...] = zpl.where(
+        zpl.absolute(zpl.index(0) - zpl.index(1)) <= float(bandwidth), 1.0, 0.0
+    )
+
+# A banded DP wavefront: h depends on north, west and northwest neighbours,
+# but only inside the band.
+scores = zpl.from_numpy(
+    np.random.default_rng(4).uniform(-1.0, 2.0, size=(n, n)), base=1, name="s"
+)
+h = zpl.zeros(zpl.Region.square(1, n), name="h")
+with zpl.covering(zpl.Region.square(2, n)):
+    with zpl.masked(band), zpl.scan(execute=False) as block:
+        h[...] = zpl.maximum(
+            (h.p @ zpl.NORTHWEST) + scores,
+            zpl.maximum((h.p @ zpl.NORTH), (h.p @ zpl.WEST)) - 0.5,
+        )
+
+compiled = compile_scan(block)
+print("Banded DP wavefront:", compiled.wsv, compiled.loops, "\n")
+execute_vectorized(compiled)
+
+print("DP table (— marks masked-out cells):")
+values = h.to_numpy()
+mask = band.to_numpy()
+for i in range(n):
+    row = "".join(
+        f"{values[i, j]:6.1f}" if mask[i, j] else "     —" for j in range(n)
+    )
+    print(" ", row)
+
+# The same masked block runs pipelined on the simulated machine.
+h.fill(0.0)
+expected = run_and_capture(execute_vectorized, compiled, [h, band, scores])
+h.fill(0.0)
+outcome = pipelined_wavefront(
+    compiled, MachineParams(name="demo", alpha=30.0, beta=1.0),
+    n_procs=4, block_size=3,
+)
+match = np.allclose(h._data, expected[0])
+print(f"\npipelined on 4 processors: t={outcome.total_time:.0f}, "
+      f"values match sequential: {match}")
+print(f"band occupancy: {int(mask.sum())}/{n * n} cells computed")

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""A SWEEP3D-style discrete-ordinates sweep: eight 3-D wavefronts per iteration.
+
+The paper's motivating application.  Each octant's sweep is one scan block
+with three primed directions; the compiler derives a different legal loop
+nest per octant (ascending/descending per axis).  The example runs two
+source iterations sequentially, then pipelines one octant on the simulated
+machine and verifies the distributed values match.
+
+Run:  python examples/transport_sweep.py
+"""
+
+import numpy as np
+
+from repro.apps import sweep3d
+from repro.machine import SGI_POWERCHALLENGE, pipelined_wavefront
+from repro.runtime import execute_vectorized, run_and_capture
+
+n = 12
+state = sweep3d.build(n)
+
+print(f"Discrete-ordinates transport, {n}^3 grid, 8 octants per iteration")
+for it in range(1, 3):
+    total = sweep3d.source_iteration(state)
+    print(f"  source iteration {it}: total flux {total:.4f}")
+
+print("\nPer-octant loop structures (one wavefront per octant):")
+for octant in sweep3d.OCTANTS:
+    compiled = sweep3d.compile_octant(state, octant)
+    print(f"  octant {str(octant):>12s}: {compiled.loops!r}")
+
+# Pipeline one octant across 4 processors and check the values agree with
+# the sequential engine.
+octant = (1, 1, 1)
+state.phi.fill(0.0)
+compiled = sweep3d.compile_octant(state, octant)
+expected = run_and_capture(execute_vectorized, compiled, [state.phi])
+
+state.phi.fill(0.0)
+outcome = pipelined_wavefront(
+    compiled, SGI_POWERCHALLENGE, n_procs=4, block_size=3
+)
+match = np.allclose(state.phi._data, expected[0], rtol=1e-12)
+print(f"\nPipelined octant {octant} on 4 simulated processors:")
+print(f"  virtual time {outcome.total_time:.0f} element-units, "
+      f"{outcome.run.total_messages} messages")
+print(f"  distributed values match sequential: {match}")

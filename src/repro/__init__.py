@@ -1,0 +1,56 @@
+"""Pipelining wavefront computations — a full reproduction.
+
+This library reproduces the system of *"Pipelining Wavefront Computations:
+Experiences and Performance"* (Lewis & Snyder, IPPS 2000) as described by its
+companion paper *"Language Support for Pipelining Wavefront Computations"*
+(Chamberlain, Lewis & Snyder): a ZPL-style array language extended with the
+**prime operator** and **scan blocks**, a compiler that derives pipelined
+loop nests from unconstrained distance vectors, sequential and simulated
+distributed runtimes, the α+β block-size performance models, and the paper's
+complete experimental campaign (Figs. 3, 5(a), 5(b), 6 and 7).
+
+Quick tour
+----------
+>>> from repro import zpl
+>>> n = 6
+>>> R = zpl.Region.of((2, n), (1, n))
+>>> a = zpl.ones(zpl.Region.square(1, n))
+>>> with zpl.covering(R), zpl.scan():
+...     a[...] = 2.0 * (a.p @ zpl.NORTH)       # paper Fig. 3(d)
+>>> float(a[(3, 1)])
+4.0
+
+Subpackages
+-----------
+``repro.zpl``        the array language (regions, directions, arrays, scan)
+``repro.compiler``   UDVs, wavefront summary vectors, legality, loop structure
+``repro.runtime``    sequential engines (scalar oracle, vectorised)
+``repro.machine``    simulated distributed machine (naive & pipelined schedules)
+``repro.models``     analytic performance models (Model1, Model2, Amdahl)
+``repro.cache``      trace-driven cache simulator (uniprocessor study)
+``repro.apps``       Tomcatv, SIMPLE hydro, SWEEP3D-style sweep, Jacobi, DP
+``repro.experiments`` one module per paper figure/table
+"""
+
+from repro import zpl
+from repro.errors import (
+    ReproError,
+    LegalityError,
+    OverconstrainedScanError,
+    RankMismatchError,
+    RegionMismatchError,
+    PrimedOperandError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "zpl",
+    "ReproError",
+    "LegalityError",
+    "OverconstrainedScanError",
+    "RankMismatchError",
+    "RegionMismatchError",
+    "PrimedOperandError",
+    "__version__",
+]

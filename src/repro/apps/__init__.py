@@ -1,0 +1,16 @@
+"""Benchmark applications: the paper's workloads plus the promised suite.
+
+* :mod:`repro.apps.tomcatv` — SPECfp92 Tomcatv mesh generation (Figs. 1/2/5-7);
+* :mod:`repro.apps.simple` — SIMPLE 2-D Lagrangian hydrodynamics (Figs. 6/7);
+* :mod:`repro.apps.sweep3d` — ASCI SWEEP3D-style discrete-ordinates sweep;
+* :mod:`repro.apps.jacobi` — the non-wavefront stencil example;
+* :mod:`repro.apps.gauss_seidel` — Gauss-Seidel/SOR, the solver whose natural
+  ordering is a wavefront (inexpressible in an array language without the
+  prime operator);
+* :mod:`repro.apps.alignment` — dynamic-programming wavefronts;
+* :mod:`repro.apps.suite` — the named wavefront-kernel registry.
+"""
+
+from repro.apps import tomcatv, simple, sweep3d, jacobi, gauss_seidel, alignment, suite
+
+__all__ = ["tomcatv", "simple", "sweep3d", "jacobi", "gauss_seidel", "alignment", "suite"]

@@ -1,0 +1,118 @@
+"""Gauss-Seidel / SOR relaxation: the solver whose natural ordering *is* a
+wavefront.
+
+The paper's introduction names solvers as a major source of wavefront
+computations, and Gauss-Seidel is the canonical case: sweeping the grid in
+lexicographic order, the update
+
+    u[i,j] := (1-w)*u[i,j] + (w/4)*(u[i-1,j] + u[i,j-1]   <- NEW values
+                                    + u[i+1,j] + u[i,j+1]) <- OLD values
+
+reads *freshly updated* north and west neighbours — a two-direction
+wavefront, written here as one scan block with primed north/west references
+and unprimed south/east references.  Without the prime operator an array
+language can only express Jacobi; the whole point of the extension is that
+Gauss-Seidel becomes expressible *and* pipelinable.
+
+The payoff is classical numerics: Gauss-Seidel converges roughly twice as
+fast as Jacobi per sweep, and SOR (over-relaxation) faster still — the test
+suite checks both orderings against each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import zpl
+from repro.compiler import compile_scan
+from repro.compiler.lowering import CompiledScan
+from repro.runtime import execute_vectorized
+from repro.zpl import EAST, NORTH, SOUTH, WEST, Region, ZArray
+
+
+@dataclass
+class GaussSeidelState:
+    """The iterate, the right-hand side, and the relaxation factor."""
+
+    n: int
+    u: ZArray
+    f: ZArray
+    omega: float = 1.0  # 1.0 = plain Gauss-Seidel; >1 = SOR
+    history: list[float] = field(default_factory=list)
+
+    @property
+    def interior(self) -> Region:
+        return Region.square(2, self.n - 1)
+
+
+def build(n: int, omega: float = 1.0, hot_edge: float = 1.0) -> GaussSeidelState:
+    """The same Laplace problem as :mod:`repro.apps.jacobi`: hot top edge."""
+    if n < 4:
+        raise ValueError(f"Gauss-Seidel needs n >= 4, got {n}")
+    if not 0.0 < omega < 2.0:
+        raise ValueError(f"SOR requires 0 < omega < 2, got {omega}")
+    base = Region.square(1, n)
+    u = zpl.zeros(base, name="u")
+    f = zpl.zeros(base, name="f")
+    u.write(Region.of((1, 1), (1, n)), hot_edge)
+    return GaussSeidelState(n=n, u=u, f=f, omega=omega)
+
+
+def record_sweep(state: GaussSeidelState) -> zpl.ScanBlock:
+    """One lexicographic sweep as a scan block (primed north/west)."""
+    u, f = state.u, state.f
+    w = state.omega
+    with zpl.covering(state.interior):
+        with zpl.scan(name="gauss-seidel", execute=False) as block:
+            u[...] = (1.0 - w) * u + (w / 4.0) * (
+                (u.p @ NORTH) + (u.p @ WEST) + (u @ SOUTH) + (u @ EAST) - f
+            )
+    return block
+
+
+def compile_sweep(state: GaussSeidelState) -> CompiledScan:
+    """Compiled sweep; its WSV is (-,-) — the paper's Example 2 shape."""
+    return compile_scan(record_sweep(state))
+
+
+def residual(state: GaussSeidelState) -> float:
+    """Max |4u - neighbours + f| over the interior."""
+    interior = state.interior
+    u = state.u
+    lap = (
+        4.0 * u.read(interior)
+        - u.read(interior.shift(NORTH))
+        - u.read(interior.shift(SOUTH))
+        - u.read(interior.shift(WEST))
+        - u.read(interior.shift(EAST))
+    )
+    return float(np.abs(lap + state.f.read(interior)).max())
+
+
+def step(state: GaussSeidelState, engine=execute_vectorized) -> float:
+    """One sweep; returns the post-sweep residual."""
+    engine(compile_sweep(state))
+    value = residual(state)
+    state.history.append(value)
+    return value
+
+
+def solve(
+    state: GaussSeidelState,
+    tol: float = 1e-6,
+    max_sweeps: int = 10_000,
+    engine=execute_vectorized,
+) -> int:
+    """Sweep until the residual drops below ``tol``; returns sweep count."""
+    for k in range(1, max_sweeps + 1):
+        if step(state, engine) < tol:
+            return k
+    return max_sweeps
+
+
+def optimal_sor_omega(n: int) -> float:
+    """The classical optimal SOR factor for the 2-D Laplacian."""
+    rho = np.cos(np.pi / (n - 1))  # Jacobi spectral radius
+    return float(2.0 / (1.0 + np.sqrt(1.0 - rho * rho)))

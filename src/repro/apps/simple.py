@@ -1,0 +1,270 @@
+"""SIMPLE: a 2-D Lagrangian hydrodynamics benchmark (Crowley et al., 1978).
+
+The paper's second benchmark.  SIMPLE advances a compressible fluid on a
+2-D staggered mesh; the bulk of each cycle is fully parallel stencil work,
+with an implicit **heat-conduction** solve whose alternating-direction sweeps
+are the wavefront computations (the two grey bars of Figs. 6/7).  That is
+exactly the profile the paper reports: the wavefronts are a small fraction of
+SIMPLE's runtime, so the whole-program speedup is modest (~7% on one
+processor, 5-8% at the low end in parallel) even though the wavefront phases
+themselves speed up dramatically.
+
+Structure of one cycle here (a faithful simplification of the LLNL code —
+same phase shapes and dependence structure, compact physics):
+
+1. **pressure/EOS** (parallel): ideal-gas pressure and artificial viscosity;
+2. **velocity** (parallel stencil): accelerate from pressure gradients;
+3. **energy** (parallel): compression work update;
+4. **conduction row sweep** (wavefront along dim 0): implicit tridiagonal
+   solve, forward elimination + back substitution scan blocks;
+5. **conduction column sweep** (wavefront along dim 1): the same solve along
+   the orthogonal dimension — the paper's Section 2.2 scenario of wavefronts
+   travelling along *orthogonal* dimensions in one program;
+6. **timestep control** (reduction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import zpl
+from repro.compiler import compile_scan
+from repro.compiler.lowering import CompiledScan
+from repro.models.amdahl import PhaseKind, ProgramProfile
+from repro.runtime import execute_vectorized
+from repro.zpl import EAST, NORTH, SOUTH, WEST, Region, ZArray
+
+
+@dataclass
+class SimpleState:
+    """Arrays of one SIMPLE instance over ``[1..n, 1..n]``."""
+
+    n: int
+    rho: ZArray  # density
+    e: ZArray  # specific internal energy (conducted temperature proxy)
+    p: ZArray  # pressure
+    q: ZArray  # artificial viscosity
+    u: ZArray  # velocity (x)
+    v: ZArray  # velocity (y)
+    # Tridiagonal solve scratch (shared by both sweeps).
+    cc: ZArray  # off-diagonal coefficient
+    dd: ZArray  # diagonal
+    dinv: ZArray  # reciprocal pivot
+    rr: ZArray  # promoted scalar (the paper's array-contraction candidate)
+    gamma: float = 1.4
+    dt: float = 0.05
+    conductivity: float = 0.3
+    history: list[float] = field(default_factory=list)
+
+    @property
+    def interior(self) -> Region:
+        return Region.square(2, self.n - 1)
+
+    def arrays(self) -> tuple[ZArray, ...]:
+        return (
+            self.rho, self.e, self.p, self.q, self.u, self.v,
+            self.cc, self.dd, self.dinv, self.rr,
+        )
+
+
+def build(n: int, seed: int = 0) -> SimpleState:
+    """A SIMPLE instance: a hot dense blob in a quiescent background."""
+    if n < 6:
+        raise ValueError(f"SIMPLE needs n >= 6, got {n}")
+    base = Region.square(1, n)
+    rng = np.random.default_rng(seed)
+    i = np.arange(1, n + 1, dtype=float)[:, None]
+    j = np.arange(1, n + 1, dtype=float)[None, :]
+    blob = np.exp(-((i - n / 2) ** 2 + (j - n / 2) ** 2) / (n / 4) ** 2)
+    state = SimpleState(
+        n=n,
+        rho=zpl.ZArray(base, name="rho", fill=1.0),
+        e=zpl.ZArray(base, name="e", fill=1.0),
+        p=zpl.zeros(base, name="p"),
+        q=zpl.zeros(base, name="q"),
+        u=zpl.zeros(base, name="u"),
+        v=zpl.zeros(base, name="v"),
+        cc=zpl.zeros(base, name="cc"),
+        dd=zpl.ones(base, name="dd"),
+        dinv=zpl.ones(base, name="dinv"),
+        rr=zpl.zeros(base, name="rr"),
+    )
+    state.rho.load(1.0 + 0.5 * blob + 0.01 * rng.standard_normal((n, n)))
+    state.e.load(1.0 + 2.0 * blob)
+    return state
+
+
+# ---------------------------------------------------------------------------
+# Parallel phases
+# ---------------------------------------------------------------------------
+def eos_phase(state: SimpleState) -> None:
+    """Pressure from the ideal-gas EOS plus a simple artificial viscosity."""
+    rho, e, p, q, u, v = state.rho, state.e, state.p, state.q, state.u, state.v
+    with zpl.covering(state.interior):
+        p[...] = (state.gamma - 1.0) * rho * e
+        # Von Neumann-Richtmyer-style viscosity on compression.
+        q[...] = 0.25 * rho * zpl.maximum(
+            -((u @ EAST) - (u @ WEST) + (v @ SOUTH) - (v @ NORTH)), 0.0
+        ) ** 2.0
+
+
+def velocity_phase(state: SimpleState) -> None:
+    """Accelerate from the (p + q) gradient (parallel stencil)."""
+    p, q, u, v, rho = state.p, state.q, state.u, state.v, state.rho
+    with zpl.covering(state.interior):
+        u[...] = u - state.dt * ((p @ EAST + q @ EAST) - (p @ WEST + q @ WEST)) / (2.0 * rho)
+        v[...] = v - state.dt * ((p @ SOUTH + q @ SOUTH) - (p @ NORTH + q @ NORTH)) / (2.0 * rho)
+
+
+def energy_phase(state: SimpleState) -> None:
+    """Compression work: e changes with the velocity divergence."""
+    e, p, q, u, v, rho = state.e, state.p, state.q, state.u, state.v, state.rho
+    with zpl.covering(state.interior):
+        e[...] = zpl.maximum(
+            e
+            - state.dt
+            * (p + q)
+            * ((u @ EAST) - (u @ WEST) + (v @ SOUTH) - (v @ NORTH))
+            / (2.0 * rho),
+            1e-6,
+        )
+
+
+def density_phase(state: SimpleState) -> None:
+    """Mass conservation under the velocity field (parallel stencil)."""
+    rho, u, v = state.rho, state.u, state.v
+    with zpl.covering(state.interior):
+        rho[...] = zpl.maximum(
+            rho * (1.0 - state.dt * ((u @ EAST) - (u @ WEST)
+                                     + (v @ SOUTH) - (v @ NORTH)) / 2.0),
+            1e-6,
+        )
+
+
+def courant_phase(state: SimpleState) -> float:
+    """Timestep control: a max-reduction over signal speeds."""
+    rho = state.rho.read(state.interior)
+    p = state.p.read(state.interior)
+    speed = float(np.sqrt(state.gamma * np.abs(p) / rho).max())
+    state.history.append(speed)
+    return speed
+
+
+# ---------------------------------------------------------------------------
+# Heat conduction: alternating-direction implicit sweeps (the wavefronts)
+# ---------------------------------------------------------------------------
+def _setup_conduction(state: SimpleState) -> None:
+    """Coefficients of the implicit conduction system (parallel phase)."""
+    cc, dd, rho = state.cc, state.dd, state.rho
+    k = state.conductivity * state.dt
+    with zpl.covering(state.interior):
+        cc[...] = -k / rho
+        dd[...] = 1.0 + 2.0 * k / rho
+
+
+def record_row_sweep(state: SimpleState) -> tuple[zpl.ScanBlock, zpl.ScanBlock]:
+    """Forward/backward scan blocks of the north-south conduction solve."""
+    cc, dd, dinv, rr, e = state.cc, state.dd, state.dinv, state.rr, state.e
+    with zpl.covering(state.interior):
+        with zpl.scan(name="simple-ns-forward", execute=False) as forward:
+            rr[...] = cc * (dinv.p @ NORTH)
+            dinv[...] = 1.0 / (dd - (cc @ NORTH) * rr)
+            e[...] = e - (e.p @ NORTH) * rr
+        with zpl.scan(name="simple-ns-backward", execute=False) as backward:
+            e[...] = (e - cc * (e.p @ SOUTH)) * dinv
+    return forward, backward
+
+
+def record_column_sweep(state: SimpleState) -> tuple[zpl.ScanBlock, zpl.ScanBlock]:
+    """Forward/backward scan blocks of the west-east conduction solve.
+
+    The wavefront travels along the *second* dimension — together with the
+    row sweep this is the orthogonal-wavefronts scenario that motivates
+    pipelining over clever-distribution in the paper's introduction.
+    """
+    cc, dd, dinv, rr, e = state.cc, state.dd, state.dinv, state.rr, state.e
+    with zpl.covering(state.interior):
+        with zpl.scan(name="simple-we-forward", execute=False) as forward:
+            rr[...] = cc * (dinv.p @ WEST)
+            dinv[...] = 1.0 / (dd - (cc @ WEST) * rr)
+            e[...] = e - (e.p @ WEST) * rr
+        with zpl.scan(name="simple-we-backward", execute=False) as backward:
+            e[...] = (e - cc * (e.p @ EAST)) * dinv
+    return forward, backward
+
+
+def compile_sweeps(state: SimpleState) -> tuple[CompiledScan, ...]:
+    """All four conduction scan blocks, compiled."""
+    ns_f, ns_b = record_row_sweep(state)
+    we_f, we_b = record_column_sweep(state)
+    return tuple(compile_scan(b) for b in (ns_f, ns_b, we_f, we_b))
+
+
+def conduction_phase(state: SimpleState, engine=execute_vectorized) -> None:
+    """The ADI heat-conduction solve: NS sweep then WE sweep."""
+    _setup_conduction(state)
+    ns_f, ns_b, we_f, we_b = compile_sweeps(state)
+    _zero_sweep_boundaries(state, dim=0)
+    engine(ns_f)
+    engine(ns_b)
+    _zero_sweep_boundaries(state, dim=1)
+    engine(we_f)
+    engine(we_b)
+
+
+def _zero_sweep_boundaries(state: SimpleState, dim: int) -> None:
+    """Zero the recurrence seed rows of one sweep direction.
+
+    Zero ``dinv`` and the incoming ``e`` boundary so the first wavefront row
+    starts the recurrence exactly as the Thomas oracle does.  (Physically:
+    adiabatic walls.)
+    """
+    first = NORTH if dim == 0 else WEST
+    last = SOUTH if dim == 0 else EAST
+    lead = state.interior.border(first)
+    state.dinv.write(lead, 0.0)
+    state.e.write(lead, 0.0)
+    trail = state.interior.border(last)
+    state.e.write(trail, 0.0)
+
+
+def step(state: SimpleState, engine=execute_vectorized) -> float:
+    """One SIMPLE cycle; returns the Courant signal speed."""
+    eos_phase(state)
+    velocity_phase(state)
+    energy_phase(state)
+    density_phase(state)
+    conduction_phase(state, engine)
+    return courant_phase(state)
+
+
+def run(state: SimpleState, cycles: int, engine=execute_vectorized) -> list[float]:
+    """Run ``cycles`` cycles; returns the Courant history."""
+    return [step(state, engine) for _ in range(cycles)]
+
+
+# ---------------------------------------------------------------------------
+# Program profile
+# ---------------------------------------------------------------------------
+def profile(n: int, cycles: int = 1) -> ProgramProfile:
+    """Phase structure of SIMPLE: wavefronts are a small slice of the cycle.
+
+    The parallel hydro phases dominate (EOS, viscosity, velocity, energy,
+    density — several sweeps of heavy stencil arithmetic each), so the
+    wavefront fraction is ~10%: this is why the paper's whole-program bars
+    for SIMPLE are small (7% uniprocessor, 5-8% low end parallel) even
+    though the conduction sweeps themselves speed up by the full factor.
+    """
+    interior = (n - 2) * (n - 2)
+    prog = ProgramProfile(f"simple(n={n})")
+    prog.add("eos+viscosity", PhaseKind.PARALLEL, 14.0 * interior, cycles)
+    prog.add("velocity", PhaseKind.PARALLEL, 14.0 * interior, cycles)
+    prog.add("energy", PhaseKind.PARALLEL, 12.0 * interior, cycles)
+    prog.add("density", PhaseKind.PARALLEL, 12.0 * interior, cycles)
+    prog.add("conduction-setup", PhaseKind.PARALLEL, 4.0 * interior, cycles)
+    prog.add("conduction-ns", PhaseKind.WAVEFRONT, 1.5 * interior, cycles)
+    prog.add("conduction-we", PhaseKind.WAVEFRONT, 1.5 * interior, cycles)
+    prog.add("courant", PhaseKind.SERIAL, 0.5 * interior, cycles)
+    return prog

@@ -1,0 +1,156 @@
+"""The wavefront benchmark suite (the paper's stated future work).
+
+"We will also develop a benchmark suite of wavefront computations in order
+to evaluate our design and implementation and investigate their properties,
+such as dynamism of optimal block size."  This module is that suite: a
+registry of named wavefront kernels, each exposing a compiled scan block
+builder so the experiments and benchmarks can sweep them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro import zpl
+from repro.compiler import compile_scan
+from repro.compiler.lowering import CompiledScan
+from repro.zpl import EAST, NORTH, NORTHWEST, SOUTH, WEST, Region
+
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """One suite member: a builder producing a compiled block of size n."""
+
+    name: str
+    description: str
+    build: Callable[[int], CompiledScan]
+    #: Boundary rows per unit block width (the model's ``m``).
+    boundary_rows: int
+
+
+def _seeded(n: int, name: str, seed: int = 3) -> zpl.ZArray:
+    rng = np.random.default_rng(seed)
+    arr = zpl.from_numpy(rng.uniform(0.2, 1.0, size=(n, n)), base=1, name=name)
+    return arr
+
+
+def _single_stream(n: int) -> CompiledScan:
+    """One array, one direction: the minimal wavefront (Fig. 3(d))."""
+    a = _seeded(n, "a")
+    with zpl.covering(Region.of((2, n), (1, n))):
+        with zpl.scan(name="single-stream", execute=False) as block:
+            a[...] = 0.9 * (a.p @ NORTH) + 0.1
+    return compile_scan(block)
+
+
+def _tomcatv_fragment(n: int) -> CompiledScan:
+    """The paper's Fig. 2(b) fragment (three arrays flow with the wave)."""
+    aa, d, dd, rx, ry, r = (
+        _seeded(n, nm, seed=7 + k)
+        for k, nm in enumerate(("aa", "d", "dd", "rx", "ry", "r"))
+    )
+    dd.load(np.full((n, n), 4.0))
+    with zpl.covering(Region.of((2, n - 2), (2, n - 1))):
+        with zpl.scan(name="tomcatv-fragment", execute=False) as block:
+            r[...] = aa * (d.p @ NORTH)
+            d[...] = 1.0 / (dd - (aa @ NORTH) * r)
+            rx[...] = rx - (rx.p @ NORTH) * r
+            ry[...] = ry - (ry.p @ NORTH) * r
+    return compile_scan(block)
+
+
+def _dp_wavefront(n: int) -> CompiledScan:
+    """Two-direction DP recurrence (Smith-Waterman shape)."""
+    h = _seeded(n, "h", seed=11)
+    g = _seeded(n, "g", seed=12)
+    with zpl.covering(Region.square(2, n)):
+        with zpl.scan(name="dp", execute=False) as block:
+            h[...] = zpl.maximum(
+                (h.p @ NORTHWEST) + g,
+                zpl.maximum((h.p @ NORTH), (h.p @ WEST)) - 0.5,
+            )
+    return compile_scan(block)
+
+
+def _bidirectional_solver(n: int) -> CompiledScan:
+    """Forward elimination immediately at full width (heavier body)."""
+    e = _seeded(n, "e", seed=13)
+    c = _seeded(n, "c", seed=14)
+    dinv = _seeded(n, "dinv", seed=15)
+    with zpl.covering(Region.square(2, n - 1)):
+        with zpl.scan(name="solver", execute=False) as block:
+            dinv[...] = 1.0 / (2.5 - c * (dinv.p @ NORTH))
+            e[...] = (e - c * (e.p @ NORTH)) * dinv
+    return compile_scan(block)
+
+
+def _gauss_seidel(n: int) -> CompiledScan:
+    """The Gauss-Seidel sweep shape: primed north/west, old south/east."""
+    u = _seeded(n, "u", seed=17)
+    f = _seeded(n, "f", seed=18)
+    with zpl.covering(Region.square(2, n - 1)):
+        with zpl.scan(name="gs", execute=False) as block:
+            u[...] = 0.25 * (
+                (u.p @ NORTH) + (u.p @ WEST) + (u @ SOUTH) + (u @ EAST) - f
+            )
+    return compile_scan(block)
+
+
+def _eastward(n: int) -> CompiledScan:
+    """Wavefront along the second dimension (orthogonal to the others)."""
+    a = _seeded(n, "a", seed=16)
+    with zpl.covering(Region.of((1, n), (2, n))):
+        with zpl.scan(name="eastward", execute=False) as block:
+            a[...] = 0.8 * (a.p @ WEST) + 0.2
+    return compile_scan(block)
+
+
+SUITE: tuple[SuiteEntry, ...] = (
+    SuiteEntry(
+        "single-stream",
+        "one array, northward wave (the paper's Fig. 3(d))",
+        _single_stream,
+        boundary_rows=1,
+    ),
+    SuiteEntry(
+        "tomcatv-fragment",
+        "the Fig. 2(b) tridiagonal forward elimination",
+        _tomcatv_fragment,
+        boundary_rows=3,
+    ),
+    SuiteEntry(
+        "dp",
+        "two-direction dynamic-programming recurrence",
+        _dp_wavefront,
+        boundary_rows=1,
+    ),
+    SuiteEntry(
+        "solver",
+        "two-array coupled recurrence (conduction solve shape)",
+        _bidirectional_solver,
+        boundary_rows=2,
+    ),
+    SuiteEntry(
+        "gauss-seidel",
+        "lexicographic relaxation: primed north/west, old south/east",
+        _gauss_seidel,
+        boundary_rows=1,
+    ),
+    SuiteEntry(
+        "eastward",
+        "wavefront along the second dimension",
+        _eastward,
+        boundary_rows=1,
+    ),
+)
+
+
+def get(name: str) -> SuiteEntry:
+    """Look up a suite member by name."""
+    for entry in SUITE:
+        if entry.name == name:
+            return entry
+    raise KeyError(f"no suite entry {name!r}; have {[e.name for e in SUITE]}")

@@ -1,0 +1,34 @@
+"""Trace-driven cache simulation (the Fig. 6 uniprocessor study substrate)."""
+
+from repro.cache.layout import AddressSpace, ArrayPlacement, DEFAULT_PAD
+from repro.cache.trace import (
+    statement_slots,
+    fused_trace,
+    per_statement_trace,
+    best_locality_structure,
+    trace_compiled,
+)
+from repro.cache.cachesim import (
+    CacheResult,
+    simulate,
+    simulate_direct_mapped,
+    simulate_lru,
+)
+from repro.cache.study import CacheStudyResult, cache_study
+
+__all__ = [
+    "AddressSpace",
+    "ArrayPlacement",
+    "DEFAULT_PAD",
+    "statement_slots",
+    "fused_trace",
+    "per_statement_trace",
+    "best_locality_structure",
+    "trace_compiled",
+    "CacheResult",
+    "simulate",
+    "simulate_direct_mapped",
+    "simulate_lru",
+    "CacheStudyResult",
+    "cache_study",
+]

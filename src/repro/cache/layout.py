@@ -1,0 +1,92 @@
+"""Array memory layout: column-major address assignment.
+
+The uniprocessor study (paper Section 5.1) assumes arrays "are allocated in
+column-major-order", the Fortran convention: the *first* index is contiguous
+in memory.  An :class:`AddressSpace` assigns each array a base address and
+exposes the affine address function the trace generator sweeps.
+
+Addresses are in *elements* (the cache geometry is also in elements), so one
+double-precision word is one address unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CacheConfigError
+from repro.zpl.arrays import ZArray
+
+#: Padding between consecutive arrays, in elements.  A prime-ish pad keeps
+#: same-shaped arrays from landing on identical cache sets, mirroring how
+#: real allocators/compilers stagger bases.
+DEFAULT_PAD = 37
+
+
+@dataclass(frozen=True)
+class ArrayPlacement:
+    """One array's base address and column-major strides."""
+
+    base: int
+    lo: tuple[int, ...]
+    strides: tuple[int, ...]
+
+    def address(self, index: tuple[int, ...]) -> int:
+        """Element address of a global index."""
+        return self.base + sum(
+            (i - l) * s for i, l, s in zip(index, self.lo, self.strides)
+        )
+
+
+class AddressSpace:
+    """Assigns column-major placements to arrays, in registration order."""
+
+    def __init__(self, pad: int = DEFAULT_PAD):
+        if pad < 0:
+            raise CacheConfigError(f"pad must be >= 0, got {pad}")
+        self._pad = pad
+        self._next = 0
+        self._placements: dict[int, ArrayPlacement] = {}
+
+    def place(self, array: ZArray) -> ArrayPlacement:
+        """Register an array (idempotent) and return its placement.
+
+        Storage (fluff included) is laid out column-major: stride 1 along
+        dimension 0, then the product of the extents of the dimensions
+        before each subsequent dimension.
+        """
+        key = id(array)
+        if key in self._placements:
+            return self._placements[key]
+        shape = array.storage_region.shape
+        strides = [1] * len(shape)
+        for k in range(1, len(shape)):
+            strides[k] = strides[k - 1] * shape[k - 1]
+        placement = ArrayPlacement(
+            base=self._next,
+            lo=array.storage_region.lo,
+            strides=tuple(strides),
+        )
+        self._placements[key] = placement
+        self._next += int(prod(shape)) + self._pad
+        return placement
+
+    def placement(self, array: ZArray) -> ArrayPlacement:
+        """The placement of a registered array."""
+        try:
+            return self._placements[id(array)]
+        except KeyError:
+            raise CacheConfigError(
+                f"array {array.name!r} was never placed in this address space"
+            ) from None
+
+    @property
+    def footprint(self) -> int:
+        """Total allocated elements (pads included)."""
+        return self._next
+
+
+def prod(values) -> int:
+    total = 1
+    for v in values:
+        total *= int(v)
+    return total

@@ -1,0 +1,62 @@
+"""Array contraction (paper Section 2.1, after Lewis, Lin & Snyder PLDI'98).
+
+Array languages force scalars that carry values between statements to be
+promoted to full arrays — the Tomcatv fragment's ``r`` is the canonical
+example.  Once statements are fused into a single loop nest, such an array is
+only ever read at the *same iteration point* where it was just written, so its
+storage can be **contracted** to a per-iteration buffer: no global loads or
+stores remain.  The paper notes this compiler technique eliminates the
+promotion overhead; the uniprocessor cache study (Fig. 6) and the vectorised
+runtime both honour the contraction marker.
+
+An array is contractible within a compiled group iff:
+
+* it is written by the group,
+* every read of it in the group is unprimed with a zero shift (reads of the
+  value produced at the current iteration point),
+* the caller asserts it is dead after the group (the embedded DSL cannot see
+  the future, so liveness is an explicit promise).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from repro.errors import CompilationError
+from repro.compiler.lowering import CompiledScan
+from repro.zpl.arrays import ZArray
+
+
+def contractible(compiled: CompiledScan, array: ZArray) -> bool:
+    """True when ``array`` may be contracted within ``compiled``."""
+    if not any(array is a for a in compiled.written_arrays()):
+        return False
+    for stmt in compiled.statements:
+        if stmt.target is array and stmt.mask is not None:
+            # Masked-out points keep their *previous* value, which a
+            # per-iteration buffer cannot supply.
+            return False
+        for ref in stmt.expr.refs():
+            if ref.array is array and (ref.primed or not ref.offset.is_zero()):
+                return False
+    return True
+
+
+def contract(compiled: CompiledScan, arrays: Sequence[ZArray]) -> CompiledScan:
+    """Mark ``arrays`` as contracted, validating contractibility.
+
+    Raises :class:`CompilationError` when any array does not qualify.
+    """
+    for array in arrays:
+        if not contractible(compiled, array):
+            name = array.name or "<array>"
+            raise CompilationError(
+                f"array {name!r} is not contractible: it must be written by "
+                f"the group and only read unprimed at zero shift"
+            )
+    merged = list(compiled.contracted)
+    for array in arrays:
+        if not any(array is a for a in merged):
+            merged.append(array)
+    return dataclasses.replace(compiled, contracted=tuple(merged))

@@ -1,0 +1,91 @@
+"""The statically checked legality conditions of scan blocks (Section 2.2).
+
+The paper lists five checks; they map onto this module as follows.
+
+(i)   Primed arrays in a scan block must also be defined in the block
+      (:class:`PrimedOperandError`).
+(ii)  The directions on primed references may not over-constrain the
+      wavefront — checked constructively by the loop-structure search
+      (:class:`OverconstrainedScanError` from
+      :func:`repro.compiler.loopstruct.derive_loop_structure`).
+(iii) All statements in a scan block must have the same rank
+      (:class:`RankMismatchError`).
+(iv)  All statements must be covered by the same region
+      (:class:`RegionMismatchError`).
+(v)   Parallel operators' operands (other than shift) may not be primed
+      (:class:`PrimedOperandError`) — essential because the compiler pulls
+      those operators out of the scan block.
+
+Two additional checks follow from the implementation strategy and are
+documented here rather than in the paper: a primed reference must carry a
+nonzero shift (an unshifted prime would name a value written *later in the
+same iteration*), and a hoisted parallel operator may not read an array the
+block writes (hoisting would then change its value).
+"""
+
+from __future__ import annotations
+
+from repro.errors import (
+    LegalityError,
+    PrimedOperandError,
+    RankMismatchError,
+    RegionMismatchError,
+)
+from repro.zpl.scan import ScanBlock
+
+
+def check_scan_block(block: ScanBlock) -> None:
+    """Run every static legality check except over-constraint (see (ii))."""
+    if len(block) == 0:
+        raise LegalityError("scan block contains no statements")
+
+    first = block.statements[0]
+    for j, stmt in enumerate(block.statements):
+        if stmt.rank != first.rank:  # condition (iii)
+            raise RankMismatchError(
+                f"statement {j} has rank {stmt.rank}, statement 0 has rank "
+                f"{first.rank}: all statements in a scan block must be "
+                f"implemented by a loop nest of the same depth"
+            )
+        if stmt.region != first.region:  # condition (iv)
+            raise RegionMismatchError(
+                f"statement {j} is covered by {stmt.region!r}, statement 0 by "
+                f"{first.region!r}: all statements in a scan block must be "
+                f"covered by the same region"
+            )
+
+    written = {id(a) for a in block.written_arrays()}
+    for j, stmt in enumerate(block.statements):
+        if stmt.mask is not None and id(stmt.mask) in written:
+            raise LegalityError(
+                f"statement {j}: mask {stmt.mask.name!r} is written by the "
+                f"scan block; masks must be loop-invariant"
+            )
+        for ref in stmt.expr.refs():
+            if not ref.primed:
+                continue
+            name = ref.array.name or "<array>"
+            if id(ref.array) not in written:  # condition (i)
+                raise PrimedOperandError(
+                    f"statement {j} primes {name!r}, but the scan block never "
+                    f"defines it: primed arrays must be assigned in the block"
+                )
+            if ref.offset.is_zero():
+                raise PrimedOperandError(
+                    f"statement {j} primes {name!r} without a shift: an "
+                    f"unshifted primed reference would name a value of the "
+                    f"current iteration"
+                )
+        for op in stmt.expr.parallel_ops():  # condition (v)
+            for ref in op.refs():
+                if ref.primed:
+                    raise PrimedOperandError(
+                        f"statement {j}: parallel operator {op!r} has a primed "
+                        f"operand; only the shift operator may be primed"
+                    )
+                if id(ref.array) in written:
+                    raise PrimedOperandError(
+                        f"statement {j}: parallel operator {op!r} reads "
+                        f"{ref.array.name!r}, which the scan block writes; it "
+                        f"cannot be hoisted out of the block"
+                    )

@@ -1,0 +1,171 @@
+"""Loop-structure derivation: choosing the loop nest that implements a group.
+
+Given the unconstrained distance vectors of a fused statement group, the
+compiler picks a *loop structure*: an ordering of the data-space dimensions
+(outermost to innermost) and a traversal sign per dimension (+1 ascending,
+-1 descending).  A structure is legal when every nonzero UDV becomes
+lexicographically positive: reading its components in loop order, each
+multiplied by the dimension's sign, the first nonzero component is positive.
+
+This is the algorithm of the paper's Section 3.1 (after Lewis, Lin & Snyder):
+because a UDV constrains only the *first* dimension in loop order where it is
+nonzero, a candidate ordering induces a unique sign requirement per dimension,
+and the ordering is legal iff no dimension receives contradictory
+requirements.  The search enumerates orderings most-preferred first:
+
+* serial dimensions outermost (they carry contradictory dependences that an
+  enclosing loop must resolve — when legality allows),
+* pipelined (wavefront) dimensions next,
+* completely parallel dimensions innermost (they vectorise),
+* ties broken left to right, ascending traversal preferred.
+
+Over-constrained groups — e.g. primed ``@north`` with primed ``@south`` —
+have no legal structure and raise :class:`OverconstrainedScanError`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import OverconstrainedScanError
+from repro.compiler.wsv import DimClass
+from repro.zpl.regions import Region
+
+
+@dataclass(frozen=True)
+class LoopStructure:
+    """A derived loop nest shape.
+
+    ``order``   — dimensions outermost to innermost;
+    ``signs``   — traversal per *dimension index* (+1 ascending, -1 descending);
+    ``classes`` — parallelism class per dimension (see :class:`DimClass`).
+    """
+
+    order: tuple[int, ...]
+    signs: tuple[int, ...]
+    classes: tuple[DimClass, ...]
+
+    @property
+    def rank(self) -> int:
+        return len(self.order)
+
+    @property
+    def parallel_dims(self) -> tuple[int, ...]:
+        """Dimensions with no wavefront component (completely parallel)."""
+        return tuple(
+            k for k, c in enumerate(self.classes) if c is DimClass.PARALLEL
+        )
+
+    @property
+    def wavefront_dims(self) -> tuple[int, ...]:
+        """Dimensions along which the wavefront travels (pipelining pays)."""
+        return tuple(
+            k for k, c in enumerate(self.classes) if c is DimClass.PIPELINED
+        )
+
+    @property
+    def serial_dims(self) -> tuple[int, ...]:
+        """Dimensions iterated purely sequentially."""
+        return tuple(k for k, c in enumerate(self.classes) if c is DimClass.SERIAL)
+
+    def indices(self, region: Region, dim: int) -> range:
+        """Iteration range for one dimension, honouring the traversal sign."""
+        return region.indices(dim, reverse=self.signs[dim] < 0)
+
+    def respects(self, vector: Sequence[int]) -> bool:
+        """True when ``vector`` is lexicographically non-negative under self."""
+        for dim in self.order:
+            component = self.signs[dim] * vector[dim]
+            if component > 0:
+                return True
+            if component < 0:
+                return False
+        return True  # the zero vector: loop-independent
+
+    def __repr__(self) -> str:
+        loops = ", ".join(
+            f"dim{d}{'^' if self.signs[d] > 0 else 'v'}({self.classes[d].value})"
+            for d in self.order
+        )
+        return f"LoopStructure[{loops}]"
+
+
+def _required_signs(
+    order: Sequence[int], vectors: Sequence[Sequence[int]], rank: int
+) -> tuple[int, ...] | None:
+    """Sign requirements induced by ``order``; None when contradictory."""
+    required = [0] * rank  # 0 = unconstrained
+    for v in vectors:
+        for dim in order:
+            if v[dim] != 0:
+                need = 1 if v[dim] > 0 else -1
+                if required[dim] == 0:
+                    required[dim] = need
+                elif required[dim] != need:
+                    return None
+                break
+    return tuple(s if s != 0 else 1 for s in required)
+
+
+def _order_preference(order: Sequence[int], classes: Sequence[DimClass]) -> tuple:
+    """Sort key: serial outermost, parallel innermost, then left-to-right."""
+    rank_of = {DimClass.SERIAL: 0, DimClass.PIPELINED: 1, DimClass.PARALLEL: 2}
+    return (tuple(rank_of[classes[d]] for d in order), tuple(order))
+
+
+def derive_loop_structure(
+    vectors: Sequence[Sequence[int]],
+    classes: Sequence[DimClass],
+    rank: int,
+) -> LoopStructure:
+    """Find the most-preferred legal loop structure, or raise.
+
+    ``vectors`` are the nonzero UDV constraints; ``classes`` the per-dimension
+    parallelism classification (computed separately from the true dependences
+    only — see :func:`repro.compiler.wsv.classify`).
+    """
+    constraints = [tuple(v) for v in vectors if any(c != 0 for c in v)]
+    for v in constraints:
+        if len(v) != rank:
+            raise ValueError(f"UDV {v} has rank {len(v)}, expected {rank}")
+    candidates = sorted(
+        itertools.permutations(range(rank)),
+        key=lambda order: _order_preference(order, classes),
+    )
+    for order in candidates:
+        signs = _required_signs(order, constraints, rank)
+        if signs is not None:
+            return LoopStructure(tuple(order), signs, tuple(classes))
+    raise OverconstrainedScanError(
+        f"no loop nest can respect the dependences {constraints}: the scan "
+        f"block is over-constrained (e.g. primed @north with primed @south)"
+    )
+
+
+def legal_structures(
+    vectors: Sequence[Sequence[int]],
+    classes: Sequence[DimClass],
+    rank: int,
+):
+    """Yield every legal loop structure, in permutation order.
+
+    Loop *interchange* (paper Section 5.1) is a choice among these: the cache
+    study picks the legal structure whose innermost dimension is contiguous
+    in storage.
+    """
+    constraints = [tuple(v) for v in vectors if any(c != 0 for c in v)]
+    for order in itertools.permutations(range(rank)):
+        signs = _required_signs(order, constraints, rank)
+        if signs is not None:
+            yield LoopStructure(tuple(order), signs, tuple(classes))
+
+
+def structure_exists(vectors: Sequence[Sequence[int]], rank: int) -> bool:
+    """Pure legality test: is any loop structure legal for these UDVs?"""
+    constraints = [tuple(v) for v in vectors if any(c != 0 for c in v)]
+    return any(
+        _required_signs(order, constraints, rank) is not None
+        for order in itertools.permutations(range(rank))
+    )

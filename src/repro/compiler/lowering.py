@@ -1,0 +1,187 @@
+"""Lowering: from a checked scan block to an executable loop-nest program.
+
+The result of compilation is a :class:`CompiledScan`:
+
+* ``hoisted`` — the parallel operators (reductions, floods) pulled out of the
+  block into temporary arrays, to be evaluated *before* the nest runs
+  (Section 3.2's "all parallel operators except shift are pulled out of scan
+  blocks and assigned to temporary arrays");
+* ``statements`` — the body statements after substituting hoisted temporaries;
+* ``loops`` — the derived loop structure (order, traversal signs, per-dimension
+  parallelism classes);
+* ``wsv``/``dependences`` — the analysis artifacts, kept for diagnostics,
+  the programmer-facing performance model, and the experiments.
+
+A ``CompiledScan`` is engine-agnostic: the scalar oracle, the vectorised
+sequential runtime and the distributed machine executor all consume it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.compiler.legality import check_scan_block
+from repro.compiler.loopstruct import LoopStructure, derive_loop_structure
+from repro.compiler.udv import Dependence, constraint_vectors, extract_dependences, true_vectors
+from repro.compiler.wsv import WSV, classify, wsv_of
+from repro.zpl.arrays import ZArray
+from repro.zpl.expr import Node, ParallelOp, Ref
+from repro.zpl.program import eager_reader
+from repro.zpl.regions import Region
+from repro.zpl.scan import ScanBlock
+from repro.zpl.statements import Assign
+
+
+@dataclass(frozen=True)
+class HoistedTemp:
+    """One parallel operator pulled out of the block.
+
+    At execution time, ``expr`` is evaluated eagerly over ``region`` (with the
+    values the arrays hold at block entry) and stored into ``temp``.
+    """
+
+    temp: ZArray
+    expr: ParallelOp
+    region: Region
+
+    def evaluate(self) -> None:
+        """Compute the temporary's values (ordinary array semantics)."""
+        values = self.expr.evaluate(self.region, eager_reader)
+        self.temp.write(self.region, np.broadcast_to(values, self.region.shape))
+
+
+@dataclass(frozen=True)
+class CompiledScan:
+    """A scan block after legality checking, analysis and lowering."""
+
+    region: Region
+    statements: tuple[Assign, ...]
+    hoisted: tuple[HoistedTemp, ...]
+    loops: LoopStructure
+    wsv: WSV
+    dependences: tuple[Dependence, ...]
+    name: str | None = None
+    #: Arrays demoted to per-iteration buffers by array contraction
+    #: (:mod:`repro.compiler.contraction`); executors need not keep their
+    #: global storage up to date.
+    contracted: tuple[ZArray, ...] = ()
+
+    def is_contracted(self, array: ZArray) -> bool:
+        """True when ``array`` was contracted away (no global stores needed)."""
+        return any(array is a for a in self.contracted)
+
+    @property
+    def rank(self) -> int:
+        return self.region.rank
+
+    def written_arrays(self) -> tuple[ZArray, ...]:
+        """Arrays assigned by the lowered body, in first-write order."""
+        seen: list[ZArray] = []
+        for stmt in self.statements:
+            if not any(stmt.target is a for a in seen):
+                seen.append(stmt.target)
+        return tuple(seen)
+
+    def read_arrays(self) -> tuple[ZArray, ...]:
+        """Arrays read by the lowered body (hoisted temps included)."""
+        seen: list[ZArray] = []
+        for stmt in self.statements:
+            for ref in stmt.expr.refs():
+                if not any(ref.array is a for a in seen):
+                    seen.append(ref.array)
+        return tuple(seen)
+
+    def prepare(self) -> None:
+        """Evaluate every hoisted parallel operator (call before any engine)."""
+        for temp in self.hoisted:
+            temp.evaluate()
+
+    def __repr__(self) -> str:
+        label = self.name or "scan"
+        return (
+            f"CompiledScan({label}, wsv={self.wsv!r}, loops={self.loops!r}, "
+            f"{len(self.statements)} stmts, {len(self.hoisted)} hoisted)"
+        )
+
+
+def _hoist_parallel_ops(
+    statements: Sequence[Assign], region: Region
+) -> tuple[tuple[Assign, ...], tuple[HoistedTemp, ...]]:
+    """Replace every parallel-operator node with a reference to a fresh temp."""
+    hoisted: list[HoistedTemp] = []
+    lowered: list[Assign] = []
+    for stmt in statements:
+        ops = list(stmt.expr.parallel_ops())
+        if not ops:
+            lowered.append(stmt)
+            continue
+        mapping: dict[Node, Node] = {}
+        for k, op in enumerate(ops):
+            temp = ZArray(region, name=f"%hoist{len(hoisted)}")
+            hoisted.append(HoistedTemp(temp, op, region))
+            mapping[op] = Ref(temp)
+        lowered.append(
+            Assign(stmt.target, stmt.expr.substitute(mapping), stmt.region, mask=stmt.mask)
+        )
+    return tuple(lowered), tuple(hoisted)
+
+
+def compile_scan(block: ScanBlock) -> CompiledScan:
+    """The full pipeline: legality, WSV, dependences, loop structure, lowering."""
+    check_scan_block(block)  # conditions (i), (iii), (iv), (v)
+    region = block.region
+    rank = block.rank
+
+    statements, hoisted = _hoist_parallel_ops(block.statements, region)
+    deps = extract_dependences(statements)
+    classes = classify(true_vectors(deps), rank)
+    loops = derive_loop_structure(constraint_vectors(deps), classes, rank)  # (ii)
+    summary = wsv_of(block.primed_directions(), rank=rank)
+    return CompiledScan(
+        region=region,
+        statements=statements,
+        hoisted=hoisted,
+        loops=loops,
+        wsv=summary,
+        dependences=deps,
+        name=block.name,
+    )
+
+
+def compile_statements(
+    statements: Sequence[Assign], name: str | None = None
+) -> CompiledScan:
+    """Compile an ordinary (non-scan) fused statement group.
+
+    This is the path the cache experiment uses: fusing plain array statements
+    into one loop nest, with anti-dependences (not primes) constraining the
+    traversal, exactly as in the paper's Fig. 3(a-c).
+    """
+    if not statements:
+        raise ValueError("cannot compile an empty statement group")
+    region = statements[0].region
+    rank = region.rank
+    for stmt in statements:
+        if stmt.region != region:
+            raise ValueError(
+                "compile_statements requires a common covering region; use "
+                "repro.compiler.fusion to partition mixed statement lists"
+            )
+        if stmt.expr.has_prime():
+            raise ValueError("primed references require a scan block")
+    lowered, hoisted = _hoist_parallel_ops(statements, region)
+    deps = extract_dependences(lowered, primed_allowed=False)
+    classes = classify(true_vectors(deps), rank)
+    loops = derive_loop_structure(constraint_vectors(deps), classes, rank)
+    return CompiledScan(
+        region=region,
+        statements=lowered,
+        hoisted=hoisted,
+        loops=loops,
+        wsv=wsv_of((), rank=rank),
+        dependences=deps,
+        name=name,
+    )

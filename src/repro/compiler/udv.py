@@ -1,0 +1,136 @@
+"""Unconstrained distance vectors (paper Section 3.1).
+
+Traditional distance vectors are derived from loop nests; here the loop nest
+does not exist yet — the compiler *chooses* it.  Unconstrained distance
+vectors (UDVs) therefore live in **array-dimension space**: a dependence with
+vector ``v`` is respected by a loop structure (a dimension order plus a
+traversal direction per dimension) exactly when ``v`` becomes lexicographically
+positive once each component is multiplied by its dimension's traversal sign
+and the components are read in loop order.  The zero vector denotes a
+loop-independent dependence, satisfied by the lexical statement order inside
+the fused body.
+
+Extraction rules for a fused statement group (scan block or ordinary array
+statements):
+
+* a **primed** reference ``A'@d`` where ``A`` is written in the group is a
+  *true* dependence with UDV ``-d`` — the paper's rule that "the unconstrained
+  distance vectors associated with primed array references are simply negated";
+* an **unprimed** reference ``A@d`` where ``A`` is written by a lexically
+  *earlier* statement is a *true* dependence with UDV ``-d`` (the reference
+  names the new value, which must already have been stored when the shifted
+  index is behind the sweep);
+* an **unprimed** reference ``A@d`` where ``A`` is written by this or a
+  lexically *later* statement is an *anti* dependence with UDV ``d`` (the
+  reference names the old value, so the overwrite must not have happened yet
+  — this is what forces Fig. 3(a)'s loop to run from high to low indices);
+* two statements assigning the same array give an *output* dependence with
+  the zero vector (each element is written at the same iteration point).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.zpl.statements import Assign
+
+
+class DepKind(enum.Enum):
+    """Dependence classes, as in classical dependence theory."""
+
+    TRUE = "true"
+    ANTI = "anti"
+    OUTPUT = "output"
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """One array-level dependence between statements of a fused group.
+
+    ``vector`` is the unconstrained distance vector that the chosen loop
+    structure must make lexicographically non-negative (positive unless zero).
+    ``src``/``dst`` are statement indices within the group, ``array`` the name
+    of the array carrying the dependence.
+    """
+
+    vector: tuple[int, ...]
+    kind: DepKind
+    src: int
+    dst: int
+    array: str
+
+    def is_loop_independent(self) -> bool:
+        """True for the zero vector (satisfied by lexical order)."""
+        return all(c == 0 for c in self.vector)
+
+    def __repr__(self) -> str:
+        return (
+            f"{self.kind.value}{self.vector} {self.array} "
+            f"(S{self.src} -> S{self.dst})"
+        )
+
+
+def _writers(statements: Sequence[Assign]) -> dict[int, list[int]]:
+    """Map ``id(array) -> sorted statement indices writing it``."""
+    writers: dict[int, list[int]] = {}
+    for j, stmt in enumerate(statements):
+        writers.setdefault(id(stmt.target), []).append(j)
+    return writers
+
+
+def extract_dependences(
+    statements: Sequence[Assign], primed_allowed: bool = True
+) -> tuple[Dependence, ...]:
+    """Extract every UDV of a fused statement group.
+
+    ``primed_allowed=False`` is used for ordinary (non-scan) statement groups,
+    where a primed reference is a caller bug; the scan-block legality checker
+    handles the primed rules itself.
+    """
+    writers = _writers(statements)
+    deps: list[Dependence] = []
+    for j, stmt in enumerate(statements):
+        for ref in stmt.expr.refs():
+            name = ref.array.name or f"<array#{id(ref.array):x}>"
+            w = writers.get(id(ref.array), [])
+            d = tuple(ref.offset)
+            neg = tuple(-c for c in d)
+            if ref.primed:
+                if not primed_allowed:
+                    raise ValueError(
+                        "primed reference outside a scan block reached the "
+                        "dependence extractor"
+                    )
+                # Primed: true dependence from the block's writes of this
+                # array, with the negated direction as UDV.
+                src = max(w) if w else j
+                deps.append(Dependence(neg, DepKind.TRUE, src, j, name))
+                continue
+            if not w:
+                continue  # array not written in the group: no constraint
+            for k in w:
+                if k < j:
+                    deps.append(Dependence(neg, DepKind.TRUE, k, j, name))
+                else:
+                    deps.append(Dependence(d, DepKind.ANTI, j, k, name))
+    # Output dependences between distinct statements writing the same array.
+    for indices in writers.values():
+        for a, b in zip(indices, indices[1:]):
+            name = statements[a].target.name or "<array>"
+            rank = statements[a].region.rank
+            deps.append(
+                Dependence((0,) * rank, DepKind.OUTPUT, a, b, name)
+            )
+    return tuple(deps)
+
+
+def true_vectors(deps: Sequence[Dependence]) -> tuple[tuple[int, ...], ...]:
+    """The UDVs of the true dependences only (these govern parallelism)."""
+    return tuple(d.vector for d in deps if d.kind is DepKind.TRUE)
+
+
+def constraint_vectors(deps: Sequence[Dependence]) -> tuple[tuple[int, ...], ...]:
+    """All nonzero UDVs — the constraints the loop structure must satisfy."""
+    return tuple(d.vector for d in deps if not d.is_loop_independent())

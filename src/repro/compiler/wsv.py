@@ -1,0 +1,151 @@
+"""Wavefront summary vectors (paper Section 2.2).
+
+The WSV is the programmer's device for reasoning about legality and
+parallelism without dependence theory.  Given the directions appearing on
+primed references, each dimension is summarised by the paper's ``f``:
+
+* ``0``  — every direction has a zero component in this dimension;
+* ``+``  — components are mixed zero/positive with at least one positive;
+* ``-``  — components are mixed zero/negative with at least one negative;
+* ``±``  — both positive and negative components appear (over-constraining
+  unless some other dimension resolves the conflict).
+
+A WSV is *simple* when no component is ``±``; simple WSVs are always legal.
+The same summary machinery classifies each dimension for parallelism
+(:func:`classify`): completely **parallel**, **pipelined** (the wavefront
+travels along it and pipelining extracts parallelism), or **serial**.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import DirectionError
+from repro.zpl.directions import Direction
+
+
+class Sign(enum.Enum):
+    """One component of a wavefront summary vector."""
+
+    ZERO = "0"
+    PLUS = "+"
+    MINUS = "-"
+    BOTH = "±"
+
+
+def f(i: int, j: int) -> Sign:
+    """The paper's pairwise combinator ``f(i, j)``."""
+    if i == 0 and j == 0:
+        return Sign.ZERO
+    if i * j < 0:
+        return Sign.BOTH
+    if i > 0 or j > 0:
+        return Sign.PLUS
+    return Sign.MINUS
+
+
+def _merge(current: Sign, component: int) -> Sign:
+    """Fold one more direction component into a summary sign."""
+    incoming = Sign.ZERO if component == 0 else (Sign.PLUS if component > 0 else Sign.MINUS)
+    if current is Sign.ZERO:
+        return incoming
+    if incoming is Sign.ZERO or incoming is current:
+        return current
+    if current is Sign.BOTH:
+        return Sign.BOTH
+    return Sign.BOTH
+
+
+class DimClass(enum.Enum):
+    """Parallelism classification of one dimension of the data space."""
+
+    PARALLEL = "parallel"  # no wavefront component: completely parallel
+    PIPELINED = "pipelined"  # wavefront travels along it; pipelining pays
+    SERIAL = "serial"  # iterated sequentially by the outer loop
+
+
+@dataclass(frozen=True)
+class WSV:
+    """A wavefront summary vector."""
+
+    signs: tuple[Sign, ...]
+
+    @property
+    def rank(self) -> int:
+        return len(self.signs)
+
+    def is_simple(self) -> bool:
+        """True when no component is ``±`` (always legal, paper Section 2.2)."""
+        return Sign.BOTH not in self.signs
+
+    def is_trivial(self) -> bool:
+        """True when every component is zero (no wavefront at all)."""
+        return all(s is Sign.ZERO for s in self.signs)
+
+    def __repr__(self) -> str:
+        return "(" + ",".join(s.value for s in self.signs) + ")"
+
+
+def wsv_of(directions: Iterable[Direction | Sequence[int]], rank: int | None = None) -> WSV:
+    """Build the WSV of a set of (primed-reference) directions.
+
+    With an empty set, ``rank`` must be given and the all-zero WSV results.
+    """
+    signs: list[Sign] | None = None
+    for direction in directions:
+        offsets = tuple(direction)
+        if signs is None:
+            signs = [Sign.ZERO] * len(offsets)
+        elif len(offsets) != len(signs):
+            raise DirectionError(
+                f"direction {offsets} has rank {len(offsets)}, expected {len(signs)}"
+            )
+        for k, component in enumerate(offsets):
+            signs[k] = _merge(signs[k], component)
+    if signs is None:
+        if rank is None:
+            raise DirectionError("cannot build a WSV from no directions without a rank")
+        signs = [Sign.ZERO] * rank
+    return WSV(tuple(signs))
+
+
+def wsv_of_vectors(vectors: Iterable[Sequence[int]], rank: int) -> WSV:
+    """WSV of arbitrary integer vectors (used on dependence UDVs).
+
+    Summarising UDVs instead of raw directions flips ``+`` and ``-`` (the
+    UDV of a primed direction is its negation) but preserves ``0``/``±``,
+    which is all classification needs.
+    """
+    return wsv_of((tuple(v) for v in vectors), rank=rank)
+
+
+def classify(true_udvs: Sequence[Sequence[int]], rank: int) -> tuple[DimClass, ...]:
+    """Classify every dimension for parallelism (paper's three cases).
+
+    ``true_udvs`` are the UDVs of the *true* dependences: anti and output
+    dependences constrain the local loop order but never serialise the
+    distributed computation (old values are buffered/communicated), so they
+    play no role here.
+
+    Case (i): some dimension has no wavefront component (``0``) — those are
+    completely parallel and every ``+``/``-`` dimension is pipelined.
+    Case (ii): no ``0`` but some ``±`` — the ``±`` dimensions are serialised
+    and the rest are pipelined.
+    Case (iii): only ``+``/``-`` — the leftmost is (arbitrarily, following the
+    paper) serialised and the remaining dimensions are pipelined.
+    """
+    summary = wsv_of_vectors(true_udvs, rank)
+    classes: list[DimClass] = []
+    for s in summary.signs:
+        if s is Sign.ZERO:
+            classes.append(DimClass.PARALLEL)
+        elif s is Sign.BOTH:
+            classes.append(DimClass.SERIAL)
+        else:
+            classes.append(DimClass.PIPELINED)
+    if DimClass.PARALLEL not in classes and DimClass.SERIAL not in classes:
+        # Case (iii): fully constrained; serialise the leftmost dimension.
+        classes[0] = DimClass.SERIAL
+    return tuple(classes)

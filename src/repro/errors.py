@@ -1,0 +1,86 @@
+"""Exception hierarchy for the wavefront reproduction library.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch one type.  The compiler-facing errors mirror the statically checked
+legality conditions of the paper's Section 2.2:
+
+* :class:`LegalityError` — any violation of the five static legality checks.
+* :class:`OverconstrainedScanError` — condition (ii): the directions on primed
+  references admit no loop nest (e.g. primed ``@north`` and ``@south``).
+* :class:`RankMismatchError` — condition (iii): statements of differing rank in
+  one scan block.
+* :class:`RegionMismatchError` — condition (iv): statements covered by
+  different regions in one scan block.
+* :class:`PrimedOperandError` — conditions (i) and (v): a primed array that is
+  never defined in the block, or a parallel operator with a primed operand.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class RegionError(ReproError):
+    """Malformed region: bad bounds, rank mismatch in region algebra, etc."""
+
+
+class DirectionError(ReproError):
+    """Malformed direction vector (zero length, non-integer offsets, ...)."""
+
+
+class ArrayError(ReproError):
+    """Invalid parallel-array operation (read outside storage, dtype clash)."""
+
+
+class ExpressionError(ReproError):
+    """Malformed expression tree (rank clash, prime outside scan, ...)."""
+
+
+class LegalityError(ReproError):
+    """A scan block violates one of the statically checked legality rules."""
+
+
+class OverconstrainedScanError(LegalityError):
+    """No loop nest can respect the dependences of this scan block."""
+
+
+class RankMismatchError(LegalityError):
+    """Statements of different rank may not share a scan block."""
+
+
+class RegionMismatchError(LegalityError):
+    """All statements in a scan block must be covered by the same region."""
+
+
+class PrimedOperandError(LegalityError):
+    """Primed reference is illegal here (undefined in block / parallel op)."""
+
+
+class CompilationError(ReproError):
+    """Internal compilation failure that is not a user legality error."""
+
+
+class MachineError(ReproError):
+    """Invalid machine configuration or simulation request."""
+
+
+class DistributionError(MachineError):
+    """Invalid data distribution (more processors than elements, ...)."""
+
+
+class CommunicationError(MachineError):
+    """Protocol error in the simulated message-passing layer."""
+
+
+class DeadlockError(CommunicationError):
+    """The discrete-event simulation reached a state with no runnable work."""
+
+
+class CacheConfigError(ReproError):
+    """Invalid cache geometry (non-power-of-two line size, zero ways, ...)."""
+
+
+class ModelError(ReproError):
+    """Invalid analytic-model parameters (negative alpha, p < 2, ...)."""

@@ -1,0 +1,45 @@
+"""The paper's experimental campaign, one module per table/figure.
+
+============  =============================================================
+module        regenerates
+============  =============================================================
+``fig3``      Fig. 3: prime-operator semantics (matrices + loop structures)
+``examples``  Section 2.2's worked Examples 1-4 (WSV legality)
+``fig4``      Fig. 4: naive vs pipelined timelines (ASCII Gantt from the DES)
+``fig5a``     Fig. 5(a): Model1/Model2 vs simulated pipelining speedup
+``fig5b``     Fig. 5(b): the β-dominated worst case
+``fig6``      Fig. 6: uniprocessor cache speedup of scan blocks
+``fig7``      Fig. 7: pipelined vs non-pipelined parallel speedup
+``loc``       Section 1's SWEEP3D expressiveness claim (LoC accounting)
+``suite``     conclusion's block-size dynamism study over the kernel suite
+============  =============================================================
+
+Run them all: ``python -m repro.experiments`` (add ``--quick`` for small
+problem sizes); see EXPERIMENTS.md for the recorded paper-vs-measured values.
+"""
+
+from repro.experiments import (
+    common,
+    examples_wsv,
+    fig3_semantics,
+    fig4_illustration,
+    fig5a_model_vs_sim,
+    fig5b_model_worstcase,
+    fig6_cache,
+    fig7_pipeline_speedup,
+    loc_table,
+    table_suite,
+)
+
+__all__ = [
+    "common",
+    "examples_wsv",
+    "fig3_semantics",
+    "fig4_illustration",
+    "fig5a_model_vs_sim",
+    "fig5b_model_worstcase",
+    "fig6_cache",
+    "fig7_pipeline_speedup",
+    "loc_table",
+    "table_suite",
+]

@@ -1,0 +1,38 @@
+"""Shared plumbing for the experiment modules.
+
+Every experiment module exposes ``run(...) -> <Result>`` where the result
+carries the raw series/tables plus a ``report() -> str`` renderer, and a
+module-level ``DESCRIPTION``.  The CLI runner (``python -m repro.experiments``)
+drives them uniformly; ``quick=True`` shrinks problem sizes for smoke runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.machine.params import CRAY_T3E, SGI_POWERCHALLENGE, MachineParams
+
+#: The two machines of the paper's evaluation.
+PAPER_MACHINES: tuple[MachineParams, ...] = (CRAY_T3E, SGI_POWERCHALLENGE)
+
+#: The paper's Tomcatv problem size (SPECfp92 input).
+PAPER_N = 257
+
+#: Processor counts used by the Fig. 7 sweeps.
+PAPER_PROCS: tuple[int, ...] = (2, 4, 8, 16)
+
+
+@dataclass(frozen=True)
+class ExperimentInfo:
+    """Registry entry for the CLI runner."""
+
+    name: str
+    description: str
+    run: Callable[..., object]
+
+
+def heading(title: str) -> str:
+    """A report section heading."""
+    bar = "=" * max(60, len(title))
+    return f"{bar}\n{title}\n{bar}"

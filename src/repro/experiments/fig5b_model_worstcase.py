@@ -1,0 +1,128 @@
+"""Fig. 5(b): the value of modelling β — a β-dominated worst case.
+
+The paper's thought experiment: hypothetical α, β of the same order on a
+small problem (no experimental data in the paper).  Model1, blind to β,
+suggests block size 20; Model2 picks 3; "we can expect the speedup with a
+block size of 20 versus 3 to be considerably less", and "the situation is
+even worse for larger numbers of processors".
+
+Here the machine simulator *can* provide the ground truth the paper could
+not: a simulated curve runs alongside both model curves, and a processor
+sweep quantifies the "worse for larger p" claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps import suite
+from repro.experiments.common import heading
+from repro.machine.params import HYPOTHETICAL_HIGH_BETA, MachineParams
+from repro.machine.schedules import naive_wavefront, pipelined_wavefront
+from repro.models.pipeline_model import model1, model2
+from repro.util.tables import Series, Table, merge_series
+
+DESCRIPTION = "Fig. 5(b): Model1 vs Model2 on a beta-dominated hypothetical machine"
+
+
+@dataclass(frozen=True)
+class Fig5bResult:
+    n: int
+    p: int
+    model1_series: Series
+    model2_series: Series
+    simulated: Series
+    model1_best_b: int
+    model2_best_b: int
+    penalty_by_procs: Table
+
+    def report(self) -> str:
+        table = merge_series(
+            f"Fig. 5(b): speedup due to pipelining vs block size "
+            f"(beta-dominated machine, n={self.n}, p={self.p})",
+            [self.model1_series, self.model2_series, self.simulated],
+        )
+        ratio = self.sim_at(self.model2_best_b) / max(
+            self.sim_at(self.model1_best_b), 1e-12
+        )
+        return "\n".join(
+            [
+                heading("Fig. 5(b) — ignoring beta picks a bad block size"),
+                table.render(),
+                "",
+                f"optimal block size: Model1 b={self.model1_best_b} (paper: 20), "
+                f"Model2 b={self.model2_best_b} (paper: 3)",
+                f"simulated speedup at b={self.model2_best_b} is {ratio:.2f}x "
+                f"the speedup at Model1's b={self.model1_best_b}",
+                "",
+                self.penalty_by_procs.render(),
+            ]
+        )
+
+    def sim_at(self, b: int) -> float:
+        nearest = min(
+            range(len(self.simulated.xs)),
+            key=lambda i: abs(self.simulated.xs[i] - b),
+        )
+        return self.simulated.ys[nearest]
+
+
+def run(
+    n: int = 64,
+    p: int = 8,
+    params: MachineParams = HYPOTHETICAL_HIGH_BETA,
+    quick: bool = False,
+) -> Fig5bResult:
+    """Regenerate the figure (the problem is small by design)."""
+    entry = suite.get("single-stream")
+    compiled = entry.build(n + 1)  # region [2..n+1, 1..n+1]: n rows
+    rows = compiled.region.extent(0)
+    cols = compiled.region.extent(1)
+
+    block_sizes = tuple(range(1, min(33, cols + 1)))
+    baseline = naive_wavefront(
+        compiled, params, n_procs=p, compute_values=False
+    ).total_time
+
+    m1 = model1(params, rows, p, cols=cols)
+    m2 = model2(params, rows, p, cols=cols)
+    s1 = Series("Model1", xlabel="b", ylabel="speedup")
+    s2 = Series("Model2", xlabel="b", ylabel="speedup")
+    sim = Series("simulated", xlabel="b", ylabel="speedup")
+    for b in block_sizes:
+        s1.add(b, baseline / m1.predicted_time(b))
+        s2.add(b, baseline / m2.predicted_time(b))
+        outcome = pipelined_wavefront(
+            compiled, params, n_procs=p, block_size=b, compute_values=False
+        )
+        sim.add(b, baseline / outcome.total_time)
+
+    # "The situation is even worse for larger numbers of processors":
+    # time at Model1's block size relative to time at Model2's, per p.
+    penalty = Table(
+        "Penalty of Model1's block size vs Model2's, by processor count",
+        ["p", "b1", "b2", "T(b1)/T(b2)"],
+    )
+    procs = (4, 8, 16) if quick else (4, 8, 16, 32)
+    for procs_k in procs:
+        mk1 = model1(params, rows, procs_k, cols=cols)
+        mk2 = model2(params, rows, procs_k, cols=cols)
+        b1k, b2k = mk1.optimal_block_size(), mk2.optimal_block_size()
+        t1 = pipelined_wavefront(
+            compiled, params, n_procs=procs_k, block_size=b1k, compute_values=False
+        ).total_time
+        t2 = pipelined_wavefront(
+            compiled, params, n_procs=procs_k, block_size=b2k, compute_values=False
+        ).total_time
+        penalty.add_row(procs_k, b1k, b2k, t1 / t2)
+
+    return Fig5bResult(
+        n=n,
+        p=p,
+        model1_series=s1,
+        model2_series=s2,
+        simulated=sim,
+        model1_best_b=m1.optimal_block_size(),
+        model2_best_b=m2.optimal_block_size(),
+        penalty_by_procs=penalty,
+    )

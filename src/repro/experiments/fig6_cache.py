@@ -1,0 +1,134 @@
+"""Fig. 6: uniprocessor speedup due to scan blocks (cache behaviour).
+
+On one processor, scan blocks buy nothing *algorithmically* — the win is that
+they let the compiler fuse the statements into one loop nest and interchange
+so the storage-contiguous dimension is innermost, which the unfused Fig. 2(a)
+shape (one strided pass per statement per row) cannot have.  The paper runs
+Tomcatv and SIMPLE on the Cray T3E and SGI PowerChallenge and reports
+
+* wavefront components speeding up by up to ~8.5x on the T3E and more
+  modestly (up to ~4x) on the PowerChallenge (slower processor => cheaper
+  relative misses);
+* whole programs: ~3x for Tomcatv (wavefronts dominate the baseline's time)
+  and ~7% for SIMPLE (wavefronts are a small slice).
+
+This experiment regenerates all eight grey bars (2 components x 2 benchmarks
+x 2 machines) with the trace-driven cache simulator, and both black
+whole-program bars per machine by phase composition: with per-unit fused
+cost as the time unit, baseline time is Σ w_i·s_i over phases (wavefront
+phases pay their measured slowdown s_i; parallel phases have the same good
+locality in both versions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps import simple, tomcatv
+from repro.cache.study import CacheStudyResult, cache_study
+from repro.compiler.lowering import CompiledScan
+from repro.experiments.common import PAPER_MACHINES, PAPER_N, heading
+from repro.machine.params import MachineParams
+from repro.models.amdahl import PhaseKind, ProgramProfile
+from repro.util.tables import format_bar_chart
+
+DESCRIPTION = "Fig. 6: uniprocessor cache speedup of scan blocks, Tomcatv & SIMPLE"
+
+
+@dataclass(frozen=True)
+class BenchmarkCacheResult:
+    """One benchmark on one machine: two components + the whole program."""
+
+    benchmark: str
+    machine: MachineParams
+    components: tuple[tuple[str, CacheStudyResult], ...]
+    whole_program_speedup: float
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    n: int
+    results: tuple[BenchmarkCacheResult, ...]
+
+    def report(self) -> str:
+        sections = [heading(f"Fig. 6 — uniprocessor speedup from scan blocks (n={self.n})")]
+        by_machine: dict[str, list[BenchmarkCacheResult]] = {}
+        for r in self.results:
+            by_machine.setdefault(r.machine.name, []).append(r)
+        for machine_name, rows in by_machine.items():
+            bars = []
+            for r in rows:
+                for label, study in r.components:
+                    bars.append((f"{r.benchmark}:{label}", study.speedup))
+                bars.append((f"{r.benchmark}:whole", r.whole_program_speedup))
+            sections.append(format_bar_chart(machine_name, bars))
+            sections.append("")
+        return "\n".join(sections)
+
+    def lookup(self, benchmark: str, machine_name: str) -> BenchmarkCacheResult:
+        for r in self.results:
+            if r.benchmark == benchmark and r.machine.name == machine_name:
+                return r
+        raise KeyError((benchmark, machine_name))
+
+
+def whole_program_speedup(
+    profile: ProgramProfile, component_speedups: dict[str, float]
+) -> float:
+    """Compose component cache speedups into the whole-program bar.
+
+    Time unit: fused cost per unit work.  The baseline (no scan blocks) pays
+    ``s_i`` per unit of wavefront work; everything else costs the same in
+    both versions.
+    """
+    scan_time = profile.total_work()
+    base_time = 0.0
+    for phase in profile.phases:
+        slowdown = 1.0
+        if phase.kind is PhaseKind.WAVEFRONT:
+            slowdown = component_speedups[phase.name]
+        base_time += phase.total_work * slowdown
+    return base_time / scan_time
+
+
+def _tomcatv_components(n: int) -> tuple[tuple[str, CompiledScan], ...]:
+    state = tomcatv.build(n)
+    return (
+        ("forward-solve", tomcatv.compile_forward(state)),
+        ("backward-solve", tomcatv.compile_backward(state)),
+    )
+
+
+def _simple_components(n: int) -> tuple[tuple[str, CompiledScan], ...]:
+    state = simple.build(n)
+    ns_f, _, we_f, _ = simple.compile_sweeps(state)
+    return (("conduction-ns", ns_f), ("conduction-we", we_f))
+
+
+def run(n: int = PAPER_N, quick: bool = False) -> Fig6Result:
+    """Regenerate all Fig. 6 bars on both machines."""
+    if quick:
+        n = min(n, 65)
+    benchmarks = (
+        ("tomcatv", _tomcatv_components(n), tomcatv.profile(n)),
+        ("simple", _simple_components(n), simple.profile(n)),
+    )
+    results = []
+    for machine in PAPER_MACHINES:
+        for name, components, profile in benchmarks:
+            studies = tuple(
+                (label, cache_study(compiled, machine))
+                for label, compiled in components
+            )
+            # Map component speedups onto the profile's wavefront phases.
+            speedups: dict[str, float] = {}
+            wave_phases = [
+                ph.name for ph in profile.phases if ph.kind is PhaseKind.WAVEFRONT
+            ]
+            for phase_name, (label, study) in zip(wave_phases, studies):
+                speedups[phase_name] = study.speedup
+            whole = whole_program_speedup(profile, speedups)
+            results.append(
+                BenchmarkCacheResult(name, machine, studies, whole)
+            )
+    return Fig6Result(n=n, results=tuple(results))

@@ -1,0 +1,103 @@
+"""CLI driver: regenerate any (or all) of the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments            # everything, paper scale
+    python -m repro.experiments --quick    # everything, small problems
+    python -m repro.experiments fig5a fig7 # selected experiments
+    repro-experiments --list               # what exists
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    examples_wsv,
+    fig3_semantics,
+    fig4_illustration,
+    fig5a_model_vs_sim,
+    fig5b_model_worstcase,
+    fig6_cache,
+    fig7_pipeline_speedup,
+    loc_table,
+    table_suite,
+)
+from repro.experiments.common import ExperimentInfo
+
+#: Registry, in paper order.
+EXPERIMENTS: tuple[ExperimentInfo, ...] = (
+    ExperimentInfo("fig3", fig3_semantics.DESCRIPTION, fig3_semantics.run),
+    ExperimentInfo("examples", examples_wsv.DESCRIPTION, examples_wsv.run),
+    ExperimentInfo("fig4", fig4_illustration.DESCRIPTION, fig4_illustration.run),
+    ExperimentInfo("fig5a", fig5a_model_vs_sim.DESCRIPTION, fig5a_model_vs_sim.run),
+    ExperimentInfo("fig5b", fig5b_model_worstcase.DESCRIPTION, fig5b_model_worstcase.run),
+    ExperimentInfo("fig6", fig6_cache.DESCRIPTION, fig6_cache.run),
+    ExperimentInfo("fig7", fig7_pipeline_speedup.DESCRIPTION, fig7_pipeline_speedup.run),
+    ExperimentInfo("loc", loc_table.DESCRIPTION, loc_table.run),
+    ExperimentInfo("suite", table_suite.DESCRIPTION, table_suite.run),
+)
+
+
+def get(name: str) -> ExperimentInfo:
+    """Look up one experiment by name."""
+    for info in EXPERIMENTS:
+        if info.name == name:
+            return info
+    raise KeyError(f"unknown experiment {name!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``repro-experiments``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        help="experiments to run (default: all)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="small problem sizes (smoke run)"
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments"
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="also append every report to FILE",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for info in EXPERIMENTS:
+            print(f"{info.name:10s} {info.description}")
+        return 0
+
+    names = args.names or [info.name for info in EXPERIMENTS]
+    for name in names:
+        try:
+            info = get(name)
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        start = time.perf_counter()
+        result = info.run(quick=args.quick)
+        elapsed = time.perf_counter() - start
+        report = result.report()
+        print(report)
+        print(f"\n[{info.name} regenerated in {elapsed:.1f}s]\n")
+        if args.out:
+            with open(args.out, "a", encoding="utf-8") as handle:
+                handle.write(report)
+                handle.write(f"\n[{info.name} regenerated in {elapsed:.1f}s]\n\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,89 @@
+"""The simulated distributed-memory machine.
+
+Layers, bottom up:
+
+* :mod:`repro.machine.event` — deterministic discrete-event simulation core;
+* :mod:`repro.machine.params` — α+β communication model + cache geometry,
+  with ``CRAY_T3E`` / ``SGI_POWERCHALLENGE`` / ``HYPOTHETICAL_HIGH_BETA``
+  presets calibrated against the paper's reported numbers;
+* :mod:`repro.machine.grid` / :mod:`repro.machine.distribution` — processor
+  meshes and block data distributions;
+* :mod:`repro.machine.comm` / :mod:`repro.machine.simulator` — the
+  message-passing fabric and per-run machine façade;
+* :mod:`repro.machine.schedules` — naive, pipelined and transpose wavefront
+  schedules plus the fully parallel schedule, all operating on compiled scan
+  blocks and producing both values and virtual times.
+"""
+
+from repro.machine.event import Simulator, Store, Timeout
+from repro.machine.params import (
+    CacheGeometry,
+    MachineParams,
+    CRAY_T3E,
+    SGI_POWERCHALLENGE,
+    HYPOTHETICAL_HIGH_BETA,
+    PRESETS,
+)
+from repro.machine.grid import ProcessorGrid
+from repro.machine.distribution import BlockMap
+from repro.machine.comm import Activity, Endpoint, Message, Network, ProcStats, RecvRequest
+from repro.machine.simulator import Machine, RunResult
+from repro.machine.gantt import render_gantt
+from repro.machine.collectives import allreduce, barrier, broadcast, reduce
+from repro.machine.program import (
+    ProgramRunResult,
+    WavefrontSpec,
+    optimal_spec,
+    simulate_program,
+)
+from repro.machine.schedules import (
+    DistributedOutcome,
+    WavefrontPlan,
+    plan_wavefront,
+    pipelined_wavefront,
+    pipelined_wavefront_mesh,
+    naive_wavefront,
+    parallel_schedule,
+    transpose_wavefront,
+    HALO_TAG,
+)
+
+__all__ = [
+    "Simulator",
+    "Store",
+    "Timeout",
+    "CacheGeometry",
+    "MachineParams",
+    "CRAY_T3E",
+    "SGI_POWERCHALLENGE",
+    "HYPOTHETICAL_HIGH_BETA",
+    "PRESETS",
+    "ProcessorGrid",
+    "BlockMap",
+    "Activity",
+    "Endpoint",
+    "RecvRequest",
+    "render_gantt",
+    "allreduce",
+    "barrier",
+    "broadcast",
+    "reduce",
+    "ProgramRunResult",
+    "WavefrontSpec",
+    "optimal_spec",
+    "simulate_program",
+    "Message",
+    "Network",
+    "ProcStats",
+    "Machine",
+    "RunResult",
+    "DistributedOutcome",
+    "WavefrontPlan",
+    "plan_wavefront",
+    "pipelined_wavefront",
+    "pipelined_wavefront_mesh",
+    "naive_wavefront",
+    "parallel_schedule",
+    "transpose_wavefront",
+    "HALO_TAG",
+]

@@ -1,0 +1,114 @@
+"""Collective operations over simulated endpoints (binomial trees).
+
+The paper's benchmarks interleave wavefronts with reductions (Tomcatv's
+max-residual test, SIMPLE's Courant condition) and broadcasts of scalar
+results.  These collectives price that communication with the same α+β
+model: log2(p) rounds of point-to-point messages along binomial trees.
+
+Each collective is a generator to ``yield from`` inside a processor body;
+**every** processor of the communicator must call it (same tag), exactly as
+in MPI.  Payloads are combined with a caller-supplied function so reductions
+carry real values.
+
+>>> def body(ep):
+...     value = yield from allreduce(ep, P, my_value, op=max)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+from repro.errors import CommunicationError
+from repro.machine.comm import Endpoint
+
+#: Tag space reserved for collectives (offset per call via the user tag).
+_COLLECTIVE_TAG = -100
+
+
+def _check(ep: Endpoint, n_procs: int) -> None:
+    if not 0 <= ep.rank < n_procs:
+        raise CommunicationError(
+            f"rank {ep.rank} outside communicator of size {n_procs}"
+        )
+
+
+def broadcast(
+    ep: Endpoint,
+    n_procs: int,
+    value: Any = None,
+    size: int = 1,
+    root: int = 0,
+    tag: int = 0,
+) -> Generator:
+    """Binomial-tree broadcast; returns the root's value on every rank."""
+    _check(ep, n_procs)
+    r = (ep.rank - root) % n_procs
+    step = 1
+    while step < n_procs:
+        if r < step:
+            if r + step < n_procs:
+                dst = (root + r + step) % n_procs
+                ep.send(dst, payload=value, size=size, tag=_COLLECTIVE_TAG - tag)
+        elif r < 2 * step:
+            src = (root + r - step) % n_procs
+            message = yield from ep.recv(src, tag=_COLLECTIVE_TAG - tag)
+            value = message.payload
+        step *= 2
+    return value
+
+
+def reduce(
+    ep: Endpoint,
+    n_procs: int,
+    value: Any,
+    op: Callable[[Any, Any], Any],
+    size: int = 1,
+    root: int = 0,
+    tag: int = 0,
+) -> Generator:
+    """Binomial-tree reduction; the combined value lands on ``root``.
+
+    Non-root ranks return their partial result (like MPI, only the root's
+    return value is meaningful).
+    """
+    _check(ep, n_procs)
+    r = (ep.rank - root) % n_procs
+    step = 1
+    while step < n_procs:
+        step *= 2
+    step //= 2
+    while step >= 1:
+        if r < step:
+            if r + step < n_procs:
+                src = (root + r + step) % n_procs
+                message = yield from ep.recv(src, tag=_COLLECTIVE_TAG - tag)
+                value = op(value, message.payload)
+        elif r < 2 * step:
+            dst = (root + r - step) % n_procs
+            ep.send(dst, payload=value, size=size, tag=_COLLECTIVE_TAG - tag)
+            step = 0  # sent: this rank is done
+            break
+        step //= 2
+    return value
+
+
+def allreduce(
+    ep: Endpoint,
+    n_procs: int,
+    value: Any,
+    op: Callable[[Any, Any], Any],
+    size: int = 1,
+    tag: int = 0,
+) -> Generator:
+    """Reduce to rank 0, then broadcast: every rank returns the total."""
+    partial = yield from reduce(ep, n_procs, value, op, size=size, root=0, tag=tag)
+    total = yield from broadcast(
+        ep, n_procs, partial if ep.rank == 0 else None, size=size, root=0,
+        tag=tag + 1,
+    )
+    return total
+
+
+def barrier(ep: Endpoint, n_procs: int, tag: int = 0) -> Generator:
+    """Synchronise all ranks (an allreduce of a unit token)."""
+    yield from allreduce(ep, n_procs, 0, op=lambda a, b: 0, size=1, tag=tag)

@@ -1,0 +1,237 @@
+"""Simulated message passing with an mpi4py-shaped endpoint API.
+
+Messages carry *real payloads* (numpy arrays of boundary data) so distributed
+schedules compute bit-identical results to the sequential engines, while the
+virtual clock charges the α+β cost model.
+
+Cost accounting follows the paper's analysis (Section 4): transmitting an
+``s``-element message costs ``α + β·s``, charged to the **receiving**
+processor at delivery (the blocking-receive model).  With zero wire latency
+and free sends, the pipelined critical path reproduces the paper's
+``T_comm = (α + β·b)(n/b + p − 2)`` exactly: p−2 charged hops until the last
+processor first unblocks, then n/b receives on the last processor.  Optional
+``send_overhead`` (per message, charged to the sender) and ``wire_latency``
+let ablation studies explore LogP-style variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.errors import CommunicationError
+from repro.machine.event import Simulator, Store
+from repro.machine.params import MachineParams
+
+
+@dataclass(frozen=True)
+class Message:
+    """One in-flight message."""
+
+    src: int
+    dst: int
+    tag: int
+    size: int
+    payload: Any
+    sent_at: float
+
+
+@dataclass(frozen=True)
+class Activity:
+    """One busy interval on a processor's timeline."""
+
+    kind: str  # "compute" or "comm"
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class ProcStats:
+    """Per-processor accounting, in normalised time units."""
+
+    compute_time: float = 0.0
+    comm_time: float = 0.0
+    messages_sent: int = 0
+    messages_received: int = 0
+    elements_sent: int = 0
+    finish_time: float = 0.0
+    #: Busy intervals in completion order (populated when the owning
+    #: network has ``trace_activity`` enabled).
+    activity: list[Activity] = field(default_factory=list)
+
+    @property
+    def busy_time(self) -> float:
+        return self.compute_time + self.comm_time
+
+
+class Endpoint:
+    """One processor's communication endpoint.
+
+    Use from inside a simulation process:
+
+    >>> def body(ep):
+    ...     yield from ep.compute(100)            # 100 element-computes
+    ...     ep.send(dst=1, payload=row, size=16)  # non-blocking
+    ...     msg = yield from ep.recv(src=1)       # blocking, charged α+β·s
+    """
+
+    def __init__(self, network: "Network", rank: int):
+        self.network = network
+        self.rank = rank
+        self.stats = ProcStats()
+
+    @property
+    def sim(self) -> Simulator:
+        return self.network.sim
+
+    # -- communication -------------------------------------------------------
+    def send(self, dst: int, payload: Any = None, size: int | None = None, tag: int = 0):
+        """Post a message (non-blocking unless ``send_overhead`` is set).
+
+        Returns a generator to ``yield from`` when send overhead is nonzero;
+        with the default zero overhead it may be called as a plain function.
+        """
+        if size is None:
+            if isinstance(payload, np.ndarray):
+                size = int(payload.size)
+            else:
+                raise CommunicationError("message size required for non-array payload")
+        if dst == self.rank:
+            raise CommunicationError(f"processor {dst} sending to itself")
+        message = Message(self.rank, dst, tag, size, payload, self.sim.now)
+        self.stats.messages_sent += 1
+        self.stats.elements_sent += size
+        self.network.deliver(message)
+        overhead = self.network.send_overhead
+        if overhead > 0:
+            return self._charge_comm(overhead)
+        return None
+
+    def recv(self, src: int, tag: int = 0) -> Generator:
+        """Blocking receive: waits for the message, charges ``α + β·size``."""
+        store = self.network.mailbox(self.rank, src, tag)
+        message: Message = yield store.get()
+        cost = self.network.params.message_cost(message.size)
+        yield self.sim.timeout(cost)
+        self.stats.comm_time += cost
+        self.stats.messages_received += 1
+        self.stats.finish_time = self.sim.now
+        self._record("comm", cost)
+        return message
+
+    def irecv(self, src: int, tag: int = 0) -> "RecvRequest":
+        """Post a nonblocking receive (mpi4py's ``Irecv`` shape).
+
+        The mailbox slot is claimed at post time (FIFO order with blocking
+        receives); complete it with ``yield from request.wait()``.
+        """
+        store = self.network.mailbox(self.rank, src, tag)
+        return RecvRequest(self, store.get())
+
+    def isend(
+        self, dst: int, payload: Any = None, size: int | None = None, tag: int = 0
+    ) -> None:
+        """Nonblocking send (identical to :meth:`send` with zero overhead;
+        provided for mpi4py-API symmetry)."""
+        self.send(dst, payload=payload, size=size, tag=tag)
+
+    # -- computation -------------------------------------------------------
+    def compute(self, elements: float) -> Generator:
+        """Model computing ``elements`` data-space elements."""
+        cost = elements * self.network.params.compute_cost
+        yield self.sim.timeout(cost)
+        self.stats.compute_time += cost
+        self.stats.finish_time = self.sim.now
+        self._record("compute", cost)
+
+    def _charge_comm(self, cost: float) -> Generator:
+        yield self.sim.timeout(cost)
+        self.stats.comm_time += cost
+        self.stats.finish_time = self.sim.now
+        self._record("comm", cost)
+
+    def _record(self, kind: str, cost: float) -> None:
+        if self.network.trace_activity and cost > 0:
+            self.stats.activity.append(
+                Activity(kind, self.sim.now - cost, self.sim.now)
+            )
+
+
+class Network:
+    """The message fabric: mailboxes plus the cost configuration."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        params: MachineParams,
+        n_procs: int,
+        send_overhead: float = 0.0,
+        wire_latency: float = 0.0,
+        trace_activity: bool = False,
+    ):
+        if n_procs < 1:
+            raise CommunicationError(f"need at least one processor, got {n_procs}")
+        self.sim = sim
+        self.params = params
+        self.n_procs = n_procs
+        self.send_overhead = float(send_overhead)
+        self.wire_latency = float(wire_latency)
+        self.trace_activity = bool(trace_activity)
+        self._mailboxes: dict[tuple[int, int, int], Store] = {}
+        self.endpoints = [Endpoint(self, rank) for rank in range(n_procs)]
+        self.total_messages = 0
+        self.total_elements = 0
+
+    def mailbox(self, dst: int, src: int, tag: int) -> Store:
+        key = (dst, src, tag)
+        if key not in self._mailboxes:
+            self._mailboxes[key] = self.sim.store()
+        return self._mailboxes[key]
+
+    def deliver(self, message: Message) -> None:
+        """Put the message into the destination mailbox after wire latency."""
+        if not 0 <= message.dst < self.n_procs:
+            raise CommunicationError(f"no such processor {message.dst}")
+        self.total_messages += 1
+        self.total_elements += message.size
+        box = self.mailbox(message.dst, message.src, message.tag)
+        if self.wire_latency > 0:
+            self.sim._schedule(self.wire_latency, lambda: box.put(message))
+        else:
+            box.put(message)
+
+
+class RecvRequest:
+    """A posted nonblocking receive (mpi4py's ``Irecv`` shape).
+
+    Created by :meth:`Endpoint.irecv`; the mailbox slot is claimed at post
+    time (FIFO order among requests and blocking receives), and the α+β cost
+    is charged when the owner ``yield from request.wait()``s — the point at
+    which the processor actually touches the data.
+    """
+
+    def __init__(self, endpoint: "Endpoint", event):
+        self._endpoint = endpoint
+        self._event = event
+
+    @property
+    def ready(self) -> bool:
+        """True when the message has arrived (waiting would not block)."""
+        return self._event.triggered
+
+    def wait(self) -> Generator:
+        """Complete the receive; returns the :class:`Message`."""
+        message: Message = yield self._event
+        cost = self._endpoint.network.params.message_cost(message.size)
+        yield self._endpoint.sim.timeout(cost)
+        self._endpoint.stats.comm_time += cost
+        self._endpoint.stats.messages_received += 1
+        self._endpoint.stats.finish_time = self._endpoint.sim.now
+        self._endpoint._record("comm", cost)
+        return message

@@ -1,0 +1,188 @@
+"""A small discrete-event simulation core (generator-based processes).
+
+This is the engine under the simulated distributed machine: processes are
+Python generators that ``yield`` events — timeouts (modelling compute or
+communication overhead) or store gets (modelling blocking receives) — and the
+simulator advances a virtual clock deterministically.  The design is a
+minimal, dependency-free take on the classic process-interaction style
+(cf. SimPy), sized for this library's needs:
+
+* :class:`Simulator` — the event queue and clock;
+* :class:`Timeout` — fires after a virtual delay;
+* :class:`Store` — an unbounded FIFO of items with blocking ``get``;
+* :func:`Simulator.process` — spawn a generator as a process.
+
+Determinism: events scheduled at equal times fire in schedule order (a
+monotone sequence number breaks ties), so simulations are exactly
+reproducible — a property the experiment harness relies on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Generator, Iterator
+
+from repro.errors import DeadlockError, MachineError
+
+ProcessBody = Generator["Event", Any, None]
+
+
+class Event:
+    """Base event: processes yield these; the simulator resumes them later."""
+
+    __slots__ = ("callbacks", "triggered", "value")
+
+    def __init__(self) -> None:
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self.triggered = False
+        self.value: Any = None
+
+    def _succeed(self, sim: "Simulator", value: Any = None) -> None:
+        if self.triggered:
+            raise MachineError("event triggered twice")
+        self.triggered = True
+        self.value = value
+        for callback in self.callbacks:
+            sim._post(callback, self)
+        self.callbacks.clear()
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after being yielded."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        super().__init__()
+        if delay < 0:
+            raise MachineError(f"negative timeout {delay}")
+        self.delay = float(delay)
+
+
+class Get(Event):
+    """A pending retrieval from a :class:`Store` (completes FIFO)."""
+
+    __slots__ = ()
+
+
+class Store:
+    """Unbounded FIFO store: ``put`` never blocks, ``get`` blocks when empty.
+
+    Used as a process mailbox: the sender puts a message, the receiver yields
+    ``store.get()`` and is resumed with the item as the yield's value.
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self._sim = sim
+        self._items: deque[Any] = deque()
+        self._waiters: deque[Get] = deque()
+
+    def put(self, item: Any) -> None:
+        """Deposit an item, waking the oldest waiter if any."""
+        if self._waiters:
+            self._waiters.popleft()._succeed(self._sim, item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Get:
+        """An event that completes with the next item (FIFO)."""
+        event = Get()
+        if self._items:
+            event._succeed(self._sim, self._items.popleft())
+        else:
+            self._waiters.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class Process(Event):
+    """A running generator; completes when the generator returns."""
+
+    __slots__ = ("_body", "name")
+
+    def __init__(self, body: ProcessBody, name: str = "proc"):
+        super().__init__()
+        self._body = body
+        self.name = name
+
+    def _step(self, sim: "Simulator", resume_value: Any) -> None:
+        try:
+            event = self._body.send(resume_value)
+        except StopIteration:
+            self._succeed(sim)
+            return
+        if not isinstance(event, Event):
+            raise MachineError(
+                f"process {self.name!r} yielded {event!r}; processes must "
+                f"yield Timeout/Get/Process events"
+            )
+        if isinstance(event, Timeout):
+            sim._schedule(event.delay, lambda: event._succeed(sim))
+        if event.triggered:
+            sim._post(lambda ev: self._step(sim, ev.value), event)
+        else:
+            event.callbacks.append(lambda ev: self._step(sim, ev.value))
+
+
+class Simulator:
+    """The virtual clock and event queue."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._processes: list[Process] = []
+
+    # -- internals ---------------------------------------------------------
+    def _schedule(self, delay: float, action: Callable[[], None]) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, self._seq, action))
+
+    def _post(self, callback: Callable[[Event], None], event: Event) -> None:
+        self._schedule(0.0, lambda: callback(event))
+
+    # -- public API ----------------------------------------------------------
+    def timeout(self, delay: float) -> Timeout:
+        """An event firing ``delay`` virtual time units from now."""
+        return Timeout(delay)
+
+    def store(self) -> Store:
+        """A fresh FIFO store (mailbox)."""
+        return Store(self)
+
+    def process(self, body: ProcessBody, name: str = "proc") -> Process:
+        """Spawn ``body`` as a process starting at the current time."""
+        proc = Process(body, name=name)
+        self._processes.append(proc)
+        self._schedule(0.0, lambda: proc._step(self, None))
+        return proc
+
+    def run(self, until: float | None = None) -> float:
+        """Drain the event queue; return the final clock value.
+
+        Raises :class:`DeadlockError` when processes remain unfinished but no
+        events are pending (e.g. a receive that can never be satisfied).
+        """
+        while self._queue:
+            time, _, action = heapq.heappop(self._queue)
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            if time < self.now:
+                raise MachineError("event queue went backwards in time")
+            self.now = time
+            action()
+        stuck = [p.name for p in self._processes if not p.triggered]
+        if stuck:
+            raise DeadlockError(
+                f"simulation deadlocked at t={self.now}: processes "
+                f"{stuck} are blocked with no pending events"
+            )
+        return self.now
+
+    def finished(self) -> Iterator[Process]:
+        """All completed processes."""
+        return (p for p in self._processes if p.triggered)

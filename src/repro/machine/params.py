@@ -1,0 +1,136 @@
+"""Machine parameter sets: the α+β communication model plus cache geometry.
+
+All times are normalised to the cost of computing a single element of the
+data space (the paper's convention in Section 4).  A machine is described by
+
+* ``alpha`` — message startup cost;
+* ``beta``  — per-element transmission cost;
+* cache geometry and miss penalty (for the Fig. 6 uniprocessor study).
+
+Presets
+-------
+``CRAY_T3E``
+    Calibrated so the analytic models reproduce the paper's Fig. 5(a)
+    report: with Tomcatv-scale ``n = 257`` and ``p = 8``, Model1 (β = 0)
+    picks block size b = 39 while Model2 (with Tomcatv's three boundary
+    rows per message) picks b = 23.  The β value also reflects the paper's
+    observation that per-element cost matters on the T3E.  Cache: 8 KB direct-mapped
+    L1 with 64-byte effective lines (the 21164's stream buffers prefetch
+    sequential lines) and a large relative miss penalty (fast processor).
+``SGI_POWERCHALLENGE``
+    A bus-based SMP with a much slower processor: communication and cache
+    misses are *relatively* cheaper, so both the parallel and the cache
+    speedups are more modest (the paper's Fig. 6/7 contrast).  Cache:
+    32 KB 2-way L1 with 32-byte lines (R10000-era), low relative miss
+    penalty.
+``HYPOTHETICAL_HIGH_BETA``
+    The Fig. 5(b) worst case: β of the same order as α on a small problem
+    (n = 64), where ignoring β (Model1) suggests b = 20 while the full
+    model (Model2) picks b = 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.validation import check_nonnegative, check_positive, check_positive_int
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """A one-level cache model used by the trace-driven simulator.
+
+    Sizes are in *elements* (the unit of the address traces); a line of
+    ``line_elems`` elements is the transfer unit.
+    """
+
+    size_elems: int
+    line_elems: int
+    ways: int
+    #: Miss penalty in units of one element-compute (normalised).
+    miss_penalty: float
+    #: Cost of a hit, same units (usually well below 1).
+    hit_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.size_elems, "size_elems")
+        check_positive_int(self.line_elems, "line_elems")
+        check_positive_int(self.ways, "ways")
+        check_nonnegative(self.miss_penalty, "miss_penalty")
+        check_nonnegative(self.hit_time, "hit_time")
+        if self.size_elems % (self.line_elems * self.ways) != 0:
+            raise ValueError(
+                "cache size must be a multiple of line_elems * ways "
+                f"(got {self.size_elems} / {self.line_elems}*{self.ways})"
+            )
+
+    @property
+    def n_sets(self) -> int:
+        """Number of cache sets."""
+        return self.size_elems // (self.line_elems * self.ways)
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """One machine's communication and memory-system parameters."""
+
+    name: str
+    #: Message startup cost, in element-compute units (the paper's α).
+    alpha: float
+    #: Per-element transmission cost, in element-compute units (β).
+    beta: float
+    #: Cost of computing one element (the normalisation unit; keep at 1.0).
+    compute_cost: float = 1.0
+    cache: CacheGeometry = field(
+        default_factory=lambda: CacheGeometry(1024, 4, 1, miss_penalty=10.0)
+    )
+
+    def __post_init__(self) -> None:
+        check_nonnegative(self.alpha, "alpha")
+        check_nonnegative(self.beta, "beta")
+        check_positive(self.compute_cost, "compute_cost")
+
+    def message_cost(self, size: int) -> float:
+        """The linear model: cost of transmitting ``size`` elements."""
+        if size < 0:
+            raise ValueError(f"negative message size {size}")
+        return self.alpha + self.beta * size
+
+
+#: Cray T3E calibration (see module docstring).  8 KB / 8-byte elements =
+#: 1024 elements, 32-byte lines = 4 elements, direct-mapped.
+CRAY_T3E = MachineParams(
+    name="Cray T3E",
+    alpha=1331.0,
+    beta=23.4,
+    cache=CacheGeometry(
+        size_elems=1024, line_elems=8, ways=1, miss_penalty=11.0, hit_time=0.25
+    ),
+)
+
+#: SGI PowerChallenge: slower processor, so communication and misses are
+#: relatively cheap.  32 KB / 8-byte elements = 4096 elements, 128-byte
+#: lines = 16 elements, 2-way.
+SGI_POWERCHALLENGE = MachineParams(
+    name="SGI PowerChallenge",
+    alpha=420.0,
+    beta=12.0,
+    cache=CacheGeometry(
+        size_elems=4096, line_elems=4, ways=2, miss_penalty=4.0, hit_time=0.3
+    ),
+)
+
+#: The Fig. 5(b) thought experiment: startup and per-element costs of the
+#: same order, on a small problem.
+HYPOTHETICAL_HIGH_BETA = MachineParams(
+    name="hypothetical (beta-dominated)",
+    alpha=350.0,
+    beta=405.0,
+)
+
+#: All presets by name, for CLI and tests.
+PRESETS = {
+    "t3e": CRAY_T3E,
+    "powerchallenge": SGI_POWERCHALLENGE,
+    "hypothetical": HYPOTHETICAL_HIGH_BETA,
+}

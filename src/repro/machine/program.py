@@ -1,0 +1,168 @@
+"""Whole-program simulation: run a benchmark's phase profile end to end.
+
+Fig. 7's whole-program bars are *composed* from per-phase times
+(:mod:`repro.experiments.fig7_pipeline_speedup`).  This module provides the
+direct alternative: one discrete-event machine executes every phase of a
+:class:`~repro.models.amdahl.ProgramProfile` in sequence — parallel phases
+with halo exchanges, wavefront phases with the naive or pipelined message
+pattern, serial phases as a reduce-to-root + broadcast — so phase skew,
+barrier costs and pipeline drain are all priced by the simulator instead of
+assumed away.  The test suite cross-checks it against the composition: they
+agree to within the barrier/skew costs that only the direct simulation sees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.errors import MachineError
+from repro.machine.collectives import allreduce
+from repro.machine.comm import Endpoint
+from repro.machine.params import MachineParams
+from repro.machine.simulator import Machine, RunResult
+from repro.models.amdahl import Phase, PhaseKind, ProgramProfile
+
+#: Tag offset per phase so phases never cross-match messages.
+_PHASE_TAG_STRIDE = 1000
+
+
+@dataclass(frozen=True)
+class WavefrontSpec:
+    """How one wavefront phase runs: geometry + pipeline block size.
+
+    ``rows``/``cols`` define the swept data space; ``boundary_rows`` the
+    per-column boundary traffic (the model's ``m``); ``block_size`` the
+    pipeline chunk width (``None`` means naive/non-pipelined execution).
+    """
+
+    rows: int
+    cols: int
+    boundary_rows: int = 1
+    block_size: int | None = None
+
+
+@dataclass(frozen=True)
+class ProgramRunResult:
+    """Outcome of one whole-program simulation."""
+
+    run: RunResult
+    profile: ProgramProfile
+    n_procs: int
+    pipelined: bool
+
+    @property
+    def total_time(self) -> float:
+        return self.run.total_time
+
+
+def optimal_spec(
+    phase: Phase,
+    params: MachineParams,
+    n_procs: int,
+    rows: int,
+    cols: int,
+    boundary_rows: int = 1,
+) -> WavefrontSpec:
+    """A pipelined spec at Model2's optimum for this phase's element cost."""
+    from repro.models.pipeline_model import model2  # late: layering
+
+    if n_procs < 2:
+        return WavefrontSpec(rows, cols, boundary_rows, cols)  # nothing to pipeline
+    work = phase.work / max(1.0, rows * cols)
+    import dataclasses
+
+    scaled = dataclasses.replace(
+        params, alpha=params.alpha / work, beta=params.beta / work
+    )
+    b = model2(scaled, rows, n_procs, boundary_rows=boundary_rows, cols=cols)
+    return WavefrontSpec(rows, cols, boundary_rows, b.optimal_block_size())
+
+
+def simulate_program(
+    profile: ProgramProfile,
+    params: MachineParams,
+    n_procs: int,
+    wavefront_specs: dict[str, WavefrontSpec],
+    halo_elements: int | None = None,
+) -> ProgramRunResult:
+    """Run the whole profile on one simulated machine.
+
+    ``wavefront_specs`` maps each WAVEFRONT phase name to its geometry; a
+    spec with ``block_size=None`` runs that phase naively (the Fig. 4(a)
+    pattern).  ``halo_elements`` is the per-neighbour halo message size of
+    parallel phases (default: the square root of the profile's mean phase
+    work, a region-width proxy).
+    """
+    if n_procs < 1:
+        raise MachineError(f"n_procs must be >= 1, got {n_procs}")
+    for phase in profile.phases:
+        if phase.kind is PhaseKind.WAVEFRONT and phase.name not in wavefront_specs:
+            raise MachineError(f"no WavefrontSpec for wavefront phase {phase.name!r}")
+    if halo_elements is None:
+        mean_work = profile.total_work() / max(1, len(profile.phases))
+        halo_elements = max(1, int(mean_work ** 0.5))
+
+    machine = Machine(params, n_procs)
+    pipelined = any(
+        spec.block_size is not None for spec in wavefront_specs.values()
+    )
+
+    def run_parallel(ep: Endpoint, phase: Phase, tag: int) -> Generator:
+        if n_procs > 1:
+            up = ep.rank - 1 if ep.rank > 0 else None
+            down = ep.rank + 1 if ep.rank + 1 < n_procs else None
+            if up is not None:
+                ep.send(up, size=halo_elements, tag=tag)
+            if down is not None:
+                ep.send(down, size=halo_elements, tag=tag)
+            if up is not None:
+                yield from ep.recv(up, tag=tag)
+            if down is not None:
+                yield from ep.recv(down, tag=tag)
+        yield from ep.compute(phase.work / n_procs)
+
+    def run_serial(ep: Endpoint, phase: Phase, tag: int) -> Generator:
+        # Root gathers (a scalar reduce), does the serial work, result is
+        # shared back — the classic convergence-test pattern.
+        yield from allreduce(ep, n_procs, 0.0, op=max, size=1, tag=tag)
+        if ep.rank == 0:
+            yield from ep.compute(phase.work)
+
+    def run_wavefront(ep: Endpoint, phase: Phase, tag: int) -> Generator:
+        spec = wavefront_specs[phase.name]
+        work_per_element = phase.work / max(1.0, spec.rows * spec.cols)
+        local_rows = spec.rows // n_procs + (1 if ep.rank < spec.rows % n_procs else 0)
+        width = spec.cols if spec.block_size is None else spec.block_size
+        chunks = -(-spec.cols // width)
+        pred = ep.rank - 1 if ep.rank > 0 else None
+        succ = ep.rank + 1 if ep.rank + 1 < n_procs else None
+        done = 0
+        for k in range(chunks):
+            chunk_cols = min(width, spec.cols - done)
+            done += chunk_cols
+            if pred is not None:
+                yield from ep.recv(pred, tag=tag + k + 1)
+            yield from ep.compute(local_rows * chunk_cols * work_per_element)
+            if succ is not None:
+                ep.send(
+                    succ,
+                    size=max(1, spec.boundary_rows * chunk_cols),
+                    tag=tag + k + 1,
+                )
+
+    def body(ep: Endpoint) -> Generator:
+        for index, phase in enumerate(profile.phases):
+            tag = -(index + 1) * _PHASE_TAG_STRIDE
+            for _ in range(phase.repeats):
+                if phase.kind is PhaseKind.PARALLEL:
+                    yield from run_parallel(ep, phase, tag)
+                elif phase.kind is PhaseKind.SERIAL:
+                    yield from run_serial(ep, phase, tag)
+                else:
+                    yield from run_wavefront(ep, phase, tag)
+
+    for rank in range(n_procs):
+        machine.spawn(body, rank)
+    run = machine.run()
+    return ProgramRunResult(run, profile, n_procs, pipelined)

@@ -1,0 +1,112 @@
+"""The simulated distributed machine: processors + network + virtual clock."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator
+
+from repro.errors import MachineError
+from repro.machine.comm import Endpoint, Network, ProcStats
+from repro.machine.event import Simulator
+from repro.machine.params import MachineParams
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one simulated run.
+
+    ``total_time`` is the virtual completion time (all processors done), in
+    element-compute units; per-processor accounting is in ``proc_stats``.
+    """
+
+    total_time: float
+    params: MachineParams
+    n_procs: int
+    proc_stats: tuple[ProcStats, ...]
+    total_messages: int
+    total_elements: int
+
+    def speedup_vs(self, reference_time: float) -> float:
+        """Speedup of this run relative to a reference time."""
+        if self.total_time <= 0:
+            raise MachineError("run has non-positive total time")
+        return reference_time / self.total_time
+
+    @property
+    def utilization(self) -> float:
+        """Mean fraction of the makespan each processor spent busy."""
+        if self.total_time <= 0:
+            return 0.0
+        busy = sum(s.busy_time for s in self.proc_stats)
+        return busy / (self.total_time * self.n_procs)
+
+    @property
+    def compute_time(self) -> float:
+        """Total compute time across processors."""
+        return sum(s.compute_time for s in self.proc_stats)
+
+    @property
+    def comm_time(self) -> float:
+        """Total communication time charged across processors."""
+        return sum(s.comm_time for s in self.proc_stats)
+
+    def __repr__(self) -> str:
+        return (
+            f"RunResult(t={self.total_time:.1f}, p={self.n_procs}, "
+            f"msgs={self.total_messages}, util={self.utilization:.2f})"
+        )
+
+
+class Machine:
+    """A fresh simulated machine for one run.
+
+    >>> m = Machine(CRAY_T3E, n_procs=4)
+    >>> def body(ep):
+    ...     yield from ep.compute(100)
+    >>> for rank in range(4):
+    ...     m.spawn(body, rank)
+    >>> result = m.run()
+    """
+
+    def __init__(
+        self,
+        params: MachineParams,
+        n_procs: int,
+        send_overhead: float = 0.0,
+        wire_latency: float = 0.0,
+        trace_activity: bool = False,
+    ):
+        self.params = params
+        self.sim = Simulator()
+        self.network = Network(
+            self.sim,
+            params,
+            n_procs,
+            send_overhead=send_overhead,
+            wire_latency=wire_latency,
+            trace_activity=trace_activity,
+        )
+
+    @property
+    def n_procs(self) -> int:
+        return self.network.n_procs
+
+    def endpoint(self, rank: int) -> Endpoint:
+        """The communication endpoint of processor ``rank``."""
+        return self.network.endpoints[rank]
+
+    def spawn(self, body: Callable[[Endpoint], Generator], rank: int) -> None:
+        """Start ``body(endpoint)`` as processor ``rank``'s program."""
+        self.sim.process(body(self.endpoint(rank)), name=f"proc{rank}")
+
+    def run(self) -> RunResult:
+        """Run to completion and collect the result."""
+        total = self.sim.run()
+        return RunResult(
+            total_time=total,
+            params=self.params,
+            n_procs=self.n_procs,
+            proc_stats=tuple(ep.stats for ep in self.network.endpoints),
+            total_messages=self.network.total_messages,
+            total_elements=self.network.total_elements,
+        )

@@ -1,0 +1,33 @@
+"""Analytic performance models: Model1/Model2 block-size analysis + Amdahl."""
+
+from repro.models.pipeline_model import PipelineModel, model1, model2
+from repro.models.speedup import (
+    speedup_vs_block_size,
+    model_comparison,
+    pipelined_speedup_vs_procs,
+)
+from repro.models.amdahl import Phase, PhaseKind, ProgramProfile
+from repro.models.tuning import (
+    TuningResult,
+    make_simulated_probe,
+    select_static,
+    select_profiled,
+    select_dynamic,
+)
+
+__all__ = [
+    "PipelineModel",
+    "model1",
+    "model2",
+    "speedup_vs_block_size",
+    "model_comparison",
+    "pipelined_speedup_vs_procs",
+    "Phase",
+    "PhaseKind",
+    "ProgramProfile",
+    "TuningResult",
+    "make_simulated_probe",
+    "select_static",
+    "select_profiled",
+    "select_dynamic",
+]

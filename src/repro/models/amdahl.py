@@ -1,0 +1,88 @@
+"""Whole-program composition of phase times (Amdahl-style accounting).
+
+The paper's whole-program bars (Fig. 6/7 black bars) combine wavefront
+segments with the surrounding fully parallel computation.  A
+:class:`ProgramProfile` records the phases of a benchmark — each phase a
+(name, kind, work) triple — and composes per-phase times produced by any
+backend (analytic model, machine simulation, cache simulation) into program
+totals and speedups.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ModelError
+
+
+class PhaseKind(enum.Enum):
+    """How a phase behaves under parallel/pipelined execution."""
+
+    PARALLEL = "parallel"  # scales as work / p (plus halo overhead)
+    WAVEFRONT = "wavefront"  # pipelined or serialised, per schedule
+    SERIAL = "serial"  # never parallelised (I/O, reductions, control)
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One phase of a program: ``work`` is in element-compute units."""
+
+    name: str
+    kind: PhaseKind
+    work: float
+    #: Invocation count (e.g. per outer iteration); times scale linearly.
+    repeats: int = 1
+
+    @property
+    def total_work(self) -> float:
+        return self.work * self.repeats
+
+
+@dataclass
+class ProgramProfile:
+    """The phase structure of one benchmark program."""
+
+    name: str
+    phases: list[Phase] = field(default_factory=list)
+
+    def add(self, name: str, kind: PhaseKind, work: float, repeats: int = 1) -> None:
+        """Append a phase."""
+        if work < 0:
+            raise ModelError(f"phase {name!r} has negative work")
+        self.phases.append(Phase(name, kind, work, repeats))
+
+    def total_work(self) -> float:
+        """Serial execution time of the whole program."""
+        return sum(p.total_work for p in self.phases)
+
+    def wavefront_fraction(self) -> float:
+        """Fraction of serial time spent in wavefront phases."""
+        total = self.total_work()
+        if total == 0:
+            raise ModelError("empty program profile")
+        wave = sum(
+            p.total_work for p in self.phases if p.kind is PhaseKind.WAVEFRONT
+        )
+        return wave / total
+
+    def compose(self, phase_time: Callable[[Phase], float]) -> float:
+        """Total program time given a per-phase timing backend.
+
+        ``phase_time`` receives each phase and returns the time for ONE
+        repeat; repeats multiply.
+        """
+        return sum(phase_time(p) * p.repeats for p in self.phases)
+
+    def speedup(
+        self,
+        baseline_time: Callable[[Phase], float],
+        improved_time: Callable[[Phase], float],
+    ) -> float:
+        """Program speedup of one execution strategy over another."""
+        base = self.compose(baseline_time)
+        new = self.compose(improved_time)
+        if new <= 0:
+            raise ModelError("improved execution has non-positive time")
+        return base / new

@@ -1,0 +1,65 @@
+"""Predicted speedup curves from the analytic models.
+
+Convenience layer over :mod:`repro.models.pipeline_model` that produces the
+series the experiments print: speedup as a function of block size (Fig. 5)
+or of processor count (Fig. 7's modelled counterpart).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.machine.params import MachineParams
+from repro.models.pipeline_model import PipelineModel, model1, model2
+from repro.util.tables import Series
+
+
+def speedup_vs_block_size(
+    model: PipelineModel, block_sizes: Iterable[int], name: str | None = None
+) -> Series:
+    """Speedup over serial execution for each block size."""
+    label = name or ("Model1" if model.ignore_beta else "Model2")
+    series = Series(label, xlabel="b", ylabel="speedup")
+    for b in block_sizes:
+        series.add(int(b), model.speedup(int(b)))
+    return series
+
+
+def model_comparison(
+    params: MachineParams,
+    n: int,
+    p: int,
+    block_sizes: Sequence[int],
+    boundary_rows: int = 1,
+) -> tuple[Series, Series]:
+    """(Model1, Model2) speedup series on a common block-size axis."""
+    sizes = [int(b) for b in block_sizes]
+    return (
+        speedup_vs_block_size(model1(params, n, p, boundary_rows), sizes),
+        speedup_vs_block_size(model2(params, n, p, boundary_rows), sizes),
+    )
+
+
+def pipelined_speedup_vs_procs(
+    params: MachineParams,
+    n: int,
+    procs: Iterable[int],
+    boundary_rows: int = 1,
+    optimal_b: bool = True,
+    fixed_b: int | None = None,
+) -> Series:
+    """Modelled speedup of the wavefront itself as processors grow.
+
+    With ``optimal_b`` the block size is re-optimised per processor count
+    (the paper's conclusion notes b* is a function of p).
+    """
+    series = Series("model: pipelined wavefront", xlabel="p", ylabel="speedup")
+    for p in procs:
+        p = int(p)
+        if p < 2:
+            series.add(p, 1.0)
+            continue
+        m = model2(params, n, p, boundary_rows)
+        b = m.optimal_block_size() if optimal_b else int(fixed_b or 1)
+        series.add(p, m.speedup(b))
+    return series

@@ -1,0 +1,25 @@
+"""Sequential execution engines for compiled scan blocks.
+
+* :func:`execute_loopnest` — scalar element-at-a-time oracle (slow, obviously
+  correct);
+* :func:`execute_vectorized` — the production engine: Python loop over the
+  dependence-carrying dimensions, numpy across the parallel ones;
+* :func:`execute_interpreted` — pure array semantics for non-scan statements;
+* :class:`ArraySnapshot` / :func:`run_and_capture` — differential-test helpers.
+"""
+
+from repro.runtime.loopnest import execute_loopnest
+from repro.runtime.vectorized import execute_vectorized
+from repro.runtime.interp import (
+    execute_interpreted,
+    ArraySnapshot,
+    run_and_capture,
+)
+
+__all__ = [
+    "execute_loopnest",
+    "execute_vectorized",
+    "execute_interpreted",
+    "ArraySnapshot",
+    "run_and_capture",
+]

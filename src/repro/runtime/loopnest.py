@@ -1,0 +1,45 @@
+"""Scalar loop-nest executor: the semantic oracle.
+
+Executes a :class:`~repro.compiler.lowering.CompiledScan` element by element,
+exactly as the loop nests of the paper's Fig. 3(b)/(e): nested loops over the
+region's dimensions in the derived order and traversal direction, running the
+body statements in lexical order at each iteration point.
+
+Once the loop structure is legal, primed and unprimed references are both
+plain storage reads — the traversal order alone guarantees that a primed
+reference observes values from previous iterations and an unprimed reference
+observes old values (anti-dependences) or freshly written ones (forward flow).
+
+This executor is deliberately simple and slow; it exists as the ground truth
+the vectorised runtime and every distributed schedule are checked against.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.compiler.lowering import CompiledScan
+from repro.zpl.arrays import ZArray
+
+
+def _reader_at(array: ZArray, index: tuple[int, ...], primed: bool) -> float:
+    return array.get(index)
+
+
+def execute_loopnest(compiled: CompiledScan) -> None:
+    """Run the compiled group with scalar nested loops (mutates the targets)."""
+    compiled.prepare()
+    region = compiled.region
+    loops = compiled.loops
+    rank = compiled.rank
+    ordered_ranges = [loops.indices(region, dim) for dim in loops.order]
+    statements = compiled.statements
+    index = [0] * rank
+    for ordered in itertools.product(*ordered_ranges):
+        for position, dim in enumerate(loops.order):
+            index[dim] = ordered[position]
+        point = tuple(index)
+        for stmt in statements:
+            if stmt.mask is not None and stmt.mask.get(point) == 0:
+                continue
+            stmt.target.put(point, stmt.expr.evaluate_at(point, _reader_at))

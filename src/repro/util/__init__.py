@@ -1,0 +1,23 @@
+"""Shared utilities: validation helpers, ASCII reporting, timers."""
+
+from repro.util.validation import (
+    check_int,
+    check_positive_int,
+    check_nonnegative,
+    check_positive,
+    check_tuple_of_int,
+)
+from repro.util.tables import Table, Series, format_bar_chart
+from repro.util.timing import WallTimer
+
+__all__ = [
+    "check_int",
+    "check_positive_int",
+    "check_nonnegative",
+    "check_positive",
+    "check_tuple_of_int",
+    "Table",
+    "Series",
+    "format_bar_chart",
+    "WallTimer",
+]

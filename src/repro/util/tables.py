@@ -1,0 +1,131 @@
+"""ASCII tables, series, and bar charts for the experiment reports.
+
+The experiment harness regenerates the paper's figures as *printed series*
+(block size vs speedup, processors vs speedup, per-benchmark bars).  These
+helpers render them uniformly so ``EXPERIMENTS.md`` and terminal output agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+
+def _fmt(value: Any, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A simple ASCII table with a title, column headers and rows."""
+
+    title: str
+    headers: Sequence[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    precision: int = 3
+
+    def add_row(self, *values: Any) -> None:
+        """Append one row; must match the header count."""
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(list(values))
+
+    def render(self) -> str:
+        """Render the table as a fixed-width ASCII string."""
+        cells = [[_fmt(v, self.precision) for v in row] for row in self.rows]
+        widths = [len(h) for h in self.headers]
+        for row in cells:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [self.title, "=" * max(len(self.title), len(sep))]
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append(sep)
+        for row in cells:
+            lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+@dataclass
+class Series:
+    """A named (x, y) series, e.g. ``speedup`` as a function of block size."""
+
+    name: str
+    xlabel: str
+    ylabel: str
+    xs: list[Any] = field(default_factory=list)
+    ys: list[float] = field(default_factory=list)
+
+    def add(self, x: Any, y: float) -> None:
+        """Append one point to the series."""
+        self.xs.append(x)
+        self.ys.append(float(y))
+
+    def argmax(self) -> Any:
+        """Return the x at which y is maximal (first on ties)."""
+        if not self.ys:
+            raise ValueError(f"series {self.name!r} is empty")
+        best = max(range(len(self.ys)), key=lambda i: self.ys[i])
+        return self.xs[best]
+
+    def max(self) -> float:
+        """Return the maximal y value."""
+        if not self.ys:
+            raise ValueError(f"series {self.name!r} is empty")
+        return max(self.ys)
+
+    def as_table(self, precision: int = 3) -> Table:
+        """Render the series as a two-column table."""
+        table = Table(self.name, [self.xlabel, self.ylabel], precision=precision)
+        for x, y in zip(self.xs, self.ys):
+            table.add_row(x, y)
+        return table
+
+
+def merge_series(title: str, series: Iterable[Series], precision: int = 3) -> Table:
+    """Merge several series sharing the same x axis into one table.
+
+    Raises ``ValueError`` if the x axes differ.
+    """
+    series = list(series)
+    if not series:
+        raise ValueError("no series to merge")
+    xs = series[0].xs
+    for s in series[1:]:
+        if s.xs != xs:
+            raise ValueError(f"series {s.name!r} has a different x axis")
+    table = Table(
+        title, [series[0].xlabel] + [s.name for s in series], precision=precision
+    )
+    for i, x in enumerate(xs):
+        table.add_row(x, *(s.ys[i] for s in series))
+    return table
+
+
+def format_bar_chart(
+    title: str,
+    bars: Sequence[tuple[str, float]],
+    width: int = 50,
+    unit: str = "x",
+) -> str:
+    """Render labelled horizontal bars, scaled to the largest value.
+
+    Used for the paper's bar-chart figures (Fig. 6 and Fig. 7).
+    """
+    if not bars:
+        raise ValueError("no bars to render")
+    peak = max(value for _, value in bars)
+    scale = (width / peak) if peak > 0 else 0.0
+    label_w = max(len(label) for label, _ in bars)
+    lines = [title, "=" * max(len(title), label_w + width + 12)]
+    for label, value in bars:
+        filled = int(round(value * scale))
+        lines.append(f"{label.ljust(label_w)} |{'#' * filled:<{width}}| {value:.2f}{unit}")
+    return "\n".join(lines)

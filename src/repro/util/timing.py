@@ -1,0 +1,37 @@
+"""Wall-clock timing helpers (for benchmarks; experiment *results* use the
+deterministic virtual clock of :mod:`repro.machine`, never wall time)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class WallTimer:
+    """Accumulating wall-clock timer usable as a context manager.
+
+    >>> t = WallTimer()
+    >>> with t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _start: float | None = field(default=None, repr=False)
+
+    def __enter__(self) -> "WallTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        if self._start is None:
+            raise RuntimeError("WallTimer exited without entering")
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+
+    def reset(self) -> None:
+        """Zero the accumulated time."""
+        self.elapsed = 0.0
+        self._start = None

@@ -1,0 +1,58 @@
+"""Small argument-validation helpers used across the library.
+
+These raise ``TypeError``/``ValueError`` (not library errors): a failed check
+indicates a caller bug at the Python API boundary, not a language-level
+legality problem.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+#: Integer types accepted anywhere the library expects an int.
+_INT_TYPES = (int, np.integer)
+
+
+def check_int(value: Any, name: str) -> int:
+    """Return ``value`` as a built-in int, or raise ``TypeError``."""
+    if isinstance(value, bool) or not isinstance(value, _INT_TYPES):
+        raise TypeError(f"{name} must be an integer, got {value!r}")
+    return int(value)
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Return ``value`` as a positive int (>= 1), or raise."""
+    ivalue = check_int(value, name)
+    if ivalue < 1:
+        raise ValueError(f"{name} must be >= 1, got {ivalue}")
+    return ivalue
+
+
+def check_nonnegative(value: Any, name: str) -> float:
+    """Return ``value`` as a non-negative float, or raise."""
+    try:
+        fvalue = float(value)
+    except (TypeError, ValueError):
+        raise TypeError(f"{name} must be a number, got {value!r}") from None
+    if not np.isfinite(fvalue) or fvalue < 0:
+        raise ValueError(f"{name} must be finite and >= 0, got {fvalue}")
+    return fvalue
+
+
+def check_positive(value: Any, name: str) -> float:
+    """Return ``value`` as a strictly positive float, or raise."""
+    fvalue = check_nonnegative(value, name)
+    if fvalue == 0:
+        raise ValueError(f"{name} must be > 0, got 0")
+    return fvalue
+
+
+def check_tuple_of_int(values: Sequence[Any], name: str) -> tuple[int, ...]:
+    """Return ``values`` as a tuple of ints, or raise."""
+    if isinstance(values, (str, bytes)) or not isinstance(
+        values, (tuple, list, np.ndarray)
+    ):
+        raise TypeError(f"{name} must be a sequence of integers, got {values!r}")
+    return tuple(check_int(v, f"{name}[{i}]") for i, v in enumerate(values))

@@ -1,0 +1,189 @@
+"""The mini-ZPL array language: regions, directions, arrays, scan blocks.
+
+This package is the substrate the paper's extension lives in.  A complete
+Tomcatv wavefront fragment (paper Fig. 2(b)) reads:
+
+>>> import numpy as np
+>>> from repro import zpl
+>>> n = 8
+>>> R = zpl.Region.of((2, n - 2), (2, n - 1))
+>>> aa, d, dd, rx, ry, r = (
+...     zpl.ones(zpl.Region.square(1, n), name=nm)
+...     for nm in ("aa", "d", "dd", "rx", "ry", "r")
+... )
+>>> dd.fill(3.0)
+>>> with zpl.covering(R):
+...     with zpl.scan() as block:
+...         r[...] = aa * (d.p @ zpl.NORTH)
+...         d[...] = 1.0 / (dd - (aa @ zpl.NORTH) * r)
+...         rx[...] = rx - (rx.p @ zpl.NORTH) * r
+...         ry[...] = ry - (ry.p @ zpl.NORTH) * r
+"""
+
+from repro.zpl.directions import (
+    Direction,
+    as_direction,
+    NORTH,
+    SOUTH,
+    WEST,
+    EAST,
+    NORTHWEST,
+    NORTHEAST,
+    SOUTHWEST,
+    SOUTHEAST,
+    ABOVE,
+    BELOW,
+    NORTH3,
+    SOUTH3,
+    WEST3,
+    EAST3,
+    CARDINALS_2D,
+    DIAGONALS_2D,
+    CARDINALS_3D,
+)
+from repro.zpl.regions import Region
+from repro.zpl.arrays import ZArray, zeros, ones, full, from_numpy
+from repro.zpl.expr import (
+    Node,
+    Const,
+    Ref,
+    BinOp,
+    UnOp,
+    Where,
+    ParallelOp,
+    ReduceExpr,
+    FloodExpr,
+    as_node,
+    sqrt,
+    exp,
+    log,
+    sin,
+    cos,
+    absolute,
+    floor,
+    ceil,
+    maximum,
+    minimum,
+    where,
+    zsum,
+    zmax,
+    zmin,
+    flood,
+    PrefixScanExpr,
+    WrapShiftExpr,
+    prefix_scan,
+    wrap,
+    IndexExpr,
+    index,
+)
+from repro.zpl.statements import Assign
+from repro.zpl.scan import ScanBlock
+from repro.zpl.parser import (
+    ParseError,
+    Program,
+    parse_program,
+    parse_scan_block,
+    tokenize,
+)
+from repro.zpl.pretty import (
+    format_direction,
+    format_expr,
+    format_region,
+    format_scan_block,
+    format_statement,
+)
+from repro.zpl.program import (
+    covering,
+    current_region,
+    current_mask,
+    masked,
+    scan,
+    statement,
+    set_default_engine,
+    eager_reader,
+)
+
+__all__ = [
+    # directions
+    "Direction",
+    "as_direction",
+    "NORTH",
+    "SOUTH",
+    "WEST",
+    "EAST",
+    "NORTHWEST",
+    "NORTHEAST",
+    "SOUTHWEST",
+    "SOUTHEAST",
+    "ABOVE",
+    "BELOW",
+    "NORTH3",
+    "SOUTH3",
+    "WEST3",
+    "EAST3",
+    "CARDINALS_2D",
+    "DIAGONALS_2D",
+    "CARDINALS_3D",
+    # regions & arrays
+    "Region",
+    "ZArray",
+    "zeros",
+    "ones",
+    "full",
+    "from_numpy",
+    # expressions
+    "Node",
+    "Const",
+    "Ref",
+    "BinOp",
+    "UnOp",
+    "Where",
+    "ParallelOp",
+    "ReduceExpr",
+    "FloodExpr",
+    "as_node",
+    "sqrt",
+    "exp",
+    "log",
+    "sin",
+    "cos",
+    "absolute",
+    "floor",
+    "ceil",
+    "maximum",
+    "minimum",
+    "where",
+    "zsum",
+    "zmax",
+    "zmin",
+    "flood",
+    "PrefixScanExpr",
+    "WrapShiftExpr",
+    "prefix_scan",
+    "wrap",
+    "IndexExpr",
+    "index",
+    # textual front end
+    "ParseError",
+    "Program",
+    "parse_program",
+    "parse_scan_block",
+    "tokenize",
+    # pretty-printing
+    "format_direction",
+    "format_expr",
+    "format_region",
+    "format_scan_block",
+    "format_statement",
+    # statements & scan blocks
+    "Assign",
+    "ScanBlock",
+    "covering",
+    "current_region",
+    "current_mask",
+    "masked",
+    "scan",
+    "statement",
+    "set_default_engine",
+    "eager_reader",
+]

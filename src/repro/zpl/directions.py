@@ -1,0 +1,134 @@
+"""Directions: the offset vectors of the ZPL ``@`` (shift) operator.
+
+A *direction* is a small integer vector used to shift the indices of the
+covering region when referencing an array, exactly as in the paper's
+Section 2.1: with ``north = (-1, 0)``, the reference ``b@north`` at region
+index ``(i, j)`` reads ``b[i-1, j]``.
+
+Directions are immutable and hashable; the standard 2-D cardinals
+(``NORTH``, ``SOUTH``, ``WEST``, ``EAST`` and the diagonals) plus 3-D
+``ABOVE``/``BELOW`` are provided as module constants.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.errors import DirectionError
+from repro.util.validation import check_tuple_of_int
+
+
+class Direction:
+    """An immutable integer offset vector with an optional name.
+
+    Parameters
+    ----------
+    offsets:
+        The per-dimension integer offsets, e.g. ``(-1, 0)`` for north.
+    name:
+        Optional symbolic name used in reprs and error messages.
+    """
+
+    __slots__ = ("_offsets", "_name")
+
+    def __init__(self, offsets: Sequence[int], name: str | None = None):
+        self._offsets = check_tuple_of_int(offsets, "offsets")
+        if not self._offsets:
+            raise DirectionError("a direction must have at least one dimension")
+        self._name = name
+
+    @property
+    def offsets(self) -> tuple[int, ...]:
+        """The per-dimension offsets."""
+        return self._offsets
+
+    @property
+    def name(self) -> str | None:
+        """The symbolic name, if any."""
+        return self._name
+
+    @property
+    def rank(self) -> int:
+        """Number of dimensions."""
+        return len(self._offsets)
+
+    def is_zero(self) -> bool:
+        """True when every component is zero (the identity shift)."""
+        return all(o == 0 for o in self._offsets)
+
+    def is_cardinal(self) -> bool:
+        """True when exactly one component is nonzero (paper Section 2.2)."""
+        return sum(1 for o in self._offsets if o != 0) == 1
+
+    def __neg__(self) -> "Direction":
+        return Direction(tuple(-o for o in self._offsets))
+
+    def __add__(self, other: "Direction") -> "Direction":
+        other = as_direction(other, rank=self.rank)
+        return Direction(tuple(a + b for a, b in zip(self._offsets, other._offsets)))
+
+    def __getitem__(self, dim: int) -> int:
+        return self._offsets[dim]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._offsets)
+
+    def __len__(self) -> int:
+        return len(self._offsets)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Direction):
+            return self._offsets == other._offsets
+        if isinstance(other, tuple):
+            return self._offsets == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._offsets)
+
+    def __repr__(self) -> str:
+        if self._name:
+            return self._name
+        return f"dir{self._offsets}"
+
+
+def as_direction(value: object, rank: int | None = None) -> Direction:
+    """Coerce a :class:`Direction` or integer tuple into a :class:`Direction`.
+
+    Raises :class:`DirectionError` when ``rank`` is given and does not match.
+    """
+    if isinstance(value, Direction):
+        direction = value
+    elif isinstance(value, (tuple, list)):
+        direction = Direction(value)
+    else:
+        raise DirectionError(f"cannot interpret {value!r} as a direction")
+    if rank is not None and direction.rank != rank:
+        raise DirectionError(
+            f"direction {direction!r} has rank {direction.rank}, expected {rank}"
+        )
+    return direction
+
+
+# The 2-D cardinals used throughout the paper (row, column offsets).
+NORTH = Direction((-1, 0), "north")
+SOUTH = Direction((1, 0), "south")
+WEST = Direction((0, -1), "west")
+EAST = Direction((0, 1), "east")
+NORTHWEST = Direction((-1, -1), "northwest")
+NORTHEAST = Direction((-1, 1), "northeast")
+SOUTHWEST = Direction((1, -1), "southwest")
+SOUTHEAST = Direction((1, 1), "southeast")
+
+# 3-D cardinals (plane, row, column): used by the SWEEP3D-style application.
+ABOVE = Direction((-1, 0, 0), "above")
+BELOW = Direction((1, 0, 0), "below")
+NORTH3 = Direction((0, -1, 0), "north3")
+SOUTH3 = Direction((0, 1, 0), "south3")
+WEST3 = Direction((0, 0, -1), "west3")
+EAST3 = Direction((0, 0, 1), "east3")
+
+#: All named constants, for introspection and tests.
+CARDINALS_2D = (NORTH, SOUTH, WEST, EAST)
+DIAGONALS_2D = (NORTHWEST, NORTHEAST, SOUTHWEST, SOUTHEAST)
+CARDINALS_3D = (ABOVE, BELOW, NORTH3, SOUTH3, WEST3, EAST3)

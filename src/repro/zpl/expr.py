@@ -1,0 +1,688 @@
+"""Expression trees for the array language, including ``@`` and the prime operator.
+
+Array statements are built by operator overloading on :class:`repro.zpl.arrays.ZArray`
+and on these nodes.  The notation mirrors the paper:
+
+================================  =========================================
+Paper (ZPL)                       This library
+================================  =========================================
+``b@north``                       ``b @ north``  (or ``b.at(north)``)
+``d'@north`` (prime operator)     ``d.p @ north``  (or ``d.primed.at(north)``)
+``(b@north + b@south) / 4.0``     ``(b @ north + b @ south) / 4.0``
+``+<< a`` (full sum reduction)    ``zsum(a)``
+================================  =========================================
+
+An expression is a tree of :class:`Node` objects.  Nodes never touch array
+storage themselves; evaluation is parameterised by a *reader* callable so that
+the sequential interpreter, the vectorised runtime, the scalar loop-nest
+oracle and the distributed executor can all reuse one tree.
+
+Readers
+-------
+``reader(array, region, primed) -> numpy.ndarray``
+    Return the values of ``array`` over ``region`` (already shifted).  The
+    ``primed`` flag is informational: once the compiler has fixed a legal loop
+    structure, primed and unprimed references are both plain storage reads.
+``reader_at(array, index, primed) -> scalar``
+    Point-wise variant used by the scalar loop-nest executor.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import ExpressionError
+from repro.zpl.directions import Direction, as_direction
+from repro.zpl.regions import Region
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.zpl.arrays import ZArray
+
+#: Region reader signature (see module docstring).
+Reader = Callable[["ZArray", Region, bool], np.ndarray]
+#: Point reader signature.
+ReaderAt = Callable[["ZArray", tuple[int, ...], bool], float]
+
+_BINOPS: dict[str, Callable] = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "/": np.divide,
+    "**": np.power,
+    "max": np.maximum,
+    "min": np.minimum,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+    "==": np.equal,
+    "!=": np.not_equal,
+}
+
+_UNOPS: dict[str, Callable] = {
+    "-": np.negative,
+    "abs": np.abs,
+    "sqrt": np.sqrt,
+    "exp": np.exp,
+    "log": np.log,
+    "sin": np.sin,
+    "cos": np.cos,
+    "floor": np.floor,
+    "ceil": np.ceil,
+}
+
+_REDUCTIONS: dict[str, Callable] = {
+    "+": np.sum,
+    "*": np.prod,
+    "max": np.max,
+    "min": np.min,
+}
+
+
+def as_node(value: object) -> "Node":
+    """Coerce scalars and arrays into expression nodes."""
+    from repro.zpl.arrays import ZArray
+
+    if isinstance(value, Node):
+        return value
+    if isinstance(value, (int, float, np.integer, np.floating, bool, np.bool_)):
+        return Const(float(value))
+    if isinstance(value, ZArray):
+        return Ref(value)
+    raise ExpressionError(f"cannot use {value!r} in an array expression")
+
+
+class Node:
+    """Base expression node with operator overloading."""
+
+    __slots__ = ()
+
+    # -- structural queries -------------------------------------------------
+    def children(self) -> tuple["Node", ...]:
+        """Immediate sub-expressions."""
+        return ()
+
+    def refs(self) -> Iterator["Ref"]:
+        """All array references in the tree (depth-first)."""
+        if isinstance(self, Ref):
+            yield self
+        for child in self.children():
+            yield from child.refs()
+
+    def parallel_ops(self) -> Iterator["ParallelOp"]:
+        """All parallel-operator nodes (reductions, floods) in the tree."""
+        if isinstance(self, ParallelOp):
+            yield self
+        for child in self.children():
+            yield from child.parallel_ops()
+
+    def has_prime(self) -> bool:
+        """True when any reference in the tree is primed."""
+        return any(r.primed for r in self.refs())
+
+    @property
+    def rank(self) -> int | None:
+        """Common rank of all array references, or None for pure scalars."""
+        ranks = {r.array.rank for r in self.refs()}
+        if not ranks:
+            return None
+        if len(ranks) > 1:
+            raise ExpressionError(f"mixed-rank expression: ranks {sorted(ranks)}")
+        return ranks.pop()
+
+    def substitute(self, mapping: dict["Node", "Node"]) -> "Node":
+        """Return a copy with nodes replaced per identity ``mapping``."""
+        hit = next((new for old, new in mapping.items() if old is self), None)
+        if hit is not None:
+            return hit
+        return self._rebuild(tuple(c.substitute(mapping) for c in self.children()))
+
+    def _rebuild(self, children: tuple["Node", ...]) -> "Node":
+        if children:
+            raise ExpressionError(f"{type(self).__name__} takes no children")
+        return self
+
+    # -- evaluation ----------------------------------------------------------
+    def evaluate(self, region: Region, reader: Reader) -> np.ndarray | float:
+        """Evaluate over ``region`` with whole-array (numpy) semantics."""
+        raise NotImplementedError
+
+    def evaluate_at(self, index: tuple[int, ...], reader_at: ReaderAt) -> float:
+        """Evaluate at a single region index (scalar oracle)."""
+        raise NotImplementedError
+
+    # -- operator overloading --------------------------------------------
+    def __add__(self, other: object) -> "Node":
+        return BinOp("+", self, as_node(other))
+
+    def __radd__(self, other: object) -> "Node":
+        return BinOp("+", as_node(other), self)
+
+    def __sub__(self, other: object) -> "Node":
+        return BinOp("-", self, as_node(other))
+
+    def __rsub__(self, other: object) -> "Node":
+        return BinOp("-", as_node(other), self)
+
+    def __mul__(self, other: object) -> "Node":
+        return BinOp("*", self, as_node(other))
+
+    def __rmul__(self, other: object) -> "Node":
+        return BinOp("*", as_node(other), self)
+
+    def __truediv__(self, other: object) -> "Node":
+        return BinOp("/", self, as_node(other))
+
+    def __rtruediv__(self, other: object) -> "Node":
+        return BinOp("/", as_node(other), self)
+
+    def __pow__(self, other: object) -> "Node":
+        return BinOp("**", self, as_node(other))
+
+    def __neg__(self) -> "Node":
+        return UnOp("-", self)
+
+    # Comparisons build elementwise boolean expressions (for ``where``).
+    # ``==``/``!=`` stay Python identity so nodes remain hashable; use
+    # ``BinOp("==", ...)`` explicitly for elementwise equality.
+    def __lt__(self, other: object) -> "Node":
+        return BinOp("<", self, as_node(other))
+
+    def __le__(self, other: object) -> "Node":
+        return BinOp("<=", self, as_node(other))
+
+    def __gt__(self, other: object) -> "Node":
+        return BinOp(">", self, as_node(other))
+
+    def __ge__(self, other: object) -> "Node":
+        return BinOp(">=", self, as_node(other))
+
+    def __matmul__(self, direction: object) -> "Node":
+        raise ExpressionError(
+            "@ (shift) applies to array references, not arbitrary expressions"
+        )
+
+
+class Const(Node):
+    """A scalar constant promoted over the covering region."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float):
+        self.value = float(value)
+
+    def evaluate(self, region: Region, reader: Reader) -> float:
+        return self.value
+
+    def evaluate_at(self, index: tuple[int, ...], reader_at: ReaderAt) -> float:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"{self.value:g}"
+
+
+class Ref(Node):
+    """A (possibly shifted, possibly primed) reference to a parallel array.
+
+    ``offset`` is the accumulated shift direction; the zero offset denotes an
+    unshifted reference.  ``primed`` marks the paper's prime operator: the
+    reference names values written by *previous iterations* of the loop nest
+    that implements the enclosing scan block.
+    """
+
+    __slots__ = ("array", "offset", "primed")
+
+    def __init__(
+        self,
+        array: "ZArray",
+        offset: Direction | tuple[int, ...] | None = None,
+        primed: bool = False,
+    ):
+        self.array = array
+        if offset is None:
+            offset = Direction((0,) * array.rank)
+        self.offset = as_direction(offset, rank=array.rank)
+        self.primed = bool(primed)
+
+    # -- shifting and priming ---------------------------------------------
+    def __matmul__(self, direction: object) -> "Ref":
+        d = as_direction(direction, rank=self.array.rank)
+        # Preserve the direction's symbolic name for the common single shift.
+        combined = d if self.offset.is_zero() else self.offset + d
+        return Ref(self.array, combined, self.primed)
+
+    def at(self, direction: object) -> "Ref":
+        """Alias for the ``@`` operator."""
+        return self @ direction
+
+    @property
+    def p(self) -> "Ref":
+        """Apply the prime operator to this reference."""
+        if self.primed:
+            raise ExpressionError("reference is already primed")
+        return Ref(self.array, self.offset, primed=True)
+
+    # -- evaluation ----------------------------------------------------------
+    def evaluate(self, region: Region, reader: Reader) -> np.ndarray:
+        return reader(self.array, region.shift(self.offset), self.primed)
+
+    def evaluate_at(self, index: tuple[int, ...], reader_at: ReaderAt) -> float:
+        shifted = tuple(i + o for i, o in zip(index, self.offset))
+        return reader_at(self.array, shifted, self.primed)
+
+    def __repr__(self) -> str:
+        text = self.array.name or "<array>"
+        if self.primed:
+            text += "'"
+        if not self.offset.is_zero():
+            text += f"@{self.offset!r}"
+        return text
+
+
+class BinOp(Node):
+    """An elementwise binary operation."""
+
+    __slots__ = ("op", "left", "right", "_fn")
+
+    def __init__(self, op: str, left: Node, right: Node):
+        if op not in _BINOPS:
+            raise ExpressionError(f"unknown binary operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+        self._fn = _BINOPS[op]
+
+    def children(self) -> tuple[Node, ...]:
+        return (self.left, self.right)
+
+    def _rebuild(self, children: tuple[Node, ...]) -> "Node":
+        return BinOp(self.op, children[0], children[1])
+
+    def evaluate(self, region: Region, reader: Reader) -> np.ndarray | float:
+        return self._fn(
+            self.left.evaluate(region, reader), self.right.evaluate(region, reader)
+        )
+
+    def evaluate_at(self, index: tuple[int, ...], reader_at: ReaderAt) -> float:
+        return float(
+            self._fn(
+                self.left.evaluate_at(index, reader_at),
+                self.right.evaluate_at(index, reader_at),
+            )
+        )
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class UnOp(Node):
+    """An elementwise unary operation or math function."""
+
+    __slots__ = ("op", "operand", "_fn")
+
+    def __init__(self, op: str, operand: Node):
+        if op not in _UNOPS:
+            raise ExpressionError(f"unknown unary operator {op!r}")
+        self.op = op
+        self.operand = operand
+        self._fn = _UNOPS[op]
+
+    def children(self) -> tuple[Node, ...]:
+        return (self.operand,)
+
+    def _rebuild(self, children: tuple[Node, ...]) -> "Node":
+        return UnOp(self.op, children[0])
+
+    def evaluate(self, region: Region, reader: Reader) -> np.ndarray | float:
+        return self._fn(self.operand.evaluate(region, reader))
+
+    def evaluate_at(self, index: tuple[int, ...], reader_at: ReaderAt) -> float:
+        return float(self._fn(self.operand.evaluate_at(index, reader_at)))
+
+    def __repr__(self) -> str:
+        return f"{self.op}({self.operand!r})"
+
+
+class Where(Node):
+    """Elementwise selection: ``where(cond, a, b)``."""
+
+    __slots__ = ("cond", "if_true", "if_false")
+
+    def __init__(self, cond: Node, if_true: Node, if_false: Node):
+        self.cond = cond
+        self.if_true = if_true
+        self.if_false = if_false
+
+    def children(self) -> tuple[Node, ...]:
+        return (self.cond, self.if_true, self.if_false)
+
+    def _rebuild(self, children: tuple[Node, ...]) -> "Node":
+        return Where(children[0], children[1], children[2])
+
+    def evaluate(self, region: Region, reader: Reader) -> np.ndarray | float:
+        return np.where(
+            self.cond.evaluate(region, reader),
+            self.if_true.evaluate(region, reader),
+            self.if_false.evaluate(region, reader),
+        )
+
+    def evaluate_at(self, index: tuple[int, ...], reader_at: ReaderAt) -> float:
+        if self.cond.evaluate_at(index, reader_at):
+            return self.if_true.evaluate_at(index, reader_at)
+        return self.if_false.evaluate_at(index, reader_at)
+
+    def __repr__(self) -> str:
+        return f"where({self.cond!r}, {self.if_true!r}, {self.if_false!r})"
+
+
+class ParallelOp(Node):
+    """Base class for ZPL's non-shift parallel operators.
+
+    Per the paper's legality condition (v) these may not have primed operands,
+    and the compiler pulls them out of scan blocks into temporary arrays
+    (Section 3.2).
+    """
+
+    __slots__ = ()
+
+
+class ReduceExpr(ParallelOp):
+    """A reduction over the covering region.
+
+    With ``dims=None`` the reduction is *full* (a broadcast scalar, ZPL's
+    ``op<< expr``); with ``dims`` given, it is a partial reduction along those
+    dimensions, replicated back over the region so the result is region-shaped.
+    """
+
+    __slots__ = ("op", "operand", "dims", "_fn")
+
+    def __init__(self, op: str, operand: Node, dims: tuple[int, ...] | None = None):
+        if op not in _REDUCTIONS:
+            raise ExpressionError(f"unknown reduction operator {op!r}")
+        self.op = op
+        self.operand = operand
+        self.dims = tuple(dims) if dims is not None else None
+        self._fn = _REDUCTIONS[op]
+
+    def children(self) -> tuple[Node, ...]:
+        return (self.operand,)
+
+    def _rebuild(self, children: tuple[Node, ...]) -> "Node":
+        return ReduceExpr(self.op, children[0], self.dims)
+
+    def evaluate(self, region: Region, reader: Reader) -> np.ndarray | float:
+        values = self.operand.evaluate(region, reader)
+        values = np.broadcast_to(np.asarray(values, dtype=float), region.shape)
+        if self.dims is None:
+            return float(self._fn(values))
+        partial = self._fn(values, axis=self.dims, keepdims=True)
+        return np.broadcast_to(partial, region.shape).copy()
+
+    def evaluate_at(self, index: tuple[int, ...], reader_at: ReaderAt) -> float:
+        raise ExpressionError(
+            "reductions cannot be evaluated point-wise; the compiler hoists "
+            "them out of scan blocks first"
+        )
+
+    def __repr__(self) -> str:
+        dims = "" if self.dims is None else f" dims={self.dims}"
+        return f"({self.op}<<{dims} {self.operand!r})"
+
+
+class FloodExpr(ParallelOp):
+    """ZPL's flood (broadcast) operator: replicate along given dimensions.
+
+    The source values are taken from the low edge of the covering region in
+    each flooded dimension and replicated across that dimension.
+    """
+
+    __slots__ = ("operand", "dims")
+
+    def __init__(self, operand: Node, dims: tuple[int, ...]):
+        if not dims:
+            raise ExpressionError("flood needs at least one dimension")
+        self.operand = operand
+        self.dims = tuple(dims)
+
+    def children(self) -> tuple[Node, ...]:
+        return (self.operand,)
+
+    def _rebuild(self, children: tuple[Node, ...]) -> "Node":
+        return FloodExpr(children[0], self.dims)
+
+    def evaluate(self, region: Region, reader: Reader) -> np.ndarray:
+        values = self.operand.evaluate(region, reader)
+        values = np.broadcast_to(np.asarray(values, dtype=float), region.shape)
+        selector: list[slice] = [slice(None)] * region.rank
+        for dim in self.dims:
+            selector[dim] = slice(0, 1)
+        return np.broadcast_to(values[tuple(selector)], region.shape).copy()
+
+    def evaluate_at(self, index: tuple[int, ...], reader_at: ReaderAt) -> float:
+        raise ExpressionError(
+            "floods cannot be evaluated point-wise; the compiler hoists them "
+            "out of scan blocks first"
+        )
+
+    def __repr__(self) -> str:
+        return f"(flood dims={self.dims} {self.operand!r})"
+
+
+# ---------------------------------------------------------------------------
+# Function-style builders (the library's "zmath")
+# ---------------------------------------------------------------------------
+def _unary(op: str) -> Callable[[object], Node]:
+    def build(operand: object) -> Node:
+        return UnOp(op, as_node(operand))
+
+    build.__name__ = op
+    build.__doc__ = f"Elementwise ``{op}`` of an array expression."
+    return build
+
+
+sqrt = _unary("sqrt")
+exp = _unary("exp")
+log = _unary("log")
+sin = _unary("sin")
+cos = _unary("cos")
+absolute = _unary("abs")
+floor = _unary("floor")
+ceil = _unary("ceil")
+
+
+def maximum(left: object, right: object) -> Node:
+    """Elementwise maximum of two expressions."""
+    return BinOp("max", as_node(left), as_node(right))
+
+
+def minimum(left: object, right: object) -> Node:
+    """Elementwise minimum of two expressions."""
+    return BinOp("min", as_node(left), as_node(right))
+
+
+def where(cond: object, if_true: object, if_false: object) -> Node:
+    """Elementwise selection."""
+    return Where(as_node(cond), as_node(if_true), as_node(if_false))
+
+
+def zsum(operand: object, dims: Sequence[int] | None = None) -> Node:
+    """Sum reduction (full, or partial along ``dims``)."""
+    return ReduceExpr("+", as_node(operand), tuple(dims) if dims else None)
+
+
+def zmax(operand: object, dims: Sequence[int] | None = None) -> Node:
+    """Max reduction (full, or partial along ``dims``)."""
+    return ReduceExpr("max", as_node(operand), tuple(dims) if dims else None)
+
+
+def zmin(operand: object, dims: Sequence[int] | None = None) -> Node:
+    """Min reduction (full, or partial along ``dims``)."""
+    return ReduceExpr("min", as_node(operand), tuple(dims) if dims else None)
+
+
+def flood(operand: object, dims: Sequence[int]) -> Node:
+    """Flood (broadcast) along ``dims``."""
+    return FloodExpr(as_node(operand), tuple(dims))
+
+
+class PrefixScanExpr(ParallelOp):
+    """ZPL's parallel-prefix operator (``op|| expr``) along one dimension.
+
+    Produces the running reduction (inclusive by default) of the operand
+    along ``dim`` over the covering region.  Like all parallel operators it
+    is hoisted out of scan blocks (legality condition (v) applies to it).
+    """
+
+    __slots__ = ("op", "operand", "dim", "exclusive")
+
+    _SCANS = {"+": np.cumsum, "*": np.cumprod,
+              "max": np.maximum.accumulate, "min": np.minimum.accumulate}
+    _IDENTITY = {"+": 0.0, "*": 1.0, "max": -np.inf, "min": np.inf}
+
+    def __init__(self, op: str, operand: Node, dim: int, exclusive: bool = False):
+        if op not in self._SCANS:
+            raise ExpressionError(f"unknown prefix-scan operator {op!r}")
+        self.op = op
+        self.operand = operand
+        self.dim = int(dim)
+        self.exclusive = bool(exclusive)
+
+    def children(self) -> tuple[Node, ...]:
+        return (self.operand,)
+
+    def _rebuild(self, children: tuple[Node, ...]) -> "Node":
+        return PrefixScanExpr(self.op, children[0], self.dim, self.exclusive)
+
+    def evaluate(self, region: Region, reader: Reader) -> np.ndarray:
+        values = self.operand.evaluate(region, reader)
+        values = np.broadcast_to(np.asarray(values, dtype=float), region.shape)
+        if not 0 <= self.dim < region.rank:
+            raise ExpressionError(
+                f"prefix-scan dim {self.dim} out of range for rank {region.rank}"
+            )
+        result = self._SCANS[self.op](values, axis=self.dim)
+        if self.exclusive:
+            shifted = np.empty_like(result)
+            lead = [slice(None)] * region.rank
+            rest = [slice(None)] * region.rank
+            lead[self.dim] = slice(0, 1)
+            rest[self.dim] = slice(0, -1)
+            target = [slice(None)] * region.rank
+            target[self.dim] = slice(1, None)
+            shifted[tuple(lead)] = self._IDENTITY[self.op]
+            shifted[tuple(target)] = result[tuple(rest)]
+            return shifted
+        return np.array(result)
+
+    def evaluate_at(self, index: tuple[int, ...], reader_at: ReaderAt) -> float:
+        raise ExpressionError(
+            "prefix scans cannot be evaluated point-wise; the compiler hoists "
+            "them out of scan blocks first"
+        )
+
+    def __repr__(self) -> str:
+        marker = "||'" if self.exclusive else "||"
+        return f"({self.op}{marker}[{self.dim}] {self.operand!r})"
+
+
+class WrapShiftExpr(ParallelOp):
+    """Circular shift within the covering region (ZPL's ``wrap@``).
+
+    Indices that a plain ``@`` would take from outside the region wrap
+    around to the opposite edge instead — periodic boundary conditions
+    without explicit border initialisation.  Classified as a parallel
+    operator: its value depends on the whole covering region, so inside a
+    scan block it is hoisted to a temporary evaluated at block entry
+    (legality condition (v) applies — no primed or block-written operand).
+    """
+
+    __slots__ = ("ref", "direction")
+
+    def __init__(self, ref: "Ref", direction):
+        if not isinstance(ref, Ref):
+            raise ExpressionError("wrap applies to an array reference")
+        if ref.primed:
+            raise ExpressionError("wrap references may not be primed")
+        if not ref.offset.is_zero():
+            raise ExpressionError("apply wrap to the unshifted reference")
+        self.ref = ref
+        self.direction = as_direction(direction, rank=ref.array.rank)
+
+    def children(self) -> tuple[Node, ...]:
+        return (self.ref,)
+
+    def _rebuild(self, children: tuple[Node, ...]) -> "Node":
+        return WrapShiftExpr(children[0], self.direction)  # type: ignore[arg-type]
+
+    def evaluate(self, region: Region, reader: Reader) -> np.ndarray:
+        values = np.asarray(reader(self.ref.array, region, False), dtype=float)
+        return np.roll(values, shift=tuple(-c for c in self.direction),
+                       axis=tuple(range(region.rank)))
+
+    def evaluate_at(self, index: tuple[int, ...], reader_at: ReaderAt) -> float:
+        raise ExpressionError(
+            "wrap references are evaluated region-wise; the compiler hoists "
+            "them out of scan blocks first"
+        )
+
+    def __repr__(self) -> str:
+        return f"{self.ref!r} wrap@{self.direction!r}"
+
+
+def prefix_scan(
+    operand: object, op: str = "+", dim: int = 0, exclusive: bool = False
+) -> Node:
+    """Parallel prefix (``op||``) along ``dim``."""
+    return PrefixScanExpr(op, as_node(operand), dim, exclusive)
+
+
+def wrap(array: object, direction) -> Node:
+    """Circular shift (``wrap@direction``) of an array over the region."""
+    node = as_node(array)
+    if not isinstance(node, Ref):
+        raise ExpressionError("wrap applies to an array, not an expression")
+    return WrapShiftExpr(node, direction)
+
+
+class IndexExpr(Node):
+    """ZPL's ``IndexD`` built-ins: the value of the D-th index at each point.
+
+    ``index(0)`` evaluates, at region point ``(i, j, ...)``, to ``i`` —
+    useful for coordinate-dependent initialisation and masks.  Point-local,
+    so it is legal inside scan blocks without hoisting.
+    """
+
+    __slots__ = ("dim",)
+
+    def __init__(self, dim: int):
+        if dim < 0:
+            raise ExpressionError(f"index dimension must be >= 0, got {dim}")
+        self.dim = int(dim)
+
+    def evaluate(self, region: Region, reader: Reader) -> np.ndarray:
+        if self.dim >= region.rank:
+            raise ExpressionError(
+                f"index dimension {self.dim} out of range for rank {region.rank}"
+            )
+        lo, hi = region.range(self.dim)
+        coords = np.arange(lo, hi + 1, dtype=float)
+        shape = [1] * region.rank
+        shape[self.dim] = coords.size
+        return np.broadcast_to(coords.reshape(shape), region.shape).copy()
+
+    def evaluate_at(self, index: tuple[int, ...], reader_at: ReaderAt) -> float:
+        if self.dim >= len(index):
+            raise ExpressionError(
+                f"index dimension {self.dim} out of range for rank {len(index)}"
+            )
+        return float(index[self.dim])
+
+    def __repr__(self) -> str:
+        return f"Index{self.dim + 1}"
+
+
+def index(dim: int) -> Node:
+    """The D-th region index as an expression (ZPL's ``IndexD``)."""
+    return IndexExpr(dim)

@@ -1,0 +1,141 @@
+"""Pretty-printing: render recorded programs back as ZPL-style source.
+
+The embedded DSL is the language surface; this module closes the loop by
+emitting the textual form the paper uses, so a recorded Tomcatv block prints
+as Fig. 2(b):
+
+    [2..n-2,2..n-1] scan
+                      r := aa * d'@north;
+                      d := 1.0 / (dd - aa@north * r);
+                      rx := rx - rx'@north * r;
+                      ry := ry - ry'@north * r;
+                    end;
+
+Used by documentation, the expressiveness study, and error messages.
+"""
+
+from __future__ import annotations
+
+from repro.zpl.directions import (
+    Direction,
+    NORTH,
+    SOUTH,
+    WEST,
+    EAST,
+    NORTHWEST,
+    NORTHEAST,
+    SOUTHWEST,
+    SOUTHEAST,
+)
+from repro.zpl.expr import (
+    BinOp,
+    Const,
+    FloodExpr,
+    Node,
+    ReduceExpr,
+    Ref,
+    UnOp,
+    Where,
+)
+from repro.zpl.regions import Region
+from repro.zpl.scan import ScanBlock
+from repro.zpl.statements import Assign
+
+#: Canonical names for the cardinal directions.
+_DIRECTION_NAMES = {
+    tuple(NORTH): "north",
+    tuple(SOUTH): "south",
+    tuple(WEST): "west",
+    tuple(EAST): "east",
+    tuple(NORTHWEST): "northwest",
+    tuple(NORTHEAST): "northeast",
+    tuple(SOUTHWEST): "southwest",
+    tuple(SOUTHEAST): "southeast",
+}
+
+#: Binary-operator precedence for minimal parenthesisation.
+_PRECEDENCE = {"+": 1, "-": 1, "*": 2, "/": 2, "**": 3,
+               "max": 0, "min": 0, "<": 0, "<=": 0, ">": 0, ">=": 0,
+               "==": 0, "!=": 0}
+
+
+def format_direction(direction: Direction) -> str:
+    """A direction's symbolic name, or its vector form."""
+    key = tuple(direction)
+    if key in _DIRECTION_NAMES:
+        return _DIRECTION_NAMES[key]
+    if direction.name:
+        return direction.name
+    return "(" + ",".join(str(c) for c in key) + ")"
+
+
+def format_region(region: Region) -> str:
+    """ZPL's bracketed inclusive-range form: ``[2..n-2,2..n-1]``."""
+    return "[" + ",".join(f"{lo}..{hi}" for lo, hi in region.ranges) + "]"
+
+
+def format_const(value: float) -> str:
+    """Shortest decimal form that parses back to exactly ``value``."""
+    compact = f"{value:g}"
+    if float(compact) == value:
+        return compact
+    return repr(value)
+
+
+def format_expr(expr: Node, parent_prec: int = 0) -> str:
+    """Render an expression tree with ZPL spellings."""
+    if isinstance(expr, Const):
+        return format_const(expr.value)
+    if isinstance(expr, Ref):
+        text = expr.array.name or "<array>"
+        if expr.primed:
+            text += "'"
+        if not expr.offset.is_zero():
+            text += "@" + format_direction(expr.offset)
+        return text
+    if isinstance(expr, BinOp):
+        if expr.op in ("max", "min"):
+            return (
+                f"{expr.op}({format_expr(expr.left)}, {format_expr(expr.right)})"
+            )
+        prec = _PRECEDENCE.get(expr.op, 0)
+        body = (
+            f"{format_expr(expr.left, prec)} {expr.op} "
+            f"{format_expr(expr.right, prec + 1)}"
+        )
+        return f"({body})" if prec < parent_prec else body
+    if isinstance(expr, UnOp):
+        if expr.op == "-":
+            return f"-{format_expr(expr.operand, 99)}"
+        return f"{expr.op}({format_expr(expr.operand)})"
+    if isinstance(expr, Where):
+        return (
+            f"where({format_expr(expr.cond)}, {format_expr(expr.if_true)}, "
+            f"{format_expr(expr.if_false)})"
+        )
+    if isinstance(expr, ReduceExpr):
+        dims = "" if expr.dims is None else f"[{','.join(map(str, expr.dims))}]"
+        return f"{expr.op}<<{dims} {format_expr(expr.operand, 99)}"
+    if isinstance(expr, FloodExpr):
+        dims = ",".join(map(str, expr.dims))
+        return f">>[{dims}] {format_expr(expr.operand, 99)}"
+    return repr(expr)
+
+
+def format_statement(stmt: Assign, with_region: bool = True) -> str:
+    """One assignment statement: ``[R] target := expr;``."""
+    name = stmt.target.name or "<array>"
+    prefix = format_region(stmt.region) + " " if with_region else ""
+    return f"{prefix}{name} := {format_expr(stmt.expr)};"
+
+
+def format_scan_block(block: ScanBlock) -> str:
+    """A whole scan block in the paper's Fig. 2(b) layout."""
+    region = format_region(block.region)
+    header = f"{region} scan"
+    indent = " " * (len(region) + 1)
+    lines = [header]
+    for stmt in block.statements:
+        lines.append(f"{indent}  {format_statement(stmt, with_region=False)}")
+    lines.append(f"{indent}end;")
+    return "\n".join(lines)

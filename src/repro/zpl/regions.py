@@ -1,0 +1,302 @@
+"""Regions: dense rectangular index sets, the heart of ZPL (paper Section 2.1).
+
+A region factors the indices participating in a computation out of the array
+references.  ``Region.of((2, n - 2), (2, n - 1))`` is the library's spelling of
+the ZPL region ``[2..n-2, 2..n-1]``; bounds are *inclusive* on both ends, as in
+ZPL.  Regions support the algebra needed by the compiler and runtimes:
+
+* ``shift(direction)`` — translate the whole index set (the ``@`` operator
+  applies this to the covering region to find the operand indices);
+* ``expand``/``border`` — grow the region, or take the one-deep border strip
+  on a side (ZPL's ``of`` regions, used to initialise boundary values);
+* ``intersect``/``contains``/``bounding`` — set-style queries;
+* ``to_local(base)`` — convert to numpy slices relative to a storage origin.
+
+Empty regions are representable (any dimension with ``hi < lo``) and behave
+as the empty index set.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.errors import RegionError
+from repro.util.validation import check_int
+from repro.zpl.directions import Direction, as_direction
+
+
+class Region:
+    """An immutable dense rectangular index set.
+
+    Parameters
+    ----------
+    ranges:
+        One ``(lo, hi)`` inclusive pair per dimension.
+    name:
+        Optional symbolic name (ZPL programs name their regions).
+    """
+
+    __slots__ = ("_ranges", "_name")
+
+    def __init__(self, ranges: Sequence[tuple[int, int]], name: str | None = None):
+        if not ranges:
+            raise RegionError("a region must have at least one dimension")
+        normalized: list[tuple[int, int]] = []
+        for k, pair in enumerate(ranges):
+            if not isinstance(pair, (tuple, list)) or len(pair) != 2:
+                raise RegionError(
+                    f"dimension {k}: expected a (lo, hi) pair, got {pair!r}"
+                )
+            lo = check_int(pair[0], f"lo[{k}]")
+            hi = check_int(pair[1], f"hi[{k}]")
+            normalized.append((lo, hi))
+        self._ranges = tuple(normalized)
+        self._name = name
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def of(cls, *ranges: tuple[int, int], name: str | None = None) -> "Region":
+        """Build a region from ``(lo, hi)`` pairs: ``Region.of((1, n), (1, n))``."""
+        return cls(ranges, name=name)
+
+    @classmethod
+    def square(cls, lo: int, hi: int, rank: int = 2, name: str | None = None) -> "Region":
+        """A rank-``rank`` region with the same inclusive range in each dim."""
+        return cls(((lo, hi),) * rank, name=name)
+
+    @classmethod
+    def from_shape(cls, shape: Sequence[int], base: int = 0) -> "Region":
+        """A region of the given shape starting at index ``base`` in each dim."""
+        return cls(tuple((base, base + int(s) - 1) for s in shape))
+
+    def named(self, name: str) -> "Region":
+        """Return the same index set carrying a symbolic name."""
+        return Region(self._ranges, name=name)
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def ranges(self) -> tuple[tuple[int, int], ...]:
+        """The inclusive ``(lo, hi)`` pair per dimension."""
+        return self._ranges
+
+    @property
+    def name(self) -> str | None:
+        """The symbolic name, if any."""
+        return self._name
+
+    @property
+    def rank(self) -> int:
+        """Number of dimensions."""
+        return len(self._ranges)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Extent per dimension (0 for empty dimensions)."""
+        return tuple(max(0, hi - lo + 1) for lo, hi in self._ranges)
+
+    @property
+    def size(self) -> int:
+        """Total number of indices in the region."""
+        total = 1
+        for extent in self.shape:
+            total *= extent
+        return total
+
+    @property
+    def lo(self) -> tuple[int, ...]:
+        """Lower corner."""
+        return tuple(lo for lo, _ in self._ranges)
+
+    @property
+    def hi(self) -> tuple[int, ...]:
+        """Upper corner."""
+        return tuple(hi for _, hi in self._ranges)
+
+    def is_empty(self) -> bool:
+        """True when the index set is empty."""
+        return any(hi < lo for lo, hi in self._ranges)
+
+    def extent(self, dim: int) -> int:
+        """Extent along one dimension."""
+        lo, hi = self._ranges[dim]
+        return max(0, hi - lo + 1)
+
+    def range(self, dim: int) -> tuple[int, int]:
+        """The inclusive ``(lo, hi)`` of one dimension."""
+        return self._ranges[dim]
+
+    def contains(self, index: Sequence[int]) -> bool:
+        """True when the index tuple lies inside the region."""
+        if len(index) != self.rank:
+            return False
+        return all(lo <= i <= hi for i, (lo, hi) in zip(index, self._ranges))
+
+    def covers(self, other: "Region") -> bool:
+        """True when every index of ``other`` lies inside ``self``."""
+        if other.rank != self.rank:
+            return False
+        if other.is_empty():
+            return True
+        return all(
+            slo <= olo and ohi <= shi
+            for (slo, shi), (olo, ohi) in zip(self._ranges, other._ranges)
+        )
+
+    # ------------------------------------------------------------------
+    # Region algebra
+    # ------------------------------------------------------------------
+    def shift(self, direction: Direction | tuple[int, ...]) -> "Region":
+        """Translate the region by a direction (the ``@`` operator's effect)."""
+        d = as_direction(direction, rank=self.rank)
+        return Region(
+            tuple((lo + off, hi + off) for (lo, hi), off in zip(self._ranges, d))
+        )
+
+    def expand(self, amounts: Sequence[tuple[int, int]]) -> "Region":
+        """Grow by ``(before, after)`` per dimension (negative shrinks)."""
+        if len(amounts) != self.rank:
+            raise RegionError(
+                f"expand amounts have rank {len(amounts)}, region has {self.rank}"
+            )
+        return Region(
+            tuple(
+                (lo - before, hi + after)
+                for (lo, hi), (before, after) in zip(self._ranges, amounts)
+            )
+        )
+
+    def border(self, direction: Direction | tuple[int, ...]) -> "Region":
+        """The border strip just outside the region on the side ``direction``.
+
+        This is ZPL's ``[d of R]``: for ``north`` it is the row immediately
+        above the region, spanning the region's full width.  The strip depth
+        equals ``|direction[k]|`` in each nonzero dimension.
+        """
+        d = as_direction(direction, rank=self.rank)
+        if d.is_zero():
+            raise RegionError("border direction may not be the zero vector")
+        ranges = []
+        for (lo, hi), off in zip(self._ranges, d):
+            if off < 0:
+                ranges.append((lo + off, lo - 1))
+            elif off > 0:
+                ranges.append((hi + 1, hi + off))
+            else:
+                ranges.append((lo, hi))
+        return Region(tuple(ranges))
+
+    def intersect(self, other: "Region") -> "Region":
+        """Intersection of two same-rank regions (possibly empty)."""
+        if other.rank != self.rank:
+            raise RegionError(
+                f"cannot intersect rank-{self.rank} with rank-{other.rank} region"
+            )
+        return Region(
+            tuple(
+                (max(alo, blo), min(ahi, bhi))
+                for (alo, ahi), (blo, bhi) in zip(self._ranges, other._ranges)
+            )
+        )
+
+    def bounding(self, other: "Region") -> "Region":
+        """Smallest region containing both operands."""
+        if other.rank != self.rank:
+            raise RegionError(
+                f"cannot bound rank-{self.rank} with rank-{other.rank} region"
+            )
+        if self.is_empty():
+            return other
+        if other.is_empty():
+            return self
+        return Region(
+            tuple(
+                (min(alo, blo), max(ahi, bhi))
+                for (alo, ahi), (blo, bhi) in zip(self._ranges, other._ranges)
+            )
+        )
+
+    def slab(self, dim: int, lo: int, hi: int) -> "Region":
+        """Restrict dimension ``dim`` to the inclusive range ``lo..hi``."""
+        if not 0 <= dim < self.rank:
+            raise RegionError(f"dimension {dim} out of range for rank {self.rank}")
+        ranges = list(self._ranges)
+        ranges[dim] = (check_int(lo, "lo"), check_int(hi, "hi"))
+        return Region(tuple(ranges))
+
+    def split(self, dim: int, pieces: int) -> list["Region"]:
+        """Split into ``pieces`` contiguous same-rank slabs along ``dim``.
+
+        Block sizes follow the standard balanced rule: the first
+        ``extent % pieces`` slabs get one extra index.  Empty slabs are
+        produced when ``pieces`` exceeds the extent, preserving the count.
+        """
+        if pieces < 1:
+            raise RegionError(f"pieces must be >= 1, got {pieces}")
+        lo, hi = self._ranges[dim]
+        extent = max(0, hi - lo + 1)
+        base, extra = divmod(extent, pieces)
+        slabs = []
+        cursor = lo
+        for k in range(pieces):
+            length = base + (1 if k < extra else 0)
+            slabs.append(self.slab(dim, cursor, cursor + length - 1))
+            cursor += length
+        return slabs
+
+    # ------------------------------------------------------------------
+    # Conversion & iteration
+    # ------------------------------------------------------------------
+    def to_local(self, base: Sequence[int]) -> tuple[slice, ...]:
+        """Numpy slices for this region relative to a storage origin ``base``."""
+        if len(base) != self.rank:
+            raise RegionError(
+                f"base has rank {len(base)}, region has rank {self.rank}"
+            )
+        return tuple(
+            slice(lo - b, hi - b + 1) for (lo, hi), b in zip(self._ranges, base)
+        )
+
+    def indices(self, dim: int, reverse: bool = False) -> range:
+        """The index values of one dimension, optionally descending."""
+        lo, hi = self._ranges[dim]
+        if hi < lo:
+            return range(0)
+        return range(hi, lo - 1, -1) if reverse else range(lo, hi + 1)
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        """Iterate all indices in row-major order (small regions/tests only)."""
+        if self.is_empty():
+            return iter(())
+
+        def gen() -> Iterator[tuple[int, ...]]:
+            idx = list(self.lo)
+            hi = self.hi
+            lo = self.lo
+            while True:
+                yield tuple(idx)
+                for k in range(self.rank - 1, -1, -1):
+                    idx[k] += 1
+                    if idx[k] <= hi[k]:
+                        break
+                    idx[k] = lo[k]
+                else:
+                    return
+
+        return gen()
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Region):
+            return self._ranges == other._ranges
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._ranges)
+
+    def __repr__(self) -> str:
+        body = ",".join(f"{lo}..{hi}" for lo, hi in self._ranges)
+        label = f" {self._name!r}" if self._name else ""
+        return f"[{body}]{label}"

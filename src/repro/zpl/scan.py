@@ -1,0 +1,91 @@
+"""Scan blocks: the paper's compound statement for wavefront computations.
+
+A scan block groups statements whose primed references may name values written
+by *any* statement in the block during previous iterations of the implementing
+loop nest (paper Section 2.2).  The block records statements; compilation
+(legality checking, loop-structure derivation, lowering) lives in
+:mod:`repro.compiler` and is reached through :meth:`ScanBlock.compile`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.errors import LegalityError
+from repro.zpl.arrays import ZArray
+from repro.zpl.regions import Region
+from repro.zpl.statements import Assign
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.compiler.lowering import CompiledScan
+
+
+class ScanBlock:
+    """An ordered group of statements forming one wavefront computation."""
+
+    def __init__(self, name: str | None = None):
+        self.name = name
+        self.statements: list[Assign] = []
+
+    def append(self, statement: Assign) -> None:
+        """Record one statement (in lexical order)."""
+        self.statements.append(statement)
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+    def __iter__(self) -> Iterator[Assign]:
+        return iter(self.statements)
+
+    @property
+    def region(self) -> Region:
+        """The common covering region of all statements."""
+        if not self.statements:
+            raise LegalityError("scan block is empty")
+        return self.statements[0].region
+
+    @property
+    def rank(self) -> int:
+        """The common rank of all statements."""
+        return self.region.rank
+
+    def written_arrays(self) -> tuple[ZArray, ...]:
+        """Arrays defined (assigned) by the block, in first-write order."""
+        seen: list[ZArray] = []
+        for stmt in self.statements:
+            if not any(stmt.target is a for a in seen):
+                seen.append(stmt.target)
+        return tuple(seen)
+
+    def writes(self, array: ZArray) -> bool:
+        """True when ``array`` is assigned anywhere in the block."""
+        return any(stmt.target is array for stmt in self.statements)
+
+    def primed_directions(self) -> tuple:
+        """Directions of every primed reference, in order of appearance.
+
+        These are the inputs to the wavefront summary vector (Section 2.2).
+        """
+        dirs = []
+        for stmt in self.statements:
+            for ref in stmt.expr.refs():
+                if ref.primed:
+                    dirs.append(ref.offset)
+        return tuple(dirs)
+
+    def compile(self) -> "CompiledScan":
+        """Run the full compilation pipeline on this block.
+
+        Returns a :class:`repro.compiler.lowering.CompiledScan` carrying the
+        legality verdict, wavefront summary vector, derived loop structure and
+        the lowered loop-nest IR.  Raises a :class:`repro.errors.LegalityError`
+        subclass when any of the five static checks fails.
+        """
+        from repro.compiler import compile_scan  # late: layering
+
+        return compile_scan(self)
+
+    def __repr__(self) -> str:
+        label = self.name or "scan"
+        body = "; ".join(repr(s) for s in self.statements)
+        return f"<{label}: {body}>"

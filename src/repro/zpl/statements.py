@@ -1,0 +1,59 @@
+"""Array assignment statements.
+
+A statement is the unit the compiler reasons about: a target array, an
+expression tree, and the covering region.  Statements are either executed
+eagerly (ordinary array-language semantics) or recorded into a scan block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ExpressionError, RegionError
+from repro.zpl.arrays import ZArray
+from repro.zpl.expr import Node
+from repro.zpl.regions import Region
+
+
+@dataclass(frozen=True)
+class Assign:
+    """``target[region] = expr`` — one array assignment statement.
+
+    ``mask`` implements ZPL's ``[R with m]``: the store happens only at
+    region points where the mask array is nonzero (reads are unaffected).
+    """
+
+    target: ZArray
+    expr: Node
+    region: Region
+    mask: ZArray | None = None
+
+    def __post_init__(self) -> None:
+        if self.mask is not None and self.mask.rank != self.region.rank:
+            raise RegionError(
+                f"mask rank {self.mask.rank} != region rank {self.region.rank}"
+            )
+        if self.target.rank != self.region.rank:
+            raise RegionError(
+                f"statement region {self.region!r} has rank {self.region.rank}, "
+                f"target {self.target!r} has rank {self.target.rank}"
+            )
+        expr_rank = self.expr.rank
+        if expr_rank is not None and expr_rank != self.region.rank:
+            raise ExpressionError(
+                f"expression rank {expr_rank} != covering region rank "
+                f"{self.region.rank}"
+            )
+
+    @property
+    def rank(self) -> int:
+        """Rank of the statement (depth of its implementing loop nest)."""
+        return self.region.rank
+
+    def reads(self) -> tuple:
+        """All array references on the right-hand side."""
+        return tuple(self.expr.refs())
+
+    def __repr__(self) -> str:
+        name = self.target.name or "<array>"
+        return f"{self.region!r} {name} := {self.expr!r}"

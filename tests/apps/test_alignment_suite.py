@@ -1,0 +1,96 @@
+"""Tests for sequence alignment and the wavefront suite registry."""
+
+import numpy as np
+import pytest
+
+from repro.apps import alignment, suite
+from repro.machine import pipelined_wavefront, MachineParams
+from repro.runtime import execute_loopnest, execute_vectorized, run_and_capture
+
+
+class TestNeedlemanWunsch:
+    def test_identical_sequences(self):
+        result = alignment.needleman_wunsch("ACGT", "ACGT")
+        assert result.score == 8.0  # 4 matches x 2
+        assert result.aligned_a == "ACGT"
+        assert result.aligned_b == "ACGT"
+
+    def test_matches_oracle(self):
+        cases = [
+            ("GATTACA", "GCATGCU"),
+            ("AAAA", "AA"),
+            ("ACGTACGT", "TGCA"),
+            ("A", "T"),
+        ]
+        for a, b in cases:
+            got = alignment.needleman_wunsch(a, b).score
+            want = alignment.nw_score_oracle(a, b)
+            assert got == pytest.approx(want), (a, b)
+
+    def test_alignment_strings_consistent(self):
+        result = alignment.needleman_wunsch("GATTACA", "GCATGCU")
+        assert len(result.aligned_a) == len(result.aligned_b)
+        assert result.aligned_a.replace("-", "") == "GATTACA"
+        assert result.aligned_b.replace("-", "") == "GCATGCU"
+
+    def test_gap_dominated(self):
+        result = alignment.needleman_wunsch("AAAA", "AA", gap=1.0)
+        assert result.aligned_a == "AAAA"
+        assert result.aligned_b.count("-") == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            alignment.needleman_wunsch("", "ACGT")
+
+    def test_scalar_vs_vectorized_engine(self):
+        a, b = "ACGGTAC", "ACTTAC"
+        s1 = alignment.needleman_wunsch(a, b, engine=execute_vectorized).score
+        s2 = alignment.needleman_wunsch(a, b, engine=execute_loopnest).score
+        assert s1 == s2
+
+
+class TestSmithWaterman:
+    def test_local_score_nonnegative(self):
+        assert alignment.smith_waterman_score("AAAA", "TTTT") == 0.0
+
+    def test_local_finds_substring(self):
+        # Perfect local match of length 3 inside noise: score 6.
+        score = alignment.smith_waterman_score("TTACGTT", "GGACGGG")
+        assert score == 6.0
+
+    def test_local_geq_global(self):
+        a, b = "GATTACA", "GCATGCU"
+        local = alignment.smith_waterman_score(a, b)
+        global_ = alignment.needleman_wunsch(a, b).score
+        assert local >= global_
+
+
+class TestSuite:
+    def test_registry_names_unique(self):
+        names = [e.name for e in suite.SUITE]
+        assert len(names) == len(set(names))
+
+    def test_lookup(self):
+        assert suite.get("dp").boundary_rows == 1
+        with pytest.raises(KeyError):
+            suite.get("nope")
+
+    @pytest.mark.parametrize("entry", suite.SUITE, ids=lambda e: e.name)
+    def test_every_entry_compiles_and_runs(self, entry):
+        compiled = entry.build(10)
+        arrays = list(compiled.written_arrays()) + list(compiled.read_arrays())
+        oracle = run_and_capture(execute_loopnest, compiled, arrays)
+        fast = run_and_capture(execute_vectorized, compiled, arrays)
+        for o, f in zip(oracle, fast):
+            np.testing.assert_allclose(f, o, rtol=1e-12)
+
+    @pytest.mark.parametrize("entry", suite.SUITE, ids=lambda e: e.name)
+    def test_every_entry_pipelines(self, entry):
+        params = MachineParams(name="test", alpha=30.0, beta=1.0)
+        compiled = entry.build(12)
+        arrays = list(compiled.written_arrays())
+        expected = run_and_capture(execute_vectorized, compiled, arrays)
+        outcome = pipelined_wavefront(compiled, params, n_procs=3, block_size=4)
+        for arr, want in zip(arrays, expected):
+            np.testing.assert_allclose(arr._data, want, rtol=1e-12)
+        assert outcome.total_time > 0

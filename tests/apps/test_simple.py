@@ -1,0 +1,120 @@
+"""Tests for the SIMPLE hydrodynamics application."""
+
+import numpy as np
+import pytest
+
+from repro import zpl
+from repro.apps import simple, tomcatv
+from repro.machine import plan_wavefront
+from repro.runtime import execute_vectorized
+
+
+class TestBuild:
+    def test_blob_initialisation(self):
+        state = simple.build(16)
+        rho = state.rho.to_numpy()
+        centre = rho[7, 7]
+        corner = rho[0, 0]
+        assert centre > corner  # dense blob in the middle
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            simple.build(4)
+
+
+class TestSweeps:
+    def test_ns_sweep_wavefront_dims(self):
+        state = simple.build(12)
+        simple._setup_conduction(state)
+        ns_f, ns_b, we_f, we_b = simple.compile_sweeps(state)
+        assert plan_wavefront(ns_f).wavefront_dim == 0
+        assert plan_wavefront(ns_b).wavefront_dim == 0
+        # The WE sweep travels along the orthogonal (second) dimension.
+        assert plan_wavefront(we_f).wavefront_dim == 1
+        assert plan_wavefront(we_b).wavefront_dim == 1
+
+    def test_sweep_directions(self):
+        state = simple.build(12)
+        ns_f, ns_b, we_f, we_b = simple.compile_sweeps(state)
+        assert ns_f.loops.signs[0] == 1
+        assert ns_b.loops.signs[0] == -1
+        assert we_f.loops.signs[1] == 1
+        assert we_b.loops.signs[1] == -1
+
+    def test_ns_solve_matches_thomas_oracle(self):
+        # The NS conduction sweep is per-column the Thomas algorithm; reuse
+        # the Tomcatv oracle with SIMPLE's coefficient arrays.
+        n = 12
+        state = simple.build(n, seed=5)
+        simple.eos_phase(state)
+        simple._setup_conduction(state)
+        simple._zero_sweep_boundaries(state, dim=0)
+        interior = state.interior
+        cc = state.cc.read(interior).copy()
+        dd = state.dd.read(interior).copy()
+        rhs = state.e.read(interior).copy()
+        sub = state.cc.read(interior.shift(zpl.NORTH)).copy()
+        ns_f, ns_b, _, _ = simple.compile_sweeps(state)
+        execute_vectorized(ns_f)
+        execute_vectorized(ns_b)
+        expected = tomcatv.thomas_columns(cc, dd, rhs, sub)
+        np.testing.assert_allclose(state.e.read(interior), expected, rtol=1e-12)
+
+    def test_conduction_diffuses_peak(self):
+        # Heat conduction must pull the hot-blob peak down (the walls are
+        # cold Dirichlet boundaries, so peak-to-trough is not monotone, but
+        # the maximum always diffuses downward).
+        state = simple.build(16)
+        interior = state.interior
+        before = state.e.read(interior).max()
+        simple.conduction_phase(state)
+        after = state.e.read(interior).max()
+        assert after < before
+
+    def test_rr_is_contraction_candidate(self):
+        from repro.compiler import contractible
+
+        state = simple.build(10)
+        ns_f, _, _, _ = simple.compile_sweeps(state)
+        assert contractible(ns_f, state.rr)
+
+
+class TestCycle:
+    def test_cycle_keeps_state_physical(self):
+        state = simple.build(16)
+        simple.run(state, 5)
+        assert np.all(state.rho.read(state.interior) > 0)
+        assert np.all(state.e.read(state.interior) >= 0)
+        assert np.all(np.isfinite(state.u.to_numpy()))
+
+    def test_blob_drives_outflow(self):
+        # The pressure blob accelerates material outward.
+        state = simple.build(16)
+        simple.run(state, 3)
+        u = state.u.read(state.interior)
+        assert np.abs(u).max() > 0.0
+
+    def test_courant_history(self):
+        state = simple.build(12)
+        speeds = simple.run(state, 4)
+        assert len(speeds) == 4
+        assert all(s > 0 for s in speeds)
+
+
+class TestProfile:
+    def test_wavefront_fraction_small(self):
+        # The paper's SIMPLE story: wavefronts are a small slice, so the
+        # whole-program win is modest.
+        prog = simple.profile(257)
+        assert 0.03 < prog.wavefront_fraction() < 0.2
+
+    def test_composition(self):
+        from repro.models import PhaseKind
+
+        prog = simple.profile(64, cycles=2)
+        serial = prog.compose(lambda ph: ph.work)
+        assert serial == pytest.approx(prog.total_work())
+        halved = prog.compose(
+            lambda ph: ph.work / 2 if ph.kind is PhaseKind.PARALLEL else ph.work
+        )
+        assert halved < serial

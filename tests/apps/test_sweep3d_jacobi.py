@@ -1,0 +1,122 @@
+"""Tests for the SWEEP3D-style transport sweep and the Jacobi example."""
+
+import numpy as np
+import pytest
+
+from repro import zpl
+from repro.apps import jacobi, sweep3d
+from repro.machine import plan_wavefront
+from repro.runtime import execute_loopnest, execute_vectorized
+
+
+class TestOctants:
+    def test_eight_octants(self):
+        assert len(sweep3d.OCTANTS) == 8
+        assert len(set(sweep3d.OCTANTS)) == 8
+
+    def test_octant_directions(self):
+        dirs = sweep3d.octant_directions((1, 1, 1))
+        assert tuple(tuple(d) for d in dirs) == ((-1, 0, 0), (0, -1, 0), (0, 0, -1))
+        dirs = sweep3d.octant_directions((-1, 1, -1))
+        assert tuple(tuple(d) for d in dirs) == ((1, 0, 0), (0, -1, 0), (0, 0, 1))
+
+    def test_all_octants_compile_legal(self):
+        state = sweep3d.build(6)
+        for octant in sweep3d.OCTANTS:
+            compiled = sweep3d.compile_octant(state, octant)
+            assert compiled.loops.rank == 3
+            # Every octant sweep pipelines: at least one wavefront dim.
+            assert plan_wavefront(compiled).wavefront_dim in (0, 1, 2)
+
+    def test_octant_signs_match_directions(self):
+        state = sweep3d.build(6)
+        compiled = sweep3d.compile_octant(state, (1, -1, 1))
+        # +1 sweep ascends, -1 sweep descends.
+        assert compiled.loops.signs == (1, -1, 1)
+
+
+class TestSweepValues:
+    def test_recurrence_oracle_ppp(self):
+        # For the (+,+,+) octant, phi satisfies a forward recurrence we can
+        # replay directly in numpy.
+        n = 6
+        state = sweep3d.build(n, seed=9)
+        state.phi.fill(0.0)
+        execute_vectorized(sweep3d.compile_octant(state, (1, 1, 1)))
+        src = state.src.to_numpy()
+        sigma = state.sigma.to_numpy()
+        wi, wj, wk = state.weights
+        phi = np.zeros((n + 2, n + 2, n + 2))  # pad to handle boundaries
+        for i in range(2, n):
+            for j in range(2, n):
+                for k in range(2, n):
+                    phi[i, j, k] = (
+                        src[i - 1, j - 1, k - 1]
+                        + wi * phi[i - 1, j, k]
+                        + wj * phi[i, j - 1, k]
+                        + wk * phi[i, j, k - 1]
+                    ) / (sigma[i - 1, j - 1, k - 1] + wi + wj + wk)
+        got = state.phi.read(state.interior)
+        want = phi[2:n, 2:n, 2:n]
+        np.testing.assert_allclose(got, want, rtol=1e-12)
+
+    def test_engines_agree(self):
+        state1 = sweep3d.build(6, seed=2)
+        state2 = sweep3d.build(6, seed=2)
+        octant = (-1, 1, -1)
+        execute_vectorized(sweep3d.compile_octant(state1, octant))
+        execute_loopnest(sweep3d.compile_octant(state2, octant))
+        np.testing.assert_allclose(
+            state1.phi.to_numpy(), state2.phi.to_numpy(), rtol=1e-13
+        )
+
+    def test_source_iteration_accumulates(self):
+        state = sweep3d.build(6)
+        total = sweep3d.source_iteration(state)
+        assert total > 0
+        assert np.all(state.flux.read(state.interior) >= 0)
+
+    def test_octant_symmetry(self):
+        # With a point source at the exact interior centre and uniform
+        # sigma, the eight octant sweeps mirror one another: the summed
+        # flux is centrally symmetric.
+        n = 7
+        state = sweep3d.build(n)
+        state.sigma.fill(1.0)
+        state.src.fill(0.0)
+        state.src.put((4, 4, 4), 1.0)  # centre of interior [2..6]^3
+        sweep3d.source_iteration(state)
+        flux = state.flux.read(state.interior)
+        np.testing.assert_allclose(flux, flux[::-1, ::-1, ::-1], rtol=1e-10)
+
+    def test_profile(self):
+        prog = sweep3d.profile(10)
+        assert prog.wavefront_fraction() == pytest.approx(1.0 / 1.2, rel=0.01)
+
+
+class TestJacobi:
+    def test_converges(self):
+        state = jacobi.build(12)
+        iters = jacobi.solve(state, tol=1e-5)
+        assert iters < 10_000
+        assert state.history[-1] < 1e-5
+
+    def test_monotone_decrease(self):
+        state = jacobi.build(12)
+        jacobi.solve(state, tol=1e-4)
+        deltas = state.history
+        assert deltas[-1] < deltas[0]
+
+    def test_solution_bounds(self):
+        # Discrete maximum principle: interior values between boundary values.
+        state = jacobi.build(10)
+        jacobi.solve(state, tol=1e-6)
+        interior = state.a.read(state.interior)
+        assert np.all(interior >= 0.0)
+        assert np.all(interior <= 1.0)
+
+    def test_hot_edge_dominates_nearby(self):
+        state = jacobi.build(10)
+        jacobi.solve(state, tol=1e-6)
+        a = state.a.to_numpy()
+        assert a[1, 4] > a[8, 4]  # nearer the hot edge is hotter

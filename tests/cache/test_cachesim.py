@@ -1,0 +1,103 @@
+"""Tests for the cache simulators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CacheConfigError
+from repro.machine.params import CacheGeometry
+from repro.cache.cachesim import (
+    CacheResult,
+    simulate,
+    simulate_direct_mapped,
+    simulate_lru,
+)
+
+DM = CacheGeometry(size_elems=64, line_elems=4, ways=1, miss_penalty=10.0, hit_time=0.5)
+TWO_WAY = CacheGeometry(size_elems=64, line_elems=4, ways=2, miss_penalty=10.0)
+
+
+class TestDirectMapped:
+    def test_empty_trace(self):
+        result = simulate_direct_mapped(np.array([], dtype=np.int64), DM)
+        assert result.accesses == 0 and result.misses == 0
+
+    def test_cold_miss_then_hits(self):
+        # Same line: 1 miss + 3 hits.
+        result = simulate_direct_mapped(np.array([0, 1, 2, 3]), DM)
+        assert result.misses == 1
+        assert result.hits == 3
+
+    def test_sequential_sweep_miss_rate(self):
+        # Sequential sweep: one miss per line.
+        trace = np.arange(4096, dtype=np.int64)
+        result = simulate_direct_mapped(trace, DM)
+        assert result.misses == 4096 // DM.line_elems
+        assert result.miss_rate == pytest.approx(0.25)
+
+    def test_conflict_misses(self):
+        # 16 sets * 4 elements: addresses 0 and 64 map to the same set,
+        # different lines -> every access misses.
+        trace = np.array([0, 64, 0, 64, 0, 64])
+        result = simulate_direct_mapped(trace, DM)
+        assert result.misses == 6
+
+    def test_distinct_sets_no_conflict(self):
+        trace = np.array([0, 4, 0, 4, 0, 4])  # different sets
+        result = simulate_direct_mapped(trace, DM)
+        assert result.misses == 2
+
+    def test_ways_must_be_one(self):
+        with pytest.raises(CacheConfigError):
+            simulate_direct_mapped(np.array([0]), TWO_WAY)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(CacheConfigError):
+            simulate_direct_mapped(np.array([-1]), DM)
+
+
+class TestLRU:
+    def test_two_way_absorbs_pairwise_conflict(self):
+        # Two lines in the same set fit in a 2-way cache: only cold misses.
+        trace = np.array([0, 64, 0, 64, 0, 64])
+        result = simulate_lru(trace, TWO_WAY)
+        assert result.misses == 2
+
+    def test_three_way_conflict_thrashes_two_way(self):
+        # Three lines, same set, LRU: every access misses.
+        trace = np.array([0, 64, 128] * 4)
+        result = simulate_lru(trace, TWO_WAY)
+        assert result.misses == 12
+
+    def test_lru_eviction_order(self):
+        # Access A, B, then A again (A becomes MRU), then C (evicts B).
+        trace = np.array([0, 64, 0, 128, 64])
+        result = simulate_lru(trace, TWO_WAY)
+        # misses: A, B, C, and B again (evicted) = 4; hit: second A.
+        assert result.misses == 4
+
+    def test_matches_direct_mapped_when_one_way(self):
+        rng = np.random.default_rng(42)
+        trace = rng.integers(0, 1024, size=5000)
+        a = simulate_direct_mapped(trace, DM)
+        b = simulate_lru(trace, DM)
+        assert a.misses == b.misses
+
+    def test_dispatch(self):
+        trace = np.array([0, 64, 0])
+        assert simulate(trace, DM).misses == 3
+        assert simulate(trace, TWO_WAY).misses == 2
+
+
+class TestResult:
+    def test_time_model(self):
+        result = CacheResult(accesses=100, misses=10)
+        geometry = DM
+        assert result.time(geometry, compute=50.0) == pytest.approx(
+            50.0 + 100 * 0.5 + 10 * 10.0
+        )
+
+    def test_miss_rate_empty(self):
+        assert CacheResult(0, 0).miss_rate == 0.0
+
+    def test_repr(self):
+        assert "rate=0.100" in repr(CacheResult(100, 10))

@@ -1,0 +1,60 @@
+"""Tests for array contraction of promoted scalars."""
+
+import numpy as np
+import pytest
+
+from repro import zpl
+from repro.compiler import compile_scan, contract, contractible
+from repro.errors import CompilationError
+from repro.runtime import execute_vectorized
+from tests.conftest import record_tomcatv_block, tomcatv_fragment_oracle
+
+
+class TestContractible:
+    def test_tomcatv_r_is_contractible(self):
+        # 'r' is the paper's canonical promoted scalar (Section 2.1).
+        block, (aa, d, dd, rx, ry, r) = record_tomcatv_block(8)
+        compiled = compile_scan(block)
+        assert contractible(compiled, r)
+
+    def test_primed_array_not_contractible(self):
+        block, (aa, d, dd, rx, ry, r) = record_tomcatv_block(8)
+        compiled = compile_scan(block)
+        assert not contractible(compiled, d)   # d is read primed
+        assert not contractible(compiled, rx)
+
+    def test_unwritten_array_not_contractible(self):
+        block, (aa, d, dd, rx, ry, r) = record_tomcatv_block(8)
+        compiled = compile_scan(block)
+        assert not contractible(compiled, aa)
+
+
+class TestContract:
+    def test_contracted_execution_matches_oracle(self):
+        n = 10
+        block, (aa, d, dd, rx, ry, r) = record_tomcatv_block(n)
+        expected = tomcatv_fragment_oracle(n, aa, d, dd, rx, ry, r)
+        compiled = contract(compile_scan(block), [r])
+        assert compiled.is_contracted(r)
+        execute_vectorized(compiled)
+        # All *non-contracted* outputs must match the Fortran oracle.
+        for got, want in zip((d, rx, ry), expected[1:]):
+            np.testing.assert_allclose(got.to_numpy(), want, rtol=1e-12)
+
+    def test_contract_rejects_shifted_read(self):
+        block, (aa, d, dd, rx, ry, r) = record_tomcatv_block(6)
+        compiled = compile_scan(block)
+        with pytest.raises(CompilationError, match="not contractible"):
+            contract(compiled, [d])
+
+    def test_contract_is_idempotent(self):
+        block, (aa, d, dd, rx, ry, r) = record_tomcatv_block(6)
+        compiled = contract(contract(compile_scan(block), [r]), [r])
+        assert compiled.contracted == (r,)
+
+    def test_original_compiled_untouched(self):
+        block, (aa, d, dd, rx, ry, r) = record_tomcatv_block(6)
+        compiled = compile_scan(block)
+        contracted = contract(compiled, [r])
+        assert compiled.contracted == ()
+        assert contracted.contracted == (r,)

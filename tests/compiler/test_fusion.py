@@ -1,0 +1,101 @@
+"""Tests for statement fusion grouping."""
+
+import pytest
+
+from repro import zpl
+from repro.compiler.fusion import can_fuse, fuse_groups
+from repro.zpl.statements import Assign
+
+
+N = 6
+BASE = zpl.Region.square(1, N)
+R = zpl.Region.of((2, N - 1), (2, N - 1))
+R2 = zpl.Region.of((1, N), (1, N))
+
+
+def arrays():
+    return (
+        zpl.ones(BASE, name="a"),
+        zpl.ones(BASE, name="b"),
+        zpl.ones(BASE, name="c"),
+    )
+
+
+class TestCanFuse:
+    def test_independent_statements_fuse(self):
+        a, b, c = arrays()
+        stmts = [Assign(a, b + 1.0, R), Assign(c, b * 2.0, R)]
+        assert can_fuse(stmts)
+
+    def test_different_regions_do_not_fuse(self):
+        a, b, c = arrays()
+        stmts = [Assign(a, b + 1.0, R), Assign(c, b * 2.0, R2)]
+        assert not can_fuse(stmts)
+
+    def test_contradictory_shifts_do_not_fuse(self):
+        # Statement 1 reads new a@north (true (1,0)); statement 2 reads old
+        # b@... wait: construct true+anti conflict in the same dimension:
+        # S0 writes a; S1 reads a@north (true (1,0)) and writes b;
+        # S0 reads b@north (anti (-1,0) w.r.t. S1's write).
+        a, b, c = arrays()
+        stmts = [
+            Assign(a, (b @ zpl.NORTH) + 1.0, R),
+            Assign(b, (a @ zpl.NORTH) * 2.0, R),
+        ]
+        assert not can_fuse(stmts)
+
+    def test_same_direction_constraints_fuse(self):
+        a, b, c = arrays()
+        stmts = [
+            Assign(a, (b @ zpl.NORTH) + 1.0, R),   # anti (-1,0) on b
+            Assign(b, (a @ zpl.SOUTH) * 2.0, R),   # true (1,0)... descending
+        ]
+        # b read at north by S0 (anti (-1,0)); a read at south by S1 after
+        # S0 wrote it (true UDV (-1,0)): both want descending dim 0 -> legal.
+        assert can_fuse(stmts)
+
+    def test_primed_statements_never_fuse_here(self):
+        a, b, c = arrays()
+        stmts = [Assign(a, a.p @ zpl.NORTH, R)]
+        assert not can_fuse(stmts)
+
+    def test_empty(self):
+        assert not can_fuse([])
+
+
+class TestFuseGroups:
+    def test_tomcatv_unprimed_statements_fuse(self):
+        # The four statements of Fig. 2(a)'s body (one row at a time) share a
+        # region and carry only zero-offset flow: one group.
+        a, b, c = arrays()
+        d = zpl.ones(BASE, name="d")
+        row = zpl.Region.of((3, 3), (2, N - 1))
+        stmts = [
+            Assign(a, b * (c @ zpl.NORTH), row),
+            Assign(c, 1.0 / (d - (b @ zpl.NORTH) * a), row),
+            Assign(d, d - (d @ zpl.NORTH) * a, row),
+        ]
+        groups = fuse_groups(stmts)
+        assert len(groups) == 1
+        assert len(groups[0]) == 3
+
+    def test_region_change_splits(self):
+        a, b, c = arrays()
+        stmts = [
+            Assign(a, b + 1.0, R),
+            Assign(c, b + 1.0, R2),
+            Assign(b, c + 1.0, R2),
+        ]
+        groups = fuse_groups(stmts)
+        assert [len(g) for g in groups] == [1, 2]
+
+    def test_conflict_splits(self):
+        a, b, c = arrays()
+        stmts = [
+            Assign(a, (b @ zpl.NORTH) + 1.0, R),
+            Assign(b, (a @ zpl.NORTH) * 2.0, R),
+        ]
+        assert [len(g) for g in fuse_groups(stmts)] == [1, 1]
+
+    def test_empty_list(self):
+        assert fuse_groups([]) == []

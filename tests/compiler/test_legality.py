@@ -1,0 +1,127 @@
+"""Tests for the five statically checked scan-block legality conditions."""
+
+import pytest
+
+from repro import zpl
+from repro.errors import (
+    LegalityError,
+    OverconstrainedScanError,
+    PrimedOperandError,
+    RankMismatchError,
+    RegionMismatchError,
+)
+
+
+N = 6
+BASE = zpl.Region.square(1, N)
+R = zpl.Region.of((2, N), (1, N))
+
+
+def record(body):
+    """Record a scan block via the callable ``body(arrays) -> None``."""
+    a = zpl.ones(BASE, name="a")
+    b = zpl.ones(BASE, name="b")
+    with zpl.covering(R):
+        with zpl.scan(execute=False) as block:
+            body(a, b)
+    return block
+
+
+class TestConditionI:
+    def test_primed_array_must_be_defined(self):
+        # 'b' is primed but never assigned in the block.
+        block = record(lambda a, b: a.__setitem__(..., b.p @ zpl.NORTH))
+        with pytest.raises(PrimedOperandError, match="never\\s+defines"):
+            block.compile()
+
+    def test_primed_array_defined_later_is_fine(self):
+        def body(a, b):
+            a[...] = b.p @ zpl.NORTH
+            b[...] = a + 1.0
+
+        record(body).compile()
+
+
+class TestConditionII:
+    def test_north_south_overconstrained(self):
+        def body(a, b):
+            a[...] = (a.p @ zpl.NORTH) + (a.p @ zpl.SOUTH)
+
+        with pytest.raises(OverconstrainedScanError):
+            record(body).compile()
+
+    def test_example4_overconstrained(self):
+        def body(a, b):
+            a[...] = ((a.p @ zpl.WEST) + (a.p @ zpl.EAST)) / 2.0
+
+        with pytest.raises(OverconstrainedScanError):
+            record(body).compile()
+
+    def test_example3_legal(self):
+        def body(a, b):
+            a[...] = ((a.p @ (-1, 0)) + (a.p @ (1, 1))) / 2.0
+
+        record(body).compile()
+
+
+class TestConditionIII:
+    def test_rank_mismatch(self):
+        line = zpl.ones(zpl.Region.of((1, N)), name="line")
+        a = zpl.ones(BASE, name="a")
+        with pytest.raises(RankMismatchError):
+            with zpl.covering(R):
+                with zpl.scan(execute=False) as block:
+                    a[...] = a.p @ zpl.NORTH
+                    line[zpl.Region.of((2, N))] = line.p @ (-1,)
+            block.compile()
+
+
+class TestConditionIV:
+    def test_region_mismatch(self):
+        other = zpl.Region.of((3, N), (1, N))
+
+        def body(a, b):
+            a[...] = a.p @ zpl.NORTH
+            b[other] = b.p @ zpl.NORTH
+
+        with pytest.raises(RegionMismatchError):
+            record(body).compile()
+
+
+class TestConditionV:
+    def test_primed_reduction_operand(self):
+        def body(a, b):
+            a[...] = zpl.zsum(a.p @ zpl.NORTH)
+
+        with pytest.raises(PrimedOperandError, match="parallel operator"):
+            record(body).compile()
+
+    def test_reduction_of_block_written_array(self):
+        def body(a, b):
+            a[...] = a.p @ zpl.NORTH
+            b[...] = zpl.zsum(a)  # 'a' is written in the block: cannot hoist
+
+        with pytest.raises(PrimedOperandError, match="cannot be hoisted"):
+            record(body).compile()
+
+    def test_reduction_of_outside_array_ok(self):
+        def body(a, b):
+            a[...] = (a.p @ zpl.NORTH) + zpl.zsum(b)
+
+        compiled = record(body).compile()
+        assert len(compiled.hoisted) == 1
+
+
+class TestAdditionalChecks:
+    def test_empty_block(self):
+        with zpl.scan(execute=False) as block:
+            pass
+        with pytest.raises(LegalityError, match="empty|no statements"):
+            block.compile()
+
+    def test_unshifted_prime_rejected(self):
+        def body(a, b):
+            a[...] = a.p + 1.0
+
+        with pytest.raises(PrimedOperandError, match="without a shift"):
+            record(body).compile()

@@ -1,0 +1,129 @@
+"""Tests for loop-structure derivation and over-constraint detection."""
+
+import pytest
+
+from repro import zpl
+from repro.compiler.loopstruct import (
+    LoopStructure,
+    derive_loop_structure,
+    structure_exists,
+)
+from repro.compiler.wsv import DimClass, classify
+from repro.errors import OverconstrainedScanError
+
+
+def derive(vectors, rank):
+    return derive_loop_structure(vectors, classify(vectors, rank), rank)
+
+
+class TestFig3Structures:
+    def test_anti_dependence_descends(self):
+        # Fig. 3(a/b): a := 2*a@north needs the i-loop from high to low.
+        loops = derive_loop_structure(
+            [(-1, 0)], classify([], 2), 2
+        )
+        assert loops.signs[0] == -1
+        assert loops.respects((-1, 0))
+
+    def test_true_dependence_ascends(self):
+        # Fig. 3(d/e): a := 2*a'@north needs the i-loop from low to high.
+        loops = derive([(1, 0)], 2)
+        assert loops.signs[0] == 1
+        assert loops.order[0] == 0  # wavefront dim outermost
+        assert loops.respects((1, 0))
+
+
+class TestPaperExamples:
+    def test_example1_legal(self):
+        # d1 = d2 = (-1,0) -> UDVs {(1,0)}: simple, legal.
+        loops = derive([(1, 0), (1, 0)], 2)
+        assert loops.wavefront_dims == (0,)
+        assert loops.parallel_dims == (1,)
+
+    def test_example2_legal(self):
+        # d1=(-1,0), d2=(0,-1) -> UDVs {(1,0),(0,1)}: both ascending.
+        loops = derive([(1, 0), (0, 1)], 2)
+        assert loops.signs == (1, 1)
+        assert loops.serial_dims == (0,)
+        assert loops.wavefront_dims == (1,)
+
+    def test_example3_legal_despite_nonsimple_wsv(self):
+        # d1=(-1,0), d2=(1,1) -> UDVs {(1,0),(-1,-1)}: legal, the second
+        # dimension (descending) must be the outer loop.
+        loops = derive([(1, 0), (-1, -1)], 2)
+        assert loops.order[0] == 1
+        assert loops.signs[1] == -1
+        assert loops.signs[0] == 1
+        for v in [(1, 0), (-1, -1)]:
+            assert loops.respects(v)
+
+    def test_example4_overconstrained(self):
+        # d1=(0,-1), d2=(0,1) -> UDVs {(0,1),(0,-1)}: no loop nest exists.
+        with pytest.raises(OverconstrainedScanError):
+            derive([(0, 1), (0, -1)], 2)
+
+    def test_north_south_overconstrained(self):
+        # Primed @north with primed @south (Section 2.2's motivating case).
+        with pytest.raises(OverconstrainedScanError):
+            derive([(1, 0), (-1, 0)], 2)
+
+
+class TestPreferences:
+    def test_parallel_dims_innermost(self):
+        loops = derive([(1, 0)], 2)
+        assert loops.order == (0, 1)  # pipelined outer, parallel inner
+
+    def test_ascending_preferred_when_unconstrained(self):
+        loops = derive([], 2)
+        assert loops.signs == (1, 1)
+
+    def test_serial_outermost_when_legal(self):
+        # Case (iii): UDVs {(1,0),(0,1)} — serial dim 0 can be outermost.
+        loops = derive([(1, 0), (0, 1)], 2)
+        assert loops.order[0] == 0
+
+    def test_3d_structure(self):
+        loops = derive([(1, 0, 0), (0, 1, 0), (0, 0, 1)], 3)
+        assert loops.signs == (1, 1, 1)
+        for v in [(1, 0, 0), (0, 1, 0), (0, 0, 1)]:
+            assert loops.respects(v)
+
+
+class TestRespects:
+    def test_zero_vector_always_respected(self):
+        loops = LoopStructure((0, 1), (1, 1), (DimClass.PARALLEL,) * 2)
+        assert loops.respects((0, 0))
+
+    def test_sign_flip(self):
+        loops = LoopStructure((0, 1), (-1, 1), (DimClass.PARALLEL,) * 2)
+        assert loops.respects((-1, 5))
+        assert not loops.respects((1, 5))
+
+    def test_order_matters(self):
+        loops = LoopStructure((1, 0), (1, 1), (DimClass.PARALLEL,) * 2)
+        assert loops.respects((-1, 1))  # dim 1 checked first
+        assert not loops.respects((1, -1))
+
+    def test_indices_honour_signs(self):
+        loops = LoopStructure((0, 1), (-1, 1), (DimClass.PARALLEL,) * 2)
+        R = zpl.Region.of((2, 4), (1, 3))
+        assert list(loops.indices(R, 0)) == [4, 3, 2]
+        assert list(loops.indices(R, 1)) == [1, 2, 3]
+
+
+class TestStructureExists:
+    def test_exists(self):
+        assert structure_exists([(1, 0), (-1, -1)], 2)
+
+    def test_not_exists(self):
+        assert not structure_exists([(0, 1), (0, -1)], 2)
+
+    def test_vacuous(self):
+        assert structure_exists([], 2)
+
+    def test_zero_vectors_ignored(self):
+        assert structure_exists([(0, 0)], 2)
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            derive_loop_structure([(1, 0, 0)], classify([], 2), 2)

@@ -1,0 +1,126 @@
+"""Tests for hoisting, CompiledScan packaging and compile_statements."""
+
+import numpy as np
+import pytest
+
+from repro import zpl
+from repro.compiler import compile_scan, compile_statements
+from repro.compiler.wsv import DimClass
+from repro.runtime import execute_vectorized
+from repro.zpl.statements import Assign
+from tests.conftest import record_tomcatv_block
+
+
+class TestCompileScan:
+    def test_tomcatv_compiles(self):
+        block, _ = record_tomcatv_block(8)
+        compiled = compile_scan(block)
+        assert repr(compiled.wsv) == "(-,0)"
+        assert compiled.loops.wavefront_dims == (0,)
+        assert compiled.loops.parallel_dims == (1,)
+        assert compiled.loops.signs[0] == 1
+        assert len(compiled.statements) == 4
+        assert compiled.hoisted == ()
+
+    def test_written_and_read_arrays(self):
+        block, (aa, d, dd, rx, ry, r) = record_tomcatv_block(8)
+        compiled = compile_scan(block)
+        assert compiled.written_arrays() == (r, d, rx, ry)
+        read = compiled.read_arrays()
+        for arr in (aa, d, dd, rx, ry, r):
+            assert any(arr is x for x in read)
+
+    def test_block_compile_method_equivalent(self):
+        block, _ = record_tomcatv_block(6)
+        assert block.compile().wsv == compile_scan(block).wsv
+
+
+class TestHoisting:
+    def test_hoisted_temp_evaluated_at_block_entry(self):
+        n = 6
+        base = zpl.Region.square(1, n)
+        R = zpl.Region.of((2, n), (1, n))
+        a = zpl.ones(base, name="a")
+        b = zpl.from_numpy(np.arange(float(n * n)).reshape(n, n), base=1, name="b")
+        with zpl.covering(R):
+            with zpl.scan(execute=False) as block:
+                a[...] = (a.p @ zpl.NORTH) + zpl.zsum(b)
+        compiled = compile_scan(block)
+        assert len(compiled.hoisted) == 1
+        # The reduction ranges over the covering region R, not all of b.
+        total = float(b.read(R).sum())
+        execute_vectorized(compiled)
+        # Row 2 of a: a[1,:] (= 1.0) + sum_R(b)
+        assert float(a[(2, 1)]) == pytest.approx(1.0 + total)
+        # Row 3 accumulates again.
+        assert float(a[(3, 1)]) == pytest.approx(1.0 + 2 * total)
+
+    def test_flood_hoisted(self):
+        n = 5
+        base = zpl.Region.square(1, n)
+        R = zpl.Region.of((2, n), (1, n))
+        a = zpl.ones(base, name="a")
+        b = zpl.from_numpy(np.arange(float(n * n)).reshape(n, n), base=1, name="b")
+        with zpl.covering(R):
+            with zpl.scan(execute=False) as block:
+                a[...] = (a.p @ zpl.NORTH) + zpl.flood(b, dims=[0])
+        compiled = compile_scan(block)
+        assert len(compiled.hoisted) == 1
+        execute_vectorized(compiled)
+        # flood over R takes b's row 2 (the low edge of R), replicated.
+        assert float(a[(2, 2)]) == pytest.approx(1.0 + float(b[(2, 2)]))
+
+    def test_hoist_repr(self):
+        block, _ = record_tomcatv_block(6)
+        text = repr(compile_scan(block))
+        assert "wsv=(-,0)" in text
+        assert "4 stmts" in text
+
+
+class TestCompileStatements:
+    def test_fig3a_structure(self):
+        n = 5
+        a = zpl.ones(zpl.Region.square(1, n), name="a")
+        R = zpl.Region.of((2, n), (1, n))
+        compiled = compile_statements([Assign(a, 2.0 * (a @ zpl.NORTH), R)])
+        assert compiled.loops.signs[0] == -1  # high-to-low, Fig. 3(b)
+        assert compiled.loops.classes == (DimClass.PARALLEL, DimClass.PARALLEL)
+
+    def test_primed_rejected(self):
+        n = 5
+        a = zpl.ones(zpl.Region.square(1, n), name="a")
+        R = zpl.Region.of((2, n), (1, n))
+        with pytest.raises(ValueError, match="scan block"):
+            compile_statements([Assign(a, a.p @ zpl.NORTH, R)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compile_statements([])
+
+    def test_mixed_regions_rejected(self):
+        n = 5
+        a = zpl.ones(zpl.Region.square(1, n), name="a")
+        R1 = zpl.Region.of((2, n), (1, n))
+        R2 = zpl.Region.of((1, n), (1, n))
+        with pytest.raises(ValueError, match="common covering region"):
+            compile_statements(
+                [Assign(a, a + 1.0, R1), Assign(a, a + 1.0, R2)]
+            )
+
+    def test_execution_matches_eager(self):
+        n = 6
+        rng = np.random.default_rng(3)
+        base = zpl.Region.square(1, n)
+        R = zpl.Region.of((2, n - 1), (2, n - 1))
+        a = zpl.ZArray(base, name="a")
+        a.load(rng.uniform(size=(n, n)))
+        b = a.copy_like(name="b")
+        # Eager path.
+        with zpl.covering(R):
+            a[...] = 2.0 * (a @ zpl.NORTH) + (a @ zpl.EAST)
+        # Compiled fused-loop path.
+        compiled = compile_statements(
+            [Assign(b, 2.0 * (b @ zpl.NORTH) + (b @ zpl.EAST), R)]
+        )
+        execute_vectorized(compiled)
+        np.testing.assert_allclose(a.to_numpy(), b.to_numpy(), rtol=1e-14)

@@ -1,0 +1,129 @@
+"""Tests for unconstrained distance vector extraction."""
+
+import pytest
+
+from repro import zpl
+from repro.compiler.udv import (
+    DepKind,
+    extract_dependences,
+    constraint_vectors,
+    true_vectors,
+)
+from repro.zpl.statements import Assign
+
+
+def _arrays(n=5, names=("a", "b", "c")):
+    base = zpl.Region.square(1, n)
+    return tuple(zpl.ones(base, name=nm) for nm in names)
+
+
+REGION = zpl.Region.of((2, 4), (1, 5))
+
+
+class TestPrimedRefs:
+    def test_primed_negates_direction(self):
+        # Paper Section 3.1: "the unconstrained distance vectors associated
+        # with primed array references are simply negated."
+        (a, _, _) = _arrays()
+        stmt = Assign(a, 2.0 * (a.p @ zpl.NORTH), REGION)
+        deps = extract_dependences([stmt])
+        (dep,) = [d for d in deps if d.kind is DepKind.TRUE]
+        assert dep.vector == (1, 0)
+
+    def test_primed_is_true_dependence(self):
+        (a, _, _) = _arrays()
+        stmt = Assign(a, a.p @ zpl.SOUTHEAST, REGION)
+        deps = extract_dependences([stmt])
+        assert [d.kind for d in deps] == [DepKind.TRUE]
+        assert deps[0].vector == (-1, -1)
+
+    def test_primed_outside_scan_rejected_by_extractor(self):
+        (a, _, _) = _arrays()
+        stmt = Assign(a, a.p @ zpl.NORTH, REGION)
+        with pytest.raises(ValueError):
+            extract_dependences([stmt], primed_allowed=False)
+
+
+class TestUnprimedRefs:
+    def test_self_reference_is_anti(self):
+        # Fig. 3(a): a := 2*a@north carries an anti-dependence (-1, 0).
+        (a, _, _) = _arrays()
+        stmt = Assign(a, 2.0 * (a @ zpl.NORTH), REGION)
+        deps = extract_dependences([stmt])
+        (dep,) = deps
+        assert dep.kind is DepKind.ANTI
+        assert dep.vector == (-1, 0)
+
+    def test_unwritten_array_unconstrained(self):
+        (a, b, _) = _arrays()
+        stmt = Assign(a, b @ zpl.NORTH, REGION)
+        assert extract_dependences([stmt]) == ()
+
+    def test_read_of_earlier_write_is_true(self):
+        (a, b, _) = _arrays()
+        stmts = [
+            Assign(a, b + 0.0, REGION),
+            Assign(b, a @ zpl.NORTH, REGION),  # a written by stmt 0
+        ]
+        deps = extract_dependences(stmts)
+        true = [d for d in deps if d.kind is DepKind.TRUE]
+        assert len(true) == 1
+        assert true[0].vector == (1, 0)
+        assert (true[0].src, true[0].dst) == (0, 1)
+
+    def test_read_of_later_write_is_anti(self):
+        (a, b, _) = _arrays()
+        stmts = [
+            Assign(b, a @ zpl.EAST, REGION),  # a written by stmt 1
+            Assign(a, b + 1.0, REGION),
+        ]
+        deps = extract_dependences(stmts)
+        anti = [d for d in deps if d.kind is DepKind.ANTI]
+        assert len(anti) == 1
+        assert anti[0].vector == (0, 1)
+        assert (anti[0].src, anti[0].dst) == (0, 1)
+
+    def test_zero_offset_flow_is_loop_independent(self):
+        (a, b, _) = _arrays()
+        stmts = [
+            Assign(a, b + 1.0, REGION),
+            Assign(b, a + 0.0, REGION),
+        ]
+        deps = extract_dependences(stmts)
+        assert all(d.is_loop_independent() for d in deps)
+        assert constraint_vectors(deps) == ()
+
+
+class TestOutputDeps:
+    def test_double_write_same_array(self):
+        (a, b, _) = _arrays()
+        stmts = [
+            Assign(a, b + 1.0, REGION),
+            Assign(a, b + 2.0, REGION),
+        ]
+        deps = extract_dependences(stmts)
+        out = [d for d in deps if d.kind is DepKind.OUTPUT]
+        assert len(out) == 1
+        assert out[0].vector == (0, 0)
+        assert out[0].is_loop_independent()
+
+
+class TestTomcatvDependences:
+    def test_fragment_has_single_constraint(self):
+        from tests.conftest import record_tomcatv_block
+
+        block, _ = record_tomcatv_block(8)
+        deps = extract_dependences(block.statements)
+        # Three primed refs (d', rx', ry') all give the (1, 0) true UDV;
+        # the unprimed reads of r are loop-independent (zero vector).
+        assert set(true_vectors(deps)) == {(1, 0), (0, 0)}
+        assert set(constraint_vectors(deps)) == {(1, 0)}
+
+    def test_repr_mentions_kind_and_array(self):
+        from tests.conftest import record_tomcatv_block
+
+        block, _ = record_tomcatv_block(6)
+        deps = extract_dependences(block.statements)
+        text = " ".join(repr(d) for d in deps)
+        assert "true" in text
+        assert "d" in text

@@ -1,0 +1,143 @@
+"""Tests for wavefront summary vectors — including the paper's Examples 1-4."""
+
+import pytest
+
+from repro import zpl
+from repro.compiler.wsv import DimClass, Sign, WSV, classify, f, wsv_of
+from repro.errors import DirectionError
+
+
+class TestCombinatorF:
+    """The paper's f(i, j) definition, case by case."""
+
+    def test_both_zero(self):
+        assert f(0, 0) is Sign.ZERO
+
+    def test_opposite_signs(self):
+        assert f(-1, 1) is Sign.BOTH
+        assert f(2, -3) is Sign.BOTH
+
+    def test_positive(self):
+        assert f(1, 0) is Sign.PLUS
+        assert f(0, 2) is Sign.PLUS
+        assert f(1, 2) is Sign.PLUS
+
+    def test_negative(self):
+        assert f(-1, 0) is Sign.MINUS
+        assert f(0, -2) is Sign.MINUS
+        assert f(-1, -2) is Sign.MINUS
+
+
+class TestPaperWSVExamples:
+    """The four worked WSV constructions from Section 2.2."""
+
+    def test_wsv_two_norths(self):
+        # WSV({(-1,0), (-2,0)}) = (-, 0)
+        w = wsv_of([(-1, 0), (-2, 0)])
+        assert repr(w) == "(-,0)"
+        assert w.is_simple()
+
+    def test_wsv_mixed_second_dim(self):
+        # WSV({(-1,0), (-2,0), (-1,2)}) = (-, +)
+        w = wsv_of([(-1, 0), (-2, 0), (-1, 2)])
+        assert repr(w) == "(-,+)"
+        assert w.is_simple()
+
+    def test_wsv_north_west(self):
+        # WSV({(-1,0), (0,-1)}) = (-, -)
+        w = wsv_of([(-1, 0), (0, -1)])
+        assert repr(w) == "(-,-)"
+        assert w.is_simple()
+
+    def test_wsv_not_simple(self):
+        # WSV({(-1,0), (1,-2)}) = (±, -)
+        w = wsv_of([(-1, 0), (1, -2)])
+        assert repr(w) == "(±,-)"
+        assert not w.is_simple()
+
+
+class TestWSVConstruction:
+    def test_empty_needs_rank(self):
+        with pytest.raises(DirectionError):
+            wsv_of([])
+
+    def test_empty_with_rank_is_trivial(self):
+        w = wsv_of([], rank=3)
+        assert w.is_trivial()
+        assert w.rank == 3
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(DirectionError):
+            wsv_of([(-1, 0), (0, 0, 1)])
+
+    def test_accepts_direction_objects(self):
+        assert wsv_of([zpl.NORTH]).signs == (Sign.MINUS, Sign.ZERO)
+
+    def test_order_insensitive(self):
+        assert wsv_of([(-1, 0), (1, 1)]) == wsv_of([(1, 1), (-1, 0)])
+
+    def test_tomcatv_wsv(self):
+        # Section 2.2 summary: only north appears; WSV is trivially (-, 0).
+        w = wsv_of([zpl.NORTH, zpl.NORTH, zpl.NORTH])
+        assert repr(w) == "(-,0)"
+
+
+class TestClassification:
+    """Section 2.2's three classification cases, driven by true-dep UDVs.
+
+    Note the UDVs are the *negated* primed directions.
+    """
+
+    def test_example1(self):
+        # d1 = d2 = (-1, 0): WSV (-,0); dim 0 wavefront, dim 1 parallel.
+        udvs = [(1, 0), (1, 0)]
+        assert classify(udvs, 2) == (DimClass.PIPELINED, DimClass.PARALLEL)
+
+    def test_example2(self):
+        # d1 = (-1,0), d2 = (0,-1): WSV (-,-); case (iii): leftmost serial,
+        # wavefront travels along (and pipelines) the second dimension.
+        udvs = [(1, 0), (0, 1)]
+        assert classify(udvs, 2) == (DimClass.SERIAL, DimClass.PIPELINED)
+
+    def test_example3(self):
+        # d1 = (-1,0), d2 = (1,1): WSV (±,+); case (ii): the ± dimension is
+        # serialised, the second dimension is the wavefront dimension.
+        udvs = [(1, 0), (-1, -1)]
+        assert classify(udvs, 2) == (DimClass.SERIAL, DimClass.PIPELINED)
+
+    def test_example4_classification_only(self):
+        # d1 = (0,-1), d2 = (0,1): WSV (0,±).  (Legality fails elsewhere —
+        # classification itself is still well-defined.)
+        udvs = [(0, 1), (0, -1)]
+        assert classify(udvs, 2) == (DimClass.PARALLEL, DimClass.SERIAL)
+
+    def test_no_dependences_fully_parallel(self):
+        assert classify([], 2) == (DimClass.PARALLEL, DimClass.PARALLEL)
+
+    def test_rank1_wavefront_is_serial(self):
+        # A rank-1 all-constrained wavefront has nothing to pipeline over.
+        assert classify([(1,)], 1) == (DimClass.SERIAL,)
+
+    def test_3d_sweep(self):
+        # SWEEP3D-style: wavefront along all three dims; case (iii).
+        udvs = [(1, 0, 0), (0, 1, 0), (0, 0, 1)]
+        assert classify(udvs, 3) == (
+            DimClass.SERIAL,
+            DimClass.PIPELINED,
+            DimClass.PIPELINED,
+        )
+
+    def test_case_i_with_both(self):
+        # A 3-D case (i): a zero dim exists, the ± dim is serialised.
+        udvs = [(1, 1, 0), (-1, 2, 0)]
+        assert classify(udvs, 3) == (
+            DimClass.SERIAL,
+            DimClass.PIPELINED,
+            DimClass.PARALLEL,
+        )
+
+
+class TestWSVValue:
+    def test_equality_and_hash(self):
+        assert wsv_of([(-1, 0)]) == WSV((Sign.MINUS, Sign.ZERO))
+        assert hash(wsv_of([(-1, 0)])) == hash(WSV((Sign.MINUS, Sign.ZERO)))

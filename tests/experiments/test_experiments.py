@@ -1,0 +1,238 @@
+"""Tests that every experiment regenerates the paper's reported facts.
+
+These run at reduced problem sizes where the shape claims still hold; the
+paper-scale assertions (Fig. 5(a) optima at full n=257, Fig. 6 magnitudes)
+live in ``test_paper_scale.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    examples_wsv,
+    fig3_semantics,
+    fig5a_model_vs_sim,
+    fig5b_model_worstcase,
+    fig6_cache,
+    fig7_pipeline_speedup,
+    loc_table,
+)
+from repro.experiments.runner import EXPERIMENTS, get, main
+
+
+class TestFig3:
+    def test_matrices_match_paper(self):
+        result = fig3_semantics.run(n=5)
+        np.testing.assert_array_equal(
+            result.unprimed, fig3_semantics.expected_unprimed(5)
+        )
+        np.testing.assert_array_equal(
+            result.primed, fig3_semantics.expected_primed(5)
+        )
+
+    def test_loop_directions(self):
+        result = fig3_semantics.run(n=5)
+        assert result.unprimed_loops.signs[0] == -1  # high to low
+        assert result.primed_loops.signs[0] == 1  # low to high
+
+    def test_report_contains_both_grids(self):
+        text = fig3_semantics.run(n=5).report()
+        assert "16" in text  # 2^4 from Fig. 3(f)
+        assert "array semantics" in text
+
+
+class TestExamples:
+    def test_verdicts_match_paper(self):
+        result = examples_wsv.run()
+        legal = {o.number: o.legal for o in result.outcomes}
+        assert legal == {1: True, 2: True, 3: True, 4: False}
+
+    def test_wsvs_match_paper(self):
+        result = examples_wsv.run()
+        wsv = {o.number: o.wsv for o in result.outcomes}
+        assert wsv == {1: "(-,0)", 2: "(-,-)", 3: "(±,+)", 4: "(0,±)"}
+
+    def test_example2_dims(self):
+        result = examples_wsv.run()
+        example2 = result.outcomes[1]
+        assert "dim1:pipelined" in example2.classes
+        assert "dim0:serial" in example2.classes
+
+    def test_report_renders(self):
+        assert "OVER" not in examples_wsv.run().report() or True
+        assert "Examples" in examples_wsv.run().report()
+
+
+class TestFig5a:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig5a_model_vs_sim.run(quick=True)
+
+    def test_model2_tracks_better(self, result):
+        assert result.model2_tracks_better()
+
+    def test_model1_overpredicts(self, result):
+        # Ignoring beta, Model1's curve sits far above the simulation.
+        assert max(result.model1_series.ys) > 1.5 * max(result.simulated.ys)
+
+    def test_model2_close_to_simulation(self, result):
+        peak_m2 = max(result.model2_series.ys)
+        peak_sim = max(result.simulated.ys)
+        assert abs(peak_m2 - peak_sim) / peak_sim < 0.15
+
+    def test_model2_b_smaller_than_model1(self, result):
+        assert result.model2_best_b < result.model1_best_b
+
+    def test_model2_choice_beats_model1_choice(self, result):
+        assert result.sim_at(result.model2_best_b) >= result.sim_at(
+            result.model1_best_b
+        )
+
+    def test_report_renders(self, result):
+        text = result.report()
+        assert "Model1" in text and "simulated" in text
+
+
+class TestFig5b:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig5b_model_worstcase.run(quick=True)
+
+    def test_paper_optima(self, result):
+        assert result.model1_best_b == pytest.approx(20, abs=1)
+        assert result.model2_best_b == pytest.approx(3, abs=1)
+
+    def test_model1_choice_considerably_slower(self, result):
+        # "We can expect the speedup with a block size of 20 versus 3 to be
+        # considerably less."
+        assert result.sim_at(result.model2_best_b) > 1.5 * result.sim_at(
+            result.model1_best_b
+        )
+
+    def test_worse_for_larger_p(self, result):
+        # The penalty column grows with p.
+        penalties = [row[-1] for row in result.penalty_by_procs.rows]
+        assert penalties == sorted(penalties)
+        assert penalties[-1] > penalties[0]
+
+    def test_model2_tracks_simulation(self, result):
+        err = [
+            abs(m - s)
+            for m, s in zip(result.model2_series.ys, result.simulated.ys)
+        ]
+        assert max(err) < 0.1
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig6_cache.run(quick=True)
+
+    def test_all_components_speed_up(self, result):
+        for r in result.results:
+            for label, study in r.components:
+                assert study.speedup >= 1.0, (r.benchmark, label)
+
+    def test_t3e_gains_more_than_powerchallenge(self, result):
+        for benchmark in ("tomcatv", "simple"):
+            t3e = result.lookup(benchmark, "Cray T3E")
+            pc = result.lookup(benchmark, "SGI PowerChallenge")
+            best_t3e = max(s.speedup for _, s in t3e.components)
+            best_pc = max(s.speedup for _, s in pc.components)
+            assert best_t3e > best_pc
+
+    def test_tomcatv_whole_bigger_than_simple_whole(self, result):
+        t = result.lookup("tomcatv", "Cray T3E").whole_program_speedup
+        s = result.lookup("simple", "Cray T3E").whole_program_speedup
+        assert t > s > 1.0
+
+    def test_whole_never_exceeds_best_component(self, result):
+        for r in result.results:
+            best = max(s.speedup for _, s in r.components)
+            assert r.whole_program_speedup <= best
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig7_pipeline_speedup.run(quick=True)
+
+    def test_wavefront_speedup_grows_with_p(self, result):
+        for benchmark in ("tomcatv", "simple"):
+            speeds = [
+                result.lookup(benchmark, "Cray T3E", p).wavefronts[0].speedup
+                for p in (2, 4, 8)
+            ]
+            assert speeds == sorted(speeds)
+
+    def test_wavefront_speedup_below_p(self, result):
+        for r in result.results:
+            for w in r.wavefronts:
+                assert 1.0 < w.speedup < r.procs + 0.5
+
+    def test_whole_program_improves(self, result):
+        for r in result.results:
+            assert r.whole_speedup > 1.0
+
+    def test_tomcatv_whole_bigger_than_simple(self, result):
+        for p in (2, 4, 8):
+            t = result.lookup("tomcatv", "Cray T3E", p).whole_speedup
+            s = result.lookup("simple", "Cray T3E", p).whole_speedup
+            assert t > s
+
+    def test_block_size_shrinks_with_p(self, result):
+        bs = [
+            result.lookup("tomcatv", "Cray T3E", p).wavefronts[0].block_size
+            for p in (2, 4, 8)
+        ]
+        assert bs == sorted(bs, reverse=True)
+
+
+class TestLocTable:
+    def test_kernels_are_tiny(self):
+        result = loc_table.run()
+        for row in result.rows:
+            assert row.kernel_lines < 40
+            # Same qualitative story as SWEEP3D's 179/626: the fundamental
+            # computation is a small minority.
+            assert row.fundamental_fraction < 0.3
+
+    def test_machinery_counted_once(self):
+        result = loc_table.run()
+        assert result.machinery_lines > 100
+        assert all(r.machinery_lines == result.machinery_lines for r in result.rows)
+
+
+class TestRunner:
+    def test_registry_names_unique(self):
+        names = [e.name for e in EXPERIMENTS]
+        assert len(names) == len(set(names))
+
+    def test_get(self):
+        assert get("fig3").name == "fig3"
+        with pytest.raises(KeyError):
+            get("fig99")
+
+    def test_list_flag(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5a" in out and "fig7" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+
+    def test_quick_run_single(self, capsys):
+        assert main(["fig3", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "regenerated" in out
+
+
+class TestRunnerOutput:
+    def test_out_flag_appends_reports(self, tmp_path, capsys):
+        out = tmp_path / "report.txt"
+        assert main(["fig3", "--quick", "--out", str(out)]) == 0
+        assert main(["examples", "--quick", "--out", str(out)]) == 0
+        text = out.read_text()
+        assert "prime operator semantics" in text
+        assert "Examples 1-4" in text
+        assert text.count("regenerated in") == 2

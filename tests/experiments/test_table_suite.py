@@ -1,0 +1,50 @@
+"""Tests for the block-size dynamism study over the kernel suite."""
+
+import pytest
+
+from repro.experiments import table_suite
+
+
+@pytest.fixture(scope="module")
+def result():
+    return table_suite.run(quick=True)
+
+
+class TestSuiteStudy:
+    def test_all_pairs_present(self, result):
+        from repro.apps.suite import SUITE
+        from repro.machine.params import PRESETS
+
+        assert len(result.rows) == len(SUITE) * len(PRESETS)
+
+    def test_selectors_near_optimal(self, result):
+        # The paper proposed to "investigate the quality of block size
+        # selection using only static and profile information": within 10%.
+        assert result.worst_penalty("static") < 1.10
+        assert result.worst_penalty("profiled") < 1.10
+        assert result.worst_penalty("dynamic") < 1.05
+
+    def test_bstar_moves_with_machine(self, result):
+        # Dynamism: the hypothetical beta-heavy machine wants much smaller
+        # blocks than the T3E, on every kernel.
+        by_kernel: dict[str, dict[str, int]] = {}
+        for r in result.rows:
+            by_kernel.setdefault(r.kernel, {})[r.machine] = r.exhaustive_b
+        for kernel, per_machine in by_kernel.items():
+            assert per_machine["hypothetical"] < per_machine["t3e"], kernel
+
+    def test_bstar_moves_with_boundary_traffic(self, result):
+        # The Tomcatv fragment ships 3 boundary rows per column: its optimum
+        # sits below the single-stream kernel's on the same machine.
+        best = {
+            (r.kernel, r.machine): r.exhaustive_b for r in result.rows
+        }
+        assert best[("tomcatv-fragment", "t3e")] < best[("single-stream", "t3e")]
+
+    def test_dynamic_probe_budget(self, result):
+        assert all(r.dynamic_probes <= 24 for r in result.rows)
+
+    def test_report_renders(self, result):
+        text = result.report()
+        assert "dynamism" in text
+        assert "single-stream" in text

@@ -1,0 +1,110 @@
+"""Tests for the binomial-tree collectives."""
+
+import math
+
+import pytest
+
+from repro.errors import CommunicationError
+from repro.machine import Machine, MachineParams
+from repro.machine.collectives import allreduce, barrier, broadcast, reduce
+
+PARAMS = MachineParams(name="coll", alpha=5.0, beta=1.0)
+
+
+def run_collective(n_procs, body_factory):
+    """Spawn body_factory(rank) on every rank; returns (machine, result)."""
+    m = Machine(PARAMS, n_procs)
+    outputs = {}
+
+    def wrap(rank):
+        def body(ep):
+            outputs[rank] = yield from body_factory(ep)
+
+        return body
+
+    for rank in range(n_procs):
+        m.spawn(wrap(rank), rank)
+    result = m.run()
+    return outputs, result
+
+
+@pytest.mark.parametrize("p", [1, 2, 3, 4, 7, 8, 16])
+class TestBroadcast:
+    def test_all_ranks_get_root_value(self, p):
+        outputs, _ = run_collective(
+            p, lambda ep: broadcast(ep, p, value="payload" if ep.rank == 0 else None)
+        )
+        assert all(v == "payload" for v in outputs.values())
+
+    def test_nonzero_root(self, p):
+        root = p - 1
+        outputs, _ = run_collective(
+            p,
+            lambda ep: broadcast(
+                ep, p, value=ep.rank if ep.rank == root else None, root=root
+            ),
+        )
+        assert all(v == root for v in outputs.values())
+
+
+@pytest.mark.parametrize("p", [1, 2, 3, 5, 8, 13])
+class TestReduce:
+    def test_sum_lands_on_root(self, p):
+        outputs, _ = run_collective(
+            p, lambda ep: reduce(ep, p, ep.rank, op=lambda a, b: a + b)
+        )
+        assert outputs[0] == sum(range(p))
+
+    def test_max(self, p):
+        outputs, _ = run_collective(
+            p, lambda ep: reduce(ep, p, float(ep.rank * 7 % 5), op=max)
+        )
+        assert outputs[0] == max(float(r * 7 % 5) for r in range(p))
+
+
+@pytest.mark.parametrize("p", [1, 2, 4, 6, 9, 16])
+class TestAllreduce:
+    def test_every_rank_gets_total(self, p):
+        outputs, _ = run_collective(
+            p, lambda ep: allreduce(ep, p, ep.rank + 1, op=lambda a, b: a + b)
+        )
+        expected = sum(range(1, p + 1))
+        assert all(v == expected for v in outputs.values())
+
+
+class TestCosts:
+    def test_broadcast_rounds_logarithmic(self):
+        p = 8
+        _, result = run_collective(
+            p, lambda ep: broadcast(ep, p, value=0.0, size=1)
+        )
+        # p-1 messages total, delivered across log2(p) charged rounds: the
+        # makespan is ~log2(p) * (alpha + beta).
+        assert result.total_messages == p - 1
+        per_hop = PARAMS.message_cost(1)
+        assert result.total_time == pytest.approx(math.log2(p) * per_hop)
+
+    def test_barrier_synchronises(self):
+        p = 4
+        m = Machine(PARAMS, p)
+        after = {}
+
+        def body_factory(rank):
+            def body(ep):
+                yield from ep.compute(10.0 * rank)  # skewed arrival
+                yield from barrier(ep, p)
+                after[rank] = ep.sim.now
+
+            return body
+
+        for rank in range(p):
+            m.spawn(body_factory(rank), rank)
+        m.run()
+        # Nobody leaves the barrier before the slowest rank entered it.
+        assert min(after.values()) >= 30.0
+
+    def test_bad_rank_rejected(self):
+        m = Machine(PARAMS, 2)
+        ep = m.endpoint(1)
+        with pytest.raises(CommunicationError):
+            next(broadcast(ep, 1, value=0))

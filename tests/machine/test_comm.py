@@ -1,0 +1,195 @@
+"""Tests for the simulated message-passing layer (blocking + nonblocking)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CommunicationError
+from repro.machine import Machine, MachineParams
+
+PARAMS = MachineParams(name="net", alpha=10.0, beta=2.0)
+
+
+def run_machine(n_procs, *bodies):
+    m = Machine(PARAMS, n_procs)
+    for rank, body in enumerate(bodies):
+        m.spawn(body, rank)
+    return m, m.run()
+
+
+class TestBlocking:
+    def test_recv_charges_alpha_beta(self):
+        times = []
+
+        def receiver(ep):
+            msg = yield from ep.recv(src=1)
+            times.append((ep.sim.now, msg.size))
+
+        def sender(ep):
+            ep.send(0, size=5)
+            return
+            yield  # pragma: no cover
+
+        _, result = run_machine(2, receiver, sender)
+        assert times == [(10.0 + 2.0 * 5, 5)]
+        assert result.comm_time == 20.0
+
+    def test_payload_roundtrip(self):
+        payload = np.arange(4.0)
+        got = []
+
+        def receiver(ep):
+            msg = yield from ep.recv(src=1, tag=7)
+            got.append(msg.payload)
+
+        def sender(ep):
+            ep.send(0, payload=payload, tag=7)
+            return
+            yield  # pragma: no cover
+
+        run_machine(2, receiver, sender)
+        np.testing.assert_array_equal(got[0], payload)
+
+    def test_size_inferred_from_array(self):
+        def receiver(ep):
+            msg = yield from ep.recv(src=1)
+            assert msg.size == 6
+
+        def sender(ep):
+            ep.send(0, payload=np.zeros((2, 3)))
+            return
+            yield  # pragma: no cover
+
+        run_machine(2, receiver, sender)
+
+    def test_self_send_rejected(self):
+        m = Machine(PARAMS, 2)
+        with pytest.raises(CommunicationError):
+            m.endpoint(0).send(0, size=1)
+
+    def test_size_required_without_array(self):
+        m = Machine(PARAMS, 2)
+        with pytest.raises(CommunicationError):
+            m.endpoint(0).send(1, payload="not an array")
+
+    def test_tags_demultiplex(self):
+        order = []
+
+        def receiver(ep):
+            second = yield from ep.recv(src=1, tag=2)
+            first = yield from ep.recv(src=1, tag=1)
+            order.extend([second.tag, first.tag])
+
+        def sender(ep):
+            ep.send(0, size=1, tag=1)
+            ep.send(0, size=1, tag=2)
+            return
+            yield  # pragma: no cover
+
+        run_machine(2, receiver, sender)
+        assert order == [2, 1]
+
+    def test_send_overhead_charged_to_sender(self):
+        m = Machine(PARAMS, 2, send_overhead=3.0)
+        done = []
+
+        def receiver(ep):
+            yield from ep.recv(src=1)
+
+        def sender(ep):
+            yield from ep.send(0, size=1)
+            done.append(ep.sim.now)
+
+        m.spawn(receiver, 0)
+        m.spawn(sender, 1)
+        m.run()
+        assert done == [3.0]
+        assert m.endpoint(1).stats.comm_time == 3.0
+
+    def test_wire_latency_delays_delivery(self):
+        m = Machine(PARAMS, 2, wire_latency=7.0)
+        arrival = []
+
+        def receiver(ep):
+            yield from ep.recv(src=1)
+            arrival.append(ep.sim.now)
+
+        def sender(ep):
+            ep.send(0, size=0)
+            return
+            yield  # pragma: no cover
+
+        m.spawn(receiver, 0)
+        m.spawn(sender, 1)
+        m.run()
+        assert arrival == [7.0 + 10.0]
+
+
+class TestNonblocking:
+    def test_overlap_hides_wait(self):
+        # Post irecv, compute 50, then wait: the message (sent at t=5)
+        # arrived during compute, so only the alpha+beta cost remains.
+        finish = []
+
+        def receiver(ep):
+            request = ep.irecv(src=1)
+            yield from ep.compute(50)
+            assert request.ready
+            msg = yield from request.wait()
+            finish.append((ep.sim.now, msg.size))
+
+        def sender(ep):
+            yield from ep.compute(5)
+            ep.isend(0, size=20)
+
+        _, result = run_machine(2, receiver, sender)
+        assert finish == [(50.0 + PARAMS.message_cost(20), 20)]
+
+    def test_ready_false_before_arrival(self):
+        seen = []
+
+        def receiver(ep):
+            request = ep.irecv(src=1)
+            seen.append(request.ready)
+            msg = yield from request.wait()
+            seen.append(request.ready)
+
+        def sender(ep):
+            yield from ep.compute(30)
+            ep.isend(0, size=1)
+
+        run_machine(2, receiver, sender)
+        assert seen == [False, True]
+
+    def test_requests_fifo_with_blocking_recv(self):
+        got = []
+
+        def receiver(ep):
+            req = ep.irecv(src=1, tag=0)
+            msg2 = yield from ep.recv(src=1, tag=0)
+            msg1 = yield from req.wait()
+            got.extend([msg1.size, msg2.size])
+
+        def sender(ep):
+            ep.send(0, size=1, tag=0)
+            ep.send(0, size=2, tag=0)
+            return
+            yield  # pragma: no cover
+
+        run_machine(2, receiver, sender)
+        # The posted request claimed the first message.
+        assert got == [1, 2]
+
+    def test_stats_counted_once(self):
+        def receiver(ep):
+            req = ep.irecv(src=1)
+            msg = yield from req.wait()
+
+        def sender(ep):
+            ep.isend(0, size=4)
+            return
+            yield  # pragma: no cover
+
+        m, result = run_machine(2, receiver, sender)
+        assert m.endpoint(0).stats.messages_received == 1
+        assert m.endpoint(1).stats.messages_sent == 1
+        assert result.total_messages == 1

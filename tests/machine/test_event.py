@@ -1,0 +1,223 @@
+"""Tests for the discrete-event simulation core."""
+
+import pytest
+
+from repro.errors import DeadlockError, MachineError
+from repro.machine.event import Simulator
+
+
+class TestTimeouts:
+    def test_single_timeout(self):
+        sim = Simulator()
+        trace = []
+
+        def body():
+            yield sim.timeout(5.0)
+            trace.append(sim.now)
+
+        sim.process(body())
+        assert sim.run() == 5.0
+        assert trace == [5.0]
+
+    def test_sequential_timeouts_accumulate(self):
+        sim = Simulator()
+
+        def body():
+            yield sim.timeout(2.0)
+            yield sim.timeout(3.5)
+
+        sim.process(body())
+        assert sim.run() == pytest.approx(5.5)
+
+    def test_parallel_processes_overlap(self):
+        sim = Simulator()
+
+        def body(delay):
+            yield sim.timeout(delay)
+
+        sim.process(body(10.0))
+        sim.process(body(4.0))
+        assert sim.run() == 10.0
+
+    def test_zero_timeout_ok(self):
+        sim = Simulator()
+
+        def body():
+            yield sim.timeout(0.0)
+
+        sim.process(body())
+        assert sim.run() == 0.0
+
+    def test_negative_timeout_rejected(self):
+        sim = Simulator()
+        with pytest.raises(MachineError):
+            sim.timeout(-1.0)
+
+    def test_run_until(self):
+        sim = Simulator()
+
+        def body():
+            yield sim.timeout(100.0)
+
+        sim.process(body())
+        assert sim.run(until=10.0) == 10.0
+
+
+class TestDeterminism:
+    def test_equal_time_events_fire_in_schedule_order(self):
+        sim = Simulator()
+        trace = []
+
+        def body(label):
+            yield sim.timeout(1.0)
+            trace.append(label)
+
+        for label in ("a", "b", "c"):
+            sim.process(body(label))
+        sim.run()
+        assert trace == ["a", "b", "c"]
+
+    def test_repeatable(self):
+        def run_once():
+            sim = Simulator()
+            trace = []
+
+            def body(label, delay):
+                yield sim.timeout(delay)
+                trace.append((label, sim.now))
+                yield sim.timeout(delay)
+                trace.append((label, sim.now))
+
+            sim.process(body("x", 2.0))
+            sim.process(body("y", 3.0))
+            sim.run()
+            return trace
+
+        assert run_once() == run_once()
+
+
+class TestStores:
+    def test_put_then_get(self):
+        sim = Simulator()
+        store = sim.store()
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append(item)
+
+        store.put("hello")
+        sim.process(consumer())
+        sim.run()
+        assert got == ["hello"]
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = sim.store()
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((item, sim.now))
+
+        def producer():
+            yield sim.timeout(7.0)
+            store.put(42)
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert got == [(42, 7.0)]
+
+    def test_fifo_order(self):
+        sim = Simulator()
+        store = sim.store()
+        got = []
+
+        def consumer():
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        for i in range(3):
+            store.put(i)
+        sim.process(consumer())
+        sim.run()
+        assert got == [0, 1, 2]
+
+    def test_waiters_served_fifo(self):
+        sim = Simulator()
+        store = sim.store()
+        got = []
+
+        def consumer(label):
+            item = yield store.get()
+            got.append((label, item))
+
+        def producer():
+            yield sim.timeout(1.0)
+            store.put("first")
+            yield sim.timeout(1.0)
+            store.put("second")
+
+        sim.process(consumer("a"))
+        sim.process(consumer("b"))
+        sim.process(producer())
+        sim.run()
+        assert got == [("a", "first"), ("b", "second")]
+
+    def test_len(self):
+        sim = Simulator()
+        store = sim.store()
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+
+
+class TestProcesses:
+    def test_deadlock_detected(self):
+        sim = Simulator()
+        store = sim.store()
+
+        def consumer():
+            yield store.get()  # never satisfied
+
+        sim.process(consumer(), name="starved")
+        with pytest.raises(DeadlockError, match="starved"):
+            sim.run()
+
+    def test_process_completion_event(self):
+        sim = Simulator()
+        trace = []
+
+        def worker():
+            yield sim.timeout(3.0)
+
+        def waiter(proc):
+            yield proc
+            trace.append(sim.now)
+
+        proc = sim.process(worker())
+        sim.process(waiter(proc))
+        sim.run()
+        assert trace == [3.0]
+
+    def test_bad_yield_rejected(self):
+        sim = Simulator()
+
+        def body():
+            yield "not an event"
+
+        sim.process(body())
+        with pytest.raises(MachineError, match="yielded"):
+            sim.run()
+
+    def test_finished(self):
+        sim = Simulator()
+
+        def body():
+            yield sim.timeout(1.0)
+
+        sim.process(body(), name="p0")
+        sim.run()
+        assert [p.name for p in sim.finished()] == ["p0"]

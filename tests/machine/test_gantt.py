@@ -1,0 +1,92 @@
+"""Tests for activity tracing and the Gantt renderer (Fig. 4 machinery)."""
+
+import pytest
+
+from repro.apps import suite
+from repro.errors import MachineError
+from repro.machine import (
+    Machine,
+    MachineParams,
+    naive_wavefront,
+    pipelined_wavefront,
+    render_gantt,
+)
+
+PARAMS = MachineParams(name="g", alpha=30.0, beta=1.0)
+
+
+def traced_runs(n=33, p=4, b=8):
+    compiled = suite.get("single-stream").build(n)
+    naive = naive_wavefront(
+        compiled, PARAMS, n_procs=p, compute_values=False, trace_activity=True
+    )
+    piped = pipelined_wavefront(
+        compiled, PARAMS, n_procs=p, block_size=b,
+        compute_values=False, trace_activity=True,
+    )
+    return naive.run, piped.run
+
+
+class TestActivityTracing:
+    def test_disabled_by_default(self):
+        compiled = suite.get("single-stream").build(17)
+        outcome = naive_wavefront(compiled, PARAMS, n_procs=2, compute_values=False)
+        assert all(not s.activity for s in outcome.run.proc_stats)
+
+    def test_intervals_cover_busy_time(self):
+        naive, piped = traced_runs()
+        for run in (naive, piped):
+            for stats in run.proc_stats:
+                recorded = sum(a.duration for a in stats.activity)
+                assert recorded == pytest.approx(stats.busy_time)
+
+    def test_intervals_ordered_and_disjoint(self):
+        _, piped = traced_runs()
+        for stats in piped.proc_stats:
+            for a, b in zip(stats.activity, stats.activity[1:]):
+                assert a.end <= b.start + 1e-9
+
+    def test_kinds(self):
+        _, piped = traced_runs()
+        kinds = {a.kind for s in piped.proc_stats for a in s.activity}
+        assert kinds == {"compute", "comm"}
+
+
+class TestGantt:
+    def test_renders_one_row_per_proc(self):
+        naive, _ = traced_runs(p=4)
+        text = render_gantt(naive, width=40)
+        assert text.count("|") == 2 * 4
+        assert "P3" in text
+
+    def test_naive_shows_staircase(self):
+        naive, piped = traced_runs()
+        # The pipelined run is denser: higher utilisation.
+        assert piped.utilization > naive.utilization
+
+    def test_requires_tracing(self):
+        compiled = suite.get("single-stream").build(17)
+        outcome = naive_wavefront(compiled, PARAMS, n_procs=2, compute_values=False)
+        with pytest.raises(MachineError, match="trace_activity"):
+            render_gantt(outcome.run)
+
+    def test_title(self):
+        naive, _ = traced_runs()
+        assert render_gantt(naive, title="hello").startswith("hello")
+
+
+class TestFig4Experiment:
+    def test_pipelined_wins(self):
+        from repro.experiments import fig4_illustration
+
+        result = fig4_illustration.run()
+        assert result.pipelining_speedup > 1.5
+        assert result.pipelined_run.utilization > result.naive_run.utilization
+
+    def test_report_contains_both_panels(self):
+        from repro.experiments import fig4_illustration
+
+        text = fig4_illustration.run().report()
+        assert "(a) naive" in text
+        assert "(b) pipelined" in text
+        assert "#" in text and "~" in text

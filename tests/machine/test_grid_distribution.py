@@ -1,0 +1,117 @@
+"""Tests for processor grids and block distributions."""
+
+import pytest
+
+from repro import zpl
+from repro.errors import DistributionError, MachineError
+from repro.machine.distribution import BlockMap
+from repro.machine.grid import ProcessorGrid
+
+
+class TestGrid:
+    def test_size_and_rank(self):
+        g = ProcessorGrid((2, 3))
+        assert g.size == 6
+        assert g.rank == 2
+
+    def test_coords_roundtrip(self):
+        g = ProcessorGrid((2, 3, 4))
+        for proc in g:
+            assert g.proc(g.coords(proc)) == proc
+
+    def test_row_major(self):
+        g = ProcessorGrid((2, 3))
+        assert g.coords(0) == (0, 0)
+        assert g.coords(1) == (0, 1)
+        assert g.coords(3) == (1, 0)
+
+    def test_neighbor(self):
+        g = ProcessorGrid((2, 2))
+        assert g.neighbor(0, 0, 1) == 2
+        assert g.neighbor(0, 1, 1) == 1
+        assert g.neighbor(0, 0, -1) is None
+        assert g.neighbor(3, 1, 1) is None
+
+    def test_bad_dims(self):
+        with pytest.raises(MachineError):
+            ProcessorGrid(())
+        with pytest.raises(MachineError):
+            ProcessorGrid((0,))
+
+    def test_out_of_range(self):
+        g = ProcessorGrid((2,))
+        with pytest.raises(MachineError):
+            g.coords(2)
+        with pytest.raises(MachineError):
+            g.proc((5,))
+
+
+class TestBlockMap:
+    R = zpl.Region.of((1, 12), (1, 8))
+
+    def test_1d_rows(self):
+        bm = BlockMap(self.R, ProcessorGrid((4,)), (0, None))
+        assert bm.local_region(0).ranges == ((1, 3), (1, 8))
+        assert bm.local_region(3).ranges == ((10, 12), (1, 8))
+
+    def test_partition_covers_disjoint(self):
+        bm = BlockMap(self.R, ProcessorGrid((5,)), (0, None))
+        seen = set()
+        for p in range(5):
+            for idx in bm.local_region(p):
+                assert idx not in seen
+                seen.add(idx)
+        assert len(seen) == self.R.size
+
+    def test_2d_mesh(self):
+        bm = BlockMap(self.R, ProcessorGrid((2, 2)), (0, 1))
+        assert bm.local_region(0).ranges == ((1, 6), (1, 4))
+        assert bm.local_region(3).ranges == ((7, 12), (5, 8))
+
+    def test_owner(self):
+        bm = BlockMap(self.R, ProcessorGrid((2, 2)), (0, 1))
+        assert bm.owner((1, 1)) == 0
+        assert bm.owner((12, 8)) == 3
+        assert bm.owner((7, 1)) == 2
+
+    def test_owner_consistent_with_local_region(self):
+        bm = BlockMap(self.R, ProcessorGrid((3, 2)), (0, 1))
+        for p in bm.grid:
+            for idx in bm.local_region(p):
+                assert bm.owner(idx) == p
+
+    def test_owner_outside_rejected(self):
+        bm = BlockMap(self.R, ProcessorGrid((2,)), (0, None))
+        with pytest.raises(DistributionError):
+            bm.owner((0, 1))
+
+    def test_neighbors_along(self):
+        bm = BlockMap(self.R, ProcessorGrid((4,)), (0, None))
+        assert bm.neighbors_along(1, 0) == (0, 2)
+        assert bm.neighbors_along(0, 0) == (None, 1)
+        assert bm.neighbors_along(1, 1) == (None, None)  # undistributed dim
+
+    def test_unused_grid_dim_rejected(self):
+        with pytest.raises(DistributionError, match="unused"):
+            BlockMap(self.R, ProcessorGrid((2, 2)), (0, None))
+
+    def test_duplicate_grid_dim_rejected(self):
+        with pytest.raises(DistributionError, match="twice"):
+            BlockMap(self.R, ProcessorGrid((2,)), (0, 0))
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(DistributionError):
+            BlockMap(self.R, ProcessorGrid((2,)), (0,))
+
+    def test_balance(self):
+        bm = BlockMap(self.R, ProcessorGrid((4,)), (0, None))
+        assert bm.check_balanced() == 1.0
+        bm2 = BlockMap(self.R, ProcessorGrid((5,)), (0, None))
+        assert bm2.check_balanced() == pytest.approx(1.5)
+
+    def test_more_procs_than_rows(self):
+        small = zpl.Region.of((1, 2), (1, 4))
+        bm = BlockMap(small, ProcessorGrid((4,)), (0, None))
+        sizes = [bm.local_region(p).size for p in range(4)]
+        assert sum(sizes) == small.size
+        assert sizes.count(0) == 2

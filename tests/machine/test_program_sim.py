@@ -1,0 +1,130 @@
+"""Tests for the whole-program simulator, incl. the composition cross-check."""
+
+import pytest
+
+from repro.apps import simple, tomcatv
+from repro.errors import MachineError
+from repro.machine import CRAY_T3E, MachineParams
+from repro.machine.program import WavefrontSpec, optimal_spec, simulate_program
+from repro.models.amdahl import PhaseKind, ProgramProfile
+
+PARAMS = MachineParams(name="prog", alpha=50.0, beta=2.0)
+
+
+def tomcatv_setup(n, p, params=PARAMS, pipelined=True):
+    prof = tomcatv.profile(n)
+    rows, cols = n - 3, n - 2
+    specs = {}
+    for ph in prof.phases:
+        if ph.kind is not PhaseKind.WAVEFRONT:
+            continue
+        m = 3 if ph.name == "forward-solve" else 2
+        if pipelined:
+            specs[ph.name] = optimal_spec(ph, params, p, rows, cols, m)
+        else:
+            specs[ph.name] = WavefrontSpec(rows, cols, m, None)
+    return prof, specs
+
+
+class TestBasics:
+    def test_runs_and_times_positive(self):
+        prof, specs = tomcatv_setup(65, 4)
+        result = simulate_program(prof, PARAMS, 4, specs)
+        assert result.total_time > 0
+        assert result.pipelined
+
+    def test_single_processor_time_is_serial_work(self):
+        prof, specs = tomcatv_setup(65, 1)
+        result = simulate_program(prof, PARAMS, 1, specs)
+        assert result.total_time == pytest.approx(prof.total_work(), rel=0.02)
+
+    def test_missing_spec_rejected(self):
+        prof, _ = tomcatv_setup(65, 4)
+        with pytest.raises(MachineError, match="WavefrontSpec"):
+            simulate_program(prof, PARAMS, 4, {})
+
+    def test_bad_procs_rejected(self):
+        prof, specs = tomcatv_setup(65, 4)
+        with pytest.raises(MachineError):
+            simulate_program(prof, PARAMS, 0, specs)
+
+    def test_repeats_scale_time(self):
+        base = ProgramProfile("r")
+        base.add("work", PhaseKind.PARALLEL, 1000.0, repeats=1)
+        twice = ProgramProfile("r2")
+        twice.add("work", PhaseKind.PARALLEL, 1000.0, repeats=2)
+        t1 = simulate_program(base, PARAMS, 4, {}, halo_elements=10).total_time
+        t2 = simulate_program(twice, PARAMS, 4, {}, halo_elements=10).total_time
+        assert t2 == pytest.approx(2 * t1)
+
+
+class TestPipeliningPayoff:
+    def test_pipelined_beats_naive(self):
+        prof, piped = tomcatv_setup(129, 8, CRAY_T3E, pipelined=True)
+        _, naive = tomcatv_setup(129, 8, CRAY_T3E, pipelined=False)
+        t_pipe = simulate_program(prof, CRAY_T3E, 8, piped).total_time
+        t_naive = simulate_program(prof, CRAY_T3E, 8, naive).total_time
+        assert t_pipe < t_naive
+
+    def test_simple_gains_less_than_tomcatv(self):
+        p = 8
+        n = 129
+
+        def speedup(profile, rows, cols, m_by_phase, params):
+            piped, naive = {}, {}
+            for ph in profile.phases:
+                if ph.kind is not PhaseKind.WAVEFRONT:
+                    continue
+                m = m_by_phase[ph.name]
+                piped[ph.name] = optimal_spec(ph, params, p, rows, cols, m)
+                naive[ph.name] = WavefrontSpec(rows, cols, m, None)
+            t_naive = simulate_program(profile, params, p, naive).total_time
+            t_pipe = simulate_program(profile, params, p, piped).total_time
+            return t_naive / t_pipe
+
+        tom = speedup(
+            tomcatv.profile(n), n - 3, n - 2,
+            {"forward-solve": 3, "backward-solve": 2}, CRAY_T3E,
+        )
+        sim = speedup(
+            simple.profile(n), n - 2, n - 2,
+            {"conduction-ns": 2, "conduction-we": 2}, CRAY_T3E,
+        )
+        assert tom > sim > 1.0
+
+
+class TestCompositionCrossCheck:
+    def test_direct_simulation_matches_composition(self):
+        # The Fig. 7 composition and the direct whole-program simulation
+        # must agree closely: the direct run only adds collective/skew
+        # costs, which are small against the phase work.
+        from repro.machine.schedules import naive_wavefront  # noqa: F401
+        from repro.models.pipeline_model import model2
+
+        n, p = 257, 8
+        prof, specs = tomcatv_setup(n, p, CRAY_T3E, pipelined=True)
+        direct = simulate_program(prof, CRAY_T3E, p, specs).total_time
+
+        composed = 0.0
+        rows, cols = n - 3, n - 2
+        halo = 2 * CRAY_T3E.message_cost(
+            max(1, int((prof.total_work() / len(prof.phases)) ** 0.5))
+        )
+        for ph in prof.phases:
+            if ph.kind is PhaseKind.PARALLEL:
+                composed += ph.total_work / p + halo
+            elif ph.kind is PhaseKind.SERIAL:
+                composed += ph.total_work
+            else:
+                spec = specs[ph.name]
+                w = ph.work / (rows * cols)
+                import dataclasses
+
+                scaled = dataclasses.replace(
+                    CRAY_T3E, alpha=CRAY_T3E.alpha / w, beta=CRAY_T3E.beta / w
+                )
+                model = model2(
+                    scaled, rows, p, boundary_rows=spec.boundary_rows, cols=cols
+                )
+                composed += model.predicted_time(spec.block_size) * w
+        assert direct == pytest.approx(composed, rel=0.08)

@@ -1,0 +1,67 @@
+"""Tests for the phase-profile composition (Amdahl accounting)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.models.amdahl import Phase, PhaseKind, ProgramProfile
+
+
+def make_profile():
+    prog = ProgramProfile("demo")
+    prog.add("stencil", PhaseKind.PARALLEL, 800.0)
+    prog.add("solve", PhaseKind.WAVEFRONT, 150.0)
+    prog.add("io", PhaseKind.SERIAL, 50.0)
+    return prog
+
+
+class TestProfile:
+    def test_total_work(self):
+        assert make_profile().total_work() == 1000.0
+
+    def test_wavefront_fraction(self):
+        assert make_profile().wavefront_fraction() == pytest.approx(0.15)
+
+    def test_repeats_scale(self):
+        prog = ProgramProfile("r")
+        prog.add("x", PhaseKind.PARALLEL, 10.0, repeats=5)
+        assert prog.total_work() == 50.0
+        assert prog.phases[0].total_work == 50.0
+
+    def test_negative_work_rejected(self):
+        prog = ProgramProfile("bad")
+        with pytest.raises(ModelError):
+            prog.add("x", PhaseKind.SERIAL, -1.0)
+
+    def test_empty_fraction_rejected(self):
+        with pytest.raises(ModelError):
+            ProgramProfile("empty").wavefront_fraction()
+
+
+class TestComposition:
+    def test_compose_identity(self):
+        prog = make_profile()
+        assert prog.compose(lambda ph: ph.work) == prog.total_work()
+
+    def test_compose_respects_repeats(self):
+        prog = ProgramProfile("r")
+        prog.add("x", PhaseKind.PARALLEL, 10.0, repeats=3)
+        assert prog.compose(lambda ph: ph.work / 2) == 15.0
+
+    def test_speedup_amdahl_limit(self):
+        # With only the parallel phase sped up infinitely, the speedup is
+        # bounded by the serial+wavefront share.
+        prog = make_profile()
+
+        def baseline(ph: Phase) -> float:
+            return ph.work
+
+        def infinitely_parallel(ph: Phase) -> float:
+            return 0.0 if ph.kind is PhaseKind.PARALLEL else ph.work
+
+        limit = prog.speedup(baseline, infinitely_parallel)
+        assert limit == pytest.approx(1000.0 / 200.0)
+
+    def test_speedup_rejects_degenerate(self):
+        prog = make_profile()
+        with pytest.raises(ModelError):
+            prog.speedup(lambda ph: ph.work, lambda ph: 0.0)

@@ -1,0 +1,147 @@
+"""Tests for the analytic pipelining model (Section 4)."""
+
+import math
+
+import pytest
+
+from repro.errors import ModelError
+from repro.machine.params import (
+    CRAY_T3E,
+    HYPOTHETICAL_HIGH_BETA,
+    MachineParams,
+)
+from repro.models.pipeline_model import PipelineModel, model1, model2
+
+
+SMALL = MachineParams(name="small", alpha=100.0, beta=4.0)
+
+
+class TestFormulas:
+    def test_compute_time(self):
+        m = model2(SMALL, n=64, p=4)
+        # (nb/p)(p-1) + n^2/p
+        assert m.compute_time(8) == pytest.approx((64 * 8 / 4) * 3 + 64 * 64 / 4)
+
+    def test_comm_time(self):
+        m = model2(SMALL, n=64, p=4)
+        # (alpha + beta*b)(n/b + p - 2)
+        assert m.comm_time(8) == pytest.approx((100 + 4 * 8) * (8 + 2))
+
+    def test_boundary_rows_multiplier(self):
+        m3 = model2(SMALL, n=64, p=4, boundary_rows=3)
+        assert m3.comm_time(8) == pytest.approx((100 + 4 * 3 * 8) * (8 + 2))
+
+    def test_model1_ignores_beta(self):
+        m = model1(SMALL, n=64, p=4)
+        assert m.beta == 0.0
+        assert m.comm_time(8) == pytest.approx(100 * (8 + 2))
+
+    def test_serial_time(self):
+        assert model2(SMALL, 64, 4).serial_time() == 4096.0
+
+    def test_naive_time_exceeds_serial(self):
+        m = model2(SMALL, 64, 4)
+        assert m.naive_time() > m.serial_time()
+
+    def test_speedup_bounded_by_p(self):
+        m = model2(SMALL, n=512, p=8)
+        b = m.optimal_block_size()
+        assert 1.0 < m.speedup(b) < 8.0
+
+    def test_invalid_p(self):
+        with pytest.raises(ModelError):
+            model2(SMALL, n=64, p=1)
+
+    def test_invalid_b(self):
+        with pytest.raises(ValueError):
+            model2(SMALL, 64, 4).predicted_time(0)
+
+
+class TestOptimalBlockSize:
+    def test_closed_form_matches_search(self):
+        for params in (SMALL, CRAY_T3E):
+            for n, p in [(128, 4), (256, 8), (512, 16)]:
+                m = model2(params, n, p)
+                closed = m.optimal_block_size_continuous()
+                searched = m.optimal_block_size()
+                assert abs(searched - closed) <= 2.0
+
+    def test_model1_closed_form(self):
+        # Model1 reduces to b = sqrt(alpha p/(p-1)) ~ sqrt(alpha).
+        m = model1(SMALL, n=256, p=8)
+        assert m.optimal_block_size_continuous() == pytest.approx(
+            math.sqrt(100 * 8 / 7)
+        )
+
+    def test_paper_approximation_close(self):
+        m = model2(CRAY_T3E, n=257, p=8, boundary_rows=3)
+        assert m.approximate_block_size() == pytest.approx(
+            m.optimal_block_size_continuous(), rel=0.1
+        )
+
+    def test_grows_with_alpha(self):
+        base = model2(SMALL, 256, 8).optimal_block_size_continuous()
+        hi = model2(
+            MachineParams(name="hi", alpha=400.0, beta=4.0), 256, 8
+        ).optimal_block_size_continuous()
+        assert hi > base
+
+    def test_shrinks_with_beta(self):
+        base = model2(SMALL, 256, 8).optimal_block_size_continuous()
+        hi = model2(
+            MachineParams(name="hi", alpha=100.0, beta=40.0), 256, 8
+        ).optimal_block_size_continuous()
+        assert hi < base
+
+    def test_shrinks_with_p(self):
+        b4 = model2(SMALL, 256, 4).optimal_block_size_continuous()
+        b16 = model2(SMALL, 256, 16).optimal_block_size_continuous()
+        assert b16 < b4
+
+
+class TestPaperCalibration:
+    """The presets reproduce the numbers the paper reports for Fig. 5."""
+
+    def test_fig5a_model1_b39(self):
+        m = model1(CRAY_T3E, n=257, p=8, boundary_rows=3)
+        assert m.optimal_block_size() == pytest.approx(39, abs=1)
+
+    def test_fig5a_model2_b23(self):
+        m = model2(CRAY_T3E, n=257, p=8, boundary_rows=3)
+        assert m.optimal_block_size() == pytest.approx(23, abs=1)
+
+    def test_fig5b_model1_b20(self):
+        m = model1(HYPOTHETICAL_HIGH_BETA, n=64, p=8)
+        assert m.optimal_block_size() == pytest.approx(20, abs=1)
+
+    def test_fig5b_model2_b3(self):
+        m = model2(HYPOTHETICAL_HIGH_BETA, n=64, p=8)
+        assert m.optimal_block_size() == pytest.approx(3, abs=1)
+
+    def test_fig5b_model1_choice_hurts(self):
+        # Running at Model1's block size on the beta-dominated machine is
+        # considerably slower than at Model2's (the paper's point).
+        m = model2(HYPOTHETICAL_HIGH_BETA, n=64, p=8)
+        b1 = model1(HYPOTHETICAL_HIGH_BETA, n=64, p=8).optimal_block_size()
+        b2 = m.optimal_block_size()
+        assert m.speedup(b2) > 1.3 * m.speedup(b1)
+
+
+class TestSpeedupSeries:
+    def test_model_comparison_series(self):
+        from repro.models import model_comparison
+
+        s1, s2 = model_comparison(CRAY_T3E, 257, 8, range(1, 65), boundary_rows=3)
+        assert s1.name == "Model1"
+        assert s2.argmax() == pytest.approx(23, abs=1)
+        assert s1.argmax() > s2.argmax()
+
+    def test_speedup_vs_procs_monotone(self):
+        from repro.models import pipelined_speedup_vs_procs
+
+        # At communication-friendly problem sizes the modelled speedup keeps
+        # growing with p (efficiency drops, absolute speedup rises - the
+        # paper's Fig. 7 observation).
+        series = pipelined_speedup_vs_procs(CRAY_T3E, 2048, [2, 4, 8, 16])
+        assert series.ys == sorted(series.ys)
+        assert series.ys[-1] > 2.0

@@ -1,0 +1,110 @@
+"""Tests for the block-size selection strategies (the paper's future work)."""
+
+import pytest
+
+from repro.apps import suite
+from repro.errors import ModelError
+from repro.machine import CRAY_T3E, MachineParams, pipelined_wavefront
+from repro.models.tuning import (
+    make_simulated_probe,
+    select_dynamic,
+    select_profiled,
+    select_static,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    compiled = suite.get("single-stream").build(129)
+    probe = make_simulated_probe(compiled, CRAY_T3E, n_procs=8)
+    # Exhaustive reference optimum over the full range.
+    times = {b: probe(b) for b in range(1, 130)}
+    best_b = min(times, key=times.get)
+    return compiled, probe, times, best_b
+
+
+class TestStatic:
+    def test_no_probes(self, setup):
+        compiled, _, _, _ = setup
+        result = select_static(compiled, CRAY_T3E, n_procs=8)
+        assert result.probes == 0
+        assert result.strategy == "static"
+
+    def test_close_to_true_optimum(self, setup):
+        compiled, _, times, best_b = setup
+        result = select_static(compiled, CRAY_T3E, n_procs=8)
+        # Quality: within 2% of the best achievable time.
+        assert times[result.block_size] <= 1.02 * times[best_b]
+
+
+class TestProfiled:
+    def test_two_probes(self, setup):
+        compiled, probe, _, _ = setup
+        result = select_profiled(compiled, CRAY_T3E, n_procs=8, probe=probe)
+        assert result.probes == 2
+        assert len(result.probe_times) == 2
+
+    def test_recovers_machine_constants(self, setup):
+        # Profiling on the simulator must rediscover a b* close to the
+        # static selector's (the simulator implements the model's cost).
+        compiled, probe, times, best_b = setup
+        result = select_profiled(compiled, CRAY_T3E, n_procs=8, probe=probe)
+        assert times[result.block_size] <= 1.05 * times[best_b]
+
+    def test_works_without_trusting_alpha_beta(self, setup):
+        # Feed the selector WRONG published constants; the probes fix it.
+        compiled, probe, times, best_b = setup
+        lying = MachineParams(name="lying", alpha=1.0, beta=0.0)
+        result = select_profiled(compiled, lying, n_procs=8, probe=probe)
+        assert times[result.block_size] <= 1.05 * times[best_b]
+
+    def test_bad_probe_sizes_rejected(self, setup):
+        compiled, probe, _, _ = setup
+        with pytest.raises(ModelError):
+            select_profiled(
+                compiled, CRAY_T3E, n_procs=8, probe=probe, probe_sizes=(16, 16)
+            )
+
+
+class TestDynamic:
+    def test_finds_near_optimum(self, setup):
+        compiled, probe, times, best_b = setup
+        result = select_dynamic(compiled, CRAY_T3E, n_procs=8, probe=probe)
+        assert times[result.block_size] <= 1.01 * times[best_b]
+
+    def test_probe_budget_logarithmic(self, setup):
+        compiled, probe, _, _ = setup
+        result = select_dynamic(compiled, CRAY_T3E, n_procs=8, probe=probe)
+        # Ternary search over 1..129: far fewer probes than exhaustive.
+        assert result.probes <= 24
+
+    def test_probe_times_recorded(self, setup):
+        compiled, probe, _, _ = setup
+        result = select_dynamic(compiled, CRAY_T3E, n_procs=8, probe=probe)
+        assert len(result.probe_times) == result.probes
+        assert all(t > 0 for _, t in result.probe_times)
+
+    def test_repr(self, setup):
+        compiled, probe, _, _ = setup
+        result = select_dynamic(compiled, CRAY_T3E, n_procs=8, probe=probe)
+        assert "dynamic" in repr(result)
+
+
+class TestStrategiesAgree:
+    def test_all_three_land_close(self, setup):
+        compiled, probe, times, best_b = setup
+        chosen = {
+            s.strategy: s.block_size
+            for s in (
+                select_static(compiled, CRAY_T3E, 8),
+                select_profiled(compiled, CRAY_T3E, 8, probe=probe),
+                select_dynamic(compiled, CRAY_T3E, 8, probe=probe),
+            )
+        }
+        for strategy, b in chosen.items():
+            assert times[b] <= 1.05 * times[best_b], (strategy, b)
+
+    def test_dynamic_respects_b_max(self, setup):
+        compiled, probe, _, _ = setup
+        result = select_dynamic(compiled, CRAY_T3E, 8, probe=probe, b_max=10)
+        assert result.block_size <= 10

@@ -1,0 +1,114 @@
+"""Property-based tests for the cache simulator and the analytic model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.params import CacheGeometry, MachineParams
+from repro.cache.cachesim import simulate_direct_mapped, simulate_lru
+from repro.models.pipeline_model import model2
+
+traces = st.lists(st.integers(0, 4095), min_size=1, max_size=400).map(
+    lambda xs: np.array(xs, dtype=np.int64)
+)
+
+
+class TestCacheSimProperties:
+    @given(traces)
+    @settings(max_examples=100)
+    def test_vectorized_matches_lru_reference(self, trace):
+        geometry = CacheGeometry(size_elems=128, line_elems=4, ways=1, miss_penalty=1.0)
+        fast = simulate_direct_mapped(trace, geometry)
+        slow = simulate_lru(trace, geometry)
+        assert fast.misses == slow.misses
+        assert fast.accesses == slow.accesses
+
+    @given(traces)
+    def test_miss_bounds(self, trace):
+        geometry = CacheGeometry(size_elems=64, line_elems=4, ways=1, miss_penalty=1.0)
+        result = simulate_direct_mapped(trace, geometry)
+        distinct_lines = len(set(int(a) // 4 for a in trace))
+        assert distinct_lines <= result.misses <= trace.size
+
+    @given(traces)
+    @settings(max_examples=60)
+    def test_lru_stack_property(self, trace):
+        # Same sets, more ways (=> more capacity) never increases misses:
+        # per-set LRU is a stack algorithm.
+        small = CacheGeometry(size_elems=64, line_elems=4, ways=1, miss_penalty=1.0)
+        big = CacheGeometry(size_elems=128, line_elems=4, ways=2, miss_penalty=1.0)
+        assert big.n_sets == small.n_sets
+        assert simulate_lru(trace, big).misses <= simulate_lru(trace, small).misses
+
+    @given(traces)
+    def test_repeating_trace_never_increases_rate(self, trace):
+        geometry = CacheGeometry(size_elems=256, line_elems=4, ways=1, miss_penalty=1.0)
+        once = simulate_direct_mapped(trace, geometry)
+        twice = simulate_direct_mapped(np.concatenate([trace, trace]), geometry)
+        assert twice.miss_rate <= once.miss_rate + 1e-12
+
+
+machine_params = st.builds(
+    lambda a, b: MachineParams(name="h", alpha=a, beta=b),
+    st.floats(1.0, 5000.0),
+    st.floats(0.0, 500.0),
+)
+
+
+class TestModelProperties:
+    @given(machine_params, st.integers(16, 1024), st.integers(2, 32))
+    @settings(max_examples=100)
+    def test_discrete_optimum_is_global(self, params, n, p):
+        m = model2(params, n, p)
+        best = m.optimal_block_size()
+        t_best = m.predicted_time(best)
+        for b in range(1, min(n, 64) + 1):
+            assert t_best <= m.predicted_time(b) + 1e-9
+
+    @given(machine_params, st.integers(32, 512), st.integers(3, 16))
+    @settings(max_examples=100)
+    def test_continuous_optimum_brackets_discrete(self, params, n, p):
+        m = model2(params, n, p)
+        continuous = m.optimal_block_size_continuous()
+        discrete = m.optimal_block_size()
+        if 2 <= continuous <= n - 2:
+            assert abs(discrete - continuous) <= max(2.0, 0.15 * continuous)
+
+    @given(machine_params, st.integers(16, 512), st.integers(2, 16))
+    def test_times_positive_and_consistent(self, params, n, p):
+        m = model2(params, n, p)
+        b = m.optimal_block_size()
+        assert m.predicted_time(b) == pytest.approx(
+            m.compute_time(b) + m.comm_time(b)
+        )
+        assert m.predicted_time(b) > 0
+        assert m.serial_time() == n * n
+
+    @given(st.integers(16, 256), st.integers(2, 8), st.integers(1, 4))
+    @settings(max_examples=40)
+    def test_des_matches_formula_under_divisibility(self, half_n, p, half_b):
+        # Build divisible n, b: the DES critical path equals the formula.
+        import numpy as np
+
+        from repro import zpl
+        from repro.compiler import compile_scan
+        from repro.machine import pipelined_wavefront
+
+        n = p * ((2 * half_n) // p)
+        if n < 2 * p:
+            return
+        b = 2 * half_b
+        if n % b != 0:
+            return
+        params = MachineParams(name="d", alpha=50.0, beta=2.0)
+        a = zpl.ZArray(zpl.Region.of((1, n + 1), (1, n)), name="a")
+        with zpl.covering(zpl.Region.of((2, n + 1), (1, n))):
+            with zpl.scan(execute=False) as block:
+                a[...] = 1.01 * (a.p @ zpl.NORTH)
+        compiled = compile_scan(block)
+        outcome = pipelined_wavefront(
+            compiled, params, n_procs=p, block_size=b, compute_values=False
+        )
+        m = model2(params, n, p)
+        assert outcome.total_time == pytest.approx(m.predicted_time(b), rel=1e-12)

@@ -1,0 +1,133 @@
+"""Property-based tests for collectives and whole-program simulation."""
+
+import functools
+
+import pytest
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import Machine, MachineParams
+from repro.machine.collectives import allreduce, broadcast, reduce
+from repro.machine.program import WavefrontSpec, simulate_program
+from repro.models.amdahl import PhaseKind, ProgramProfile
+
+PARAMS = MachineParams(name="prop", alpha=3.0, beta=0.5)
+
+
+def run_collective(n_procs, body_factory):
+    machine = Machine(PARAMS, n_procs)
+    outputs = {}
+
+    def wrap(rank):
+        def body(ep):
+            outputs[rank] = yield from body_factory(ep)
+
+        return body
+
+    for rank in range(n_procs):
+        machine.spawn(wrap(rank), rank)
+    machine.run()
+    return outputs
+
+
+class TestCollectiveProperties:
+    @given(
+        st.integers(1, 12),
+        st.lists(st.floats(-100, 100), min_size=12, max_size=12),
+        st.sampled_from(["sum", "max", "min"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_allreduce_equals_functools_reduce(self, p, values, op_name):
+        ops = {
+            "sum": lambda a, b: a + b,
+            "max": max,
+            "min": min,
+        }
+        op = ops[op_name]
+        outputs = run_collective(
+            p, lambda ep: allreduce(ep, p, values[ep.rank], op=op)
+        )
+        expected = functools.reduce(op, values[:p])
+        for rank, got in outputs.items():
+            if op_name == "sum":
+                # Tree order != fold order: identical up to fp associativity.
+                assert got == pytest.approx(expected, rel=1e-9, abs=1e-9)
+            else:
+                assert got == expected, (rank, op_name)
+
+    @given(st.integers(1, 12), st.integers(0, 11))
+    @settings(max_examples=60, deadline=None)
+    def test_broadcast_from_any_root(self, p, root):
+        root = root % p
+        outputs = run_collective(
+            p,
+            lambda ep: broadcast(
+                ep, p, value=("token", root) if ep.rank == root else None,
+                root=root,
+            ),
+        )
+        assert all(v == ("token", root) for v in outputs.values())
+
+    @given(st.integers(1, 12))
+    @settings(max_examples=30, deadline=None)
+    def test_reduce_message_count(self, p):
+        machine = Machine(PARAMS, p)
+
+        def factory(rank):
+            def body(ep):
+                yield from reduce(ep, p, 1.0, op=lambda a, b: a + b)
+
+            return body
+
+        for rank in range(p):
+            machine.spawn(factory(rank), rank)
+        result = machine.run()
+        assert result.total_messages == p - 1  # a tree reduction
+
+
+phase_lists = st.lists(
+    st.tuples(
+        st.sampled_from([PhaseKind.PARALLEL, PhaseKind.SERIAL, PhaseKind.WAVEFRONT]),
+        st.floats(100.0, 5000.0),
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+class TestProgramProperties:
+    @given(phase_lists, st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_program_time_bounds(self, phases, p):
+        profile = ProgramProfile("prop")
+        specs = {}
+        for k, (kind, work) in enumerate(phases):
+            name = f"ph{k}"
+            profile.add(name, kind, work)
+            if kind is PhaseKind.WAVEFRONT:
+                specs[name] = WavefrontSpec(rows=16, cols=16, block_size=4)
+        result = simulate_program(profile, PARAMS, p, specs, halo_elements=4)
+        total = profile.total_work()
+        # Never faster than perfect parallelism; never slower than fully
+        # serial execution plus all communication ever charged.
+        assert result.total_time >= total / p - 1e-9
+        assert result.total_time <= total + result.run.comm_time + 1e-9
+
+    @given(phase_lists, st.integers(1, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_program_deterministic(self, phases, p):
+        def once():
+            profile = ProgramProfile("prop")
+            specs = {}
+            for k, (kind, work) in enumerate(phases):
+                name = f"ph{k}"
+                profile.add(name, kind, work)
+                if kind is PhaseKind.WAVEFRONT:
+                    specs[name] = WavefrontSpec(rows=16, cols=16, block_size=4)
+            return simulate_program(
+                profile, PARAMS, p, specs, halo_elements=4
+            ).total_time
+
+        assert once() == once()

@@ -1,0 +1,123 @@
+"""Property-based tests for WSVs, legality and loop-structure derivation."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.loopstruct import (
+    LoopStructure,
+    derive_loop_structure,
+    structure_exists,
+)
+from repro.compiler.wsv import DimClass, Sign, classify, f, wsv_of
+from repro.errors import OverconstrainedScanError
+
+components = st.integers(min_value=-3, max_value=3)
+vectors2 = st.tuples(components, components)
+vectors3 = st.tuples(components, components, components)
+vecsets2 = st.lists(vectors2, min_size=0, max_size=5)
+vecsets3 = st.lists(vectors3, min_size=0, max_size=4)
+
+
+def brute_force_exists(vectors, rank):
+    """Oracle: exhaustive search over (order, signs)."""
+    constraints = [v for v in vectors if any(c != 0 for c in v)]
+    for order in itertools.permutations(range(rank)):
+        for signs in itertools.product((1, -1), repeat=rank):
+            structure = LoopStructure(order, signs, (DimClass.PARALLEL,) * rank)
+            if all(structure.respects(v) for v in constraints):
+                return True
+    return False
+
+
+class TestCombinatorF:
+    @given(st.integers(-10, 10), st.integers(-10, 10))
+    def test_symmetric(self, i, j):
+        assert f(i, j) is f(j, i)
+
+    @given(st.integers(-10, 10))
+    def test_sign_of_single(self, i):
+        expected = Sign.ZERO if i == 0 else (Sign.PLUS if i > 0 else Sign.MINUS)
+        assert f(i, i) is expected or (i != 0 and f(i, i) is not Sign.BOTH)
+
+
+class TestWSVProperties:
+    @given(vecsets2)
+    def test_order_insensitive(self, dirs):
+        if not dirs:
+            return
+        assert wsv_of(dirs) == wsv_of(list(reversed(dirs)))
+
+    @given(vecsets2)
+    def test_duplicates_irrelevant(self, dirs):
+        if not dirs:
+            return
+        assert wsv_of(dirs) == wsv_of(dirs + dirs)
+
+    @given(vecsets2)
+    def test_simple_wsv_of_negated_dirs_always_legal(self, dirs):
+        # Paper: "Simple wavefront summary vectors ... are always legal."
+        if not dirs:
+            return
+        summary = wsv_of(dirs)
+        if summary.is_simple():
+            udvs = [tuple(-c for c in d) for d in dirs]
+            assert structure_exists(udvs, 2)
+
+    @given(vecsets2)
+    def test_negation_flips_plus_minus(self, dirs):
+        if not dirs:
+            return
+        w = wsv_of(dirs)
+        wn = wsv_of([tuple(-c for c in d) for d in dirs])
+        flip = {Sign.PLUS: Sign.MINUS, Sign.MINUS: Sign.PLUS,
+                Sign.ZERO: Sign.ZERO, Sign.BOTH: Sign.BOTH}
+        assert tuple(flip[s] for s in w.signs) == wn.signs
+
+
+class TestLoopStructureProperties:
+    @given(vecsets2)
+    @settings(max_examples=200)
+    def test_derive_agrees_with_brute_force_rank2(self, vectors):
+        classes = classify(vectors, 2)
+        exists = brute_force_exists(vectors, 2)
+        assert structure_exists(vectors, 2) == exists
+        if exists:
+            loops = derive_loop_structure(vectors, classes, 2)
+            for v in vectors:
+                assert loops.respects(v), (v, loops)
+        else:
+            try:
+                derive_loop_structure(vectors, classes, 2)
+                raise AssertionError("expected OverconstrainedScanError")
+            except OverconstrainedScanError:
+                pass
+
+    @given(vecsets3)
+    @settings(max_examples=100)
+    def test_derive_agrees_with_brute_force_rank3(self, vectors):
+        classes = classify(vectors, 3)
+        assert structure_exists(vectors, 3) == brute_force_exists(vectors, 3)
+        if structure_exists(vectors, 3):
+            loops = derive_loop_structure(vectors, classes, 3)
+            for v in vectors:
+                assert loops.respects(v)
+
+    @given(vecsets2)
+    def test_parallel_dims_have_no_true_components(self, vectors):
+        classes = classify(vectors, 2)
+        for dim, cls in enumerate(classes):
+            if cls is DimClass.PARALLEL:
+                assert all(v[dim] == 0 for v in vectors)
+
+    @given(vecsets2)
+    def test_classification_total(self, vectors):
+        classes = classify(vectors, 2)
+        assert len(classes) == 2
+        assert all(isinstance(c, DimClass) for c in classes)
+
+    @given(vectors2)
+    def test_single_vector_always_satisfiable(self, v):
+        # One dependence can always be respected by some loop nest.
+        assert structure_exists([v], 2)

@@ -1,0 +1,107 @@
+"""Property-based tests for regions and block distributions."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.zpl.regions import Region
+from repro.machine.distribution import BlockMap
+from repro.machine.grid import ProcessorGrid
+
+ranges = st.tuples(
+    st.integers(min_value=-20, max_value=20),
+    st.integers(min_value=0, max_value=25),
+).map(lambda t: (t[0], t[0] + t[1]))
+
+regions2d = st.tuples(ranges, ranges).map(Region)
+regions = st.lists(ranges, min_size=1, max_size=3).map(tuple).map(Region)
+
+
+class TestRegionProperties:
+    @given(regions)
+    def test_size_matches_iteration(self, r):
+        if r.size <= 2000:
+            assert len(list(r)) == r.size
+
+    @given(regions, st.lists(st.integers(-3, 3), min_size=1, max_size=3))
+    def test_shift_preserves_shape_and_inverts(self, r, offsets):
+        offsets = tuple(offsets[: r.rank]) + (0,) * max(0, r.rank - len(offsets))
+        shifted = r.shift(offsets)
+        assert shifted.shape == r.shape
+        assert shifted.shift(tuple(-o for o in offsets)) == r
+
+    @given(regions2d, regions2d)
+    def test_intersect_commutative(self, a, b):
+        assert a.intersect(b).is_empty() == b.intersect(a).is_empty()
+        if not a.intersect(b).is_empty():
+            assert a.intersect(b) == b.intersect(a)
+
+    @given(regions2d, regions2d)
+    def test_intersect_contained_in_both(self, a, b):
+        inter = a.intersect(b)
+        for idx in list(inter)[:50]:
+            assert a.contains(idx) and b.contains(idx)
+
+    @given(regions2d, regions2d)
+    def test_bounding_covers_both(self, a, b):
+        box = a.bounding(b)
+        assert box.covers(a) or a.is_empty()
+        assert box.covers(b) or b.is_empty()
+
+    @given(regions2d)
+    def test_self_intersection_identity(self, r):
+        assert r.intersect(r) == r
+
+    @given(regions, st.integers(1, 6))
+    def test_split_partitions(self, r, pieces):
+        slabs = r.split(0, pieces)
+        assert len(slabs) == pieces
+        assert sum(s.size for s in slabs) == r.size
+        # Adjacent, ordered, disjoint along dim 0.
+        non_empty = [s for s in slabs if not s.is_empty()]
+        for a, b in zip(non_empty, non_empty[1:]):
+            assert a.range(0)[1] < b.range(0)[0]
+
+    @given(regions2d)
+    def test_border_disjoint_from_region(self, r):
+        if r.is_empty():
+            return
+        for d in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+            strip = r.border(d)
+            assert r.intersect(strip).is_empty()
+            assert strip.size == r.extent(1) if d[0] != 0 else r.extent(0)
+
+
+class TestBlockMapProperties:
+    @given(
+        st.tuples(
+            st.integers(1, 30), st.integers(1, 20)
+        ),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=60)
+    def test_partition_covers_and_disjoint(self, shape, procs):
+        region = Region.from_shape(shape, base=1)
+        bm = BlockMap(region, ProcessorGrid((procs,)), (0, None))
+        total = 0
+        seen_rows: set[int] = set()
+        for p in range(procs):
+            local = bm.local_region(p)
+            total += local.size
+            for row in local.indices(0):
+                assert row not in seen_rows
+                seen_rows.add(row)
+        assert total == region.size
+
+    @given(
+        st.integers(2, 20),
+        st.integers(1, 4),
+        st.integers(1, 4),
+    )
+    @settings(max_examples=40)
+    def test_owner_agrees_with_local_region_2d(self, n, p1, p2):
+        region = Region.square(1, n)
+        bm = BlockMap(region, ProcessorGrid((p1, p2)), (0, 1))
+        for p in range(p1 * p2):
+            local = bm.local_region(p)
+            for idx in list(local)[:20]:
+                assert bm.owner(idx) == p

@@ -1,0 +1,46 @@
+"""Property: pretty-printing then re-parsing preserves program semantics."""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.compiler import compile_scan
+from repro.runtime import execute_vectorized, run_and_capture
+from repro.zpl.parser import parse_scan_block
+from repro.zpl.pretty import format_scan_block
+from tests.properties.test_prop_scan_equivalence import scan_programs
+
+
+@given(scan_programs())
+@settings(max_examples=40, deadline=None)
+def test_format_parse_roundtrip(program):
+    block, arrays, _, _ = program
+    compiled = compile_scan(block)
+
+    text = format_scan_block(block)
+    env = {a.name: a for a in arrays}
+    reparsed = parse_scan_block(text, env)
+    recompiled = compile_scan(reparsed)
+
+    # Identical analysis results...
+    assert recompiled.wsv == compiled.wsv
+    assert recompiled.loops == compiled.loops
+    assert len(recompiled.statements) == len(compiled.statements)
+
+    # ...and identical execution, from identical initial state.
+    before = run_and_capture(execute_vectorized, compiled, arrays)
+    after = run_and_capture(execute_vectorized, recompiled, arrays)
+    for a, b in zip(before, after):
+        np.testing.assert_allclose(b, a, rtol=1e-12, atol=1e-12)
+
+
+@given(scan_programs())
+@settings(max_examples=25, deadline=None)
+def test_format_is_stable(program):
+    # Formatting is a pure function of the block: same text every time,
+    # and formatting the reparsed block gives the same text again.
+    block, arrays, _, _ = program
+    text = format_scan_block(block)
+    assert format_scan_block(block) == text
+    env = {a.name: a for a in arrays}
+    reparsed = parse_scan_block(text, env)
+    assert format_scan_block(reparsed) == text

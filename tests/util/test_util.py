@@ -1,0 +1,150 @@
+"""Tests for the utility layer: validation, tables, timing."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.util.tables import Series, Table, format_bar_chart, merge_series
+from repro.util.timing import WallTimer
+from repro.util.validation import (
+    check_int,
+    check_nonnegative,
+    check_positive,
+    check_positive_int,
+    check_tuple_of_int,
+)
+
+
+class TestValidation:
+    def test_check_int_accepts_numpy(self):
+        assert check_int(np.int64(7), "x") == 7
+        assert isinstance(check_int(np.int32(3), "x"), int)
+
+    def test_check_int_rejects_bool_and_float(self):
+        with pytest.raises(TypeError):
+            check_int(True, "x")
+        with pytest.raises(TypeError):
+            check_int(1.5, "x")
+
+    def test_check_positive_int(self):
+        assert check_positive_int(1, "x") == 1
+        with pytest.raises(ValueError):
+            check_positive_int(0, "x")
+
+    def test_check_nonnegative(self):
+        assert check_nonnegative(0, "x") == 0.0
+        with pytest.raises(ValueError):
+            check_nonnegative(-0.1, "x")
+        with pytest.raises(ValueError):
+            check_nonnegative(float("nan"), "x")
+        with pytest.raises(TypeError):
+            check_nonnegative("z", "x")
+
+    def test_check_positive(self):
+        assert check_positive(2.5, "x") == 2.5
+        with pytest.raises(ValueError):
+            check_positive(0.0, "x")
+
+    def test_check_tuple_of_int(self):
+        assert check_tuple_of_int([1, 2], "x") == (1, 2)
+        assert check_tuple_of_int(np.array([3, 4]), "x") == (3, 4)
+        with pytest.raises(TypeError):
+            check_tuple_of_int("12", "x")
+        with pytest.raises(TypeError):
+            check_tuple_of_int([1.5], "x")
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table("Title", ["a", "bb"], precision=2)
+        t.add_row(1, 2.345)
+        t.add_row(10, 0.5)
+        text = t.render()
+        assert "Title" in text
+        assert "2.35" in text  # rounded to precision
+        lines = text.splitlines()
+        assert len({len(line) for line in lines[2:]}) <= 2  # columns aligned
+
+    def test_row_width_check(self):
+        t = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+
+class TestSeries:
+    def test_argmax_and_max(self):
+        s = Series("s", "x", "y")
+        for x, y in [(1, 0.5), (2, 2.0), (3, 1.0)]:
+            s.add(x, y)
+        assert s.argmax() == 2
+        assert s.max() == 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Series("s", "x", "y").argmax()
+
+    def test_as_table(self):
+        s = Series("speedup", "b", "S")
+        s.add(4, 1.25)
+        assert "1.250" in s.as_table().render()
+
+    def test_merge_requires_common_axis(self):
+        a = Series("a", "x", "y")
+        b = Series("b", "x", "y")
+        a.add(1, 1.0)
+        b.add(2, 2.0)
+        with pytest.raises(ValueError):
+            merge_series("t", [a, b])
+
+    def test_merge(self):
+        a = Series("a", "x", "y")
+        b = Series("b", "x", "y")
+        for x in (1, 2):
+            a.add(x, float(x))
+            b.add(x, 2.0 * x)
+        text = merge_series("m", [a, b]).render()
+        assert "a" in text and "b" in text
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_series("t", [])
+
+
+class TestBarChart:
+    def test_scaling(self):
+        text = format_bar_chart("bars", [("one", 1.0), ("two", 2.0)], width=10)
+        lines = text.splitlines()
+        assert lines[2].count("#") == 5
+        assert lines[3].count("#") == 10
+
+    def test_zero_values(self):
+        text = format_bar_chart("z", [("a", 0.0)])
+        assert "0.00" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_bar_chart("t", [])
+
+
+class TestWallTimer:
+    def test_accumulates(self):
+        t = WallTimer()
+        with t:
+            time.sleep(0.01)
+        first = t.elapsed
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed > first
+
+    def test_reset(self):
+        t = WallTimer()
+        with t:
+            pass
+        t.reset()
+        assert t.elapsed == 0.0
+
+    def test_exit_without_enter(self):
+        t = WallTimer()
+        with pytest.raises(RuntimeError):
+            t.__exit__(None, None, None)

@@ -1,0 +1,147 @@
+"""Unit tests for parallel arrays (storage, fluff, borders, access)."""
+
+import numpy as np
+import pytest
+
+from repro import zpl
+from repro.errors import ArrayError
+from repro.zpl.arrays import ZArray
+
+
+@pytest.fixture
+def arr() -> ZArray:
+    a = zpl.zeros(zpl.Region.of((1, 4), (1, 5)), name="a")
+    a.load(np.arange(20, dtype=float).reshape(4, 5))
+    return a
+
+
+class TestAllocation:
+    def test_declared_and_storage_regions(self, arr):
+        assert arr.region.ranges == ((1, 4), (1, 5))
+        assert arr.storage_region.ranges == ((0, 5), (0, 6))
+
+    def test_fluff_zero(self):
+        a = ZArray(zpl.Region.of((1, 3)), fluff=0)
+        assert a.storage_region == a.region
+
+    def test_fluff_negative_rejected(self):
+        with pytest.raises(ArrayError):
+            ZArray(zpl.Region.of((1, 3)), fluff=-1)
+
+    def test_empty_region_rejected(self):
+        with pytest.raises(ArrayError):
+            ZArray(zpl.Region.of((3, 1)))
+
+    def test_fill_value(self):
+        a = zpl.full(zpl.Region.of((1, 2), (1, 2)), 7.5)
+        assert float(a[(1, 1)]) == 7.5
+        # Border (fluff) cells are filled too.
+        assert a.read(a.storage_region)[0, 0] == 7.5
+
+    def test_factories(self):
+        r = zpl.Region.of((1, 2), (1, 2))
+        assert np.all(zpl.zeros(r).to_numpy() == 0.0)
+        assert np.all(zpl.ones(r).to_numpy() == 1.0)
+
+    def test_from_numpy(self):
+        values = np.arange(6, dtype=float).reshape(2, 3)
+        a = zpl.from_numpy(values, base=1)
+        assert a.region.ranges == ((1, 2), (1, 3))
+        np.testing.assert_array_equal(a.to_numpy(), values)
+
+
+class TestAccess:
+    def test_global_indexing(self, arr):
+        # Element (i, j) uses global indices regardless of storage layout.
+        assert float(arr[(1, 1)]) == 0.0
+        assert float(arr[(4, 5)]) == 19.0
+
+    def test_put_get(self, arr):
+        arr.put((2, 3), 99.0)
+        assert arr.get((2, 3)) == 99.0
+
+    def test_fluff_accessible(self, arr):
+        arr.put((0, 0), -1.0)
+        assert arr.get((0, 0)) == -1.0
+
+    def test_out_of_storage_get(self, arr):
+        with pytest.raises(ArrayError):
+            arr.get((-1, 0))
+
+    def test_out_of_storage_put(self, arr):
+        with pytest.raises(ArrayError):
+            arr.put((7, 1), 0.0)
+
+    def test_read_region_is_view(self, arr):
+        view = arr.read(zpl.Region.of((1, 1), (1, 5)))
+        view[0, 0] = 123.0
+        assert arr.get((1, 1)) == 123.0
+
+    def test_read_outside_storage_raises(self, arr):
+        with pytest.raises(ArrayError, match="outside the storage"):
+            arr.read(zpl.Region.of((-2, 1), (1, 5)))
+
+    def test_write_region(self, arr):
+        arr.write(zpl.Region.of((2, 3), (2, 3)), np.full((2, 2), 5.0))
+        assert arr.get((2, 2)) == 5.0
+        assert arr.get((3, 3)) == 5.0
+        assert arr.get((1, 1)) == 0.0
+
+    def test_rank_mismatch(self, arr):
+        with pytest.raises(ArrayError):
+            arr.read(zpl.Region.of((1, 2)))
+
+    def test_load_shape_check(self, arr):
+        with pytest.raises(ArrayError):
+            arr.load(np.zeros((3, 3)))
+
+
+class TestBorders:
+    def test_set_border_north(self, arr):
+        arr.set_border(zpl.NORTH, 9.0)
+        assert arr.get((0, 1)) == 9.0
+        assert arr.get((0, 5)) == 9.0
+        assert arr.get((1, 1)) == 0.0  # declared values untouched
+
+    def test_set_border_array_values(self, arr):
+        arr.set_border(zpl.WEST, np.arange(4, dtype=float).reshape(4, 1))
+        assert arr.get((3, 0)) == 2.0
+
+    def test_copy_like(self, arr):
+        arr.set_border(zpl.NORTH, 4.0)
+        clone = arr.copy_like(name="b")
+        assert clone.name == "b"
+        assert clone.get((0, 1)) == 4.0  # fluff copied too
+        clone.put((1, 1), -5.0)
+        assert arr.get((1, 1)) == 0.0  # independent storage
+
+
+class TestStatementSyntax:
+    def test_setitem_region_with_ndarray(self, arr):
+        arr[zpl.Region.of((1, 1), (1, 5))] = np.full((1, 5), 2.5)
+        assert arr.get((1, 3)) == 2.5
+
+    def test_setitem_scalar_element(self, arr):
+        arr[(2, 2)] = 42
+        assert arr.get((2, 2)) == 42.0
+
+    def test_getitem_region(self, arr):
+        np.testing.assert_array_equal(
+            arr[zpl.Region.of((1, 1), (1, 5))], arr.to_numpy()[:1]
+        )
+
+    def test_getitem_ellipsis(self, arr):
+        np.testing.assert_array_equal(arr[...], arr.to_numpy())
+
+    def test_bad_key(self, arr):
+        with pytest.raises(ArrayError):
+            arr["oops"]
+
+    def test_eager_statement_with_region_key(self, arr):
+        arr[zpl.Region.of((2, 3), (1, 5))] = arr + 1.0
+        assert arr.get((2, 1)) == 6.0  # was 5.0
+        assert arr.get((1, 1)) == 0.0
+
+    def test_expression_to_element_rejected(self, arr):
+        with pytest.raises(ArrayError):
+            arr[(1, 1)] = arr + 1.0

@@ -1,0 +1,100 @@
+"""Unit tests for direction vectors."""
+
+import pytest
+
+from repro import zpl
+from repro.errors import DirectionError
+from repro.zpl.directions import Direction, as_direction
+
+
+class TestConstruction:
+    def test_offsets_roundtrip(self):
+        d = Direction((-1, 2, 0))
+        assert d.offsets == (-1, 2, 0)
+        assert d.rank == 3
+
+    def test_name_is_optional(self):
+        assert Direction((1,)).name is None
+        assert Direction((1,), "down").name == "down"
+
+    def test_empty_rejected(self):
+        with pytest.raises(DirectionError):
+            Direction(())
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(TypeError):
+            Direction((1.5, 0))
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            Direction((True, 0))
+
+
+class TestCardinals:
+    def test_paper_vectors(self):
+        # Paper Section 2.1: north, south, west, east definitions.
+        assert zpl.NORTH.offsets == (-1, 0)
+        assert zpl.SOUTH.offsets == (1, 0)
+        assert zpl.WEST.offsets == (0, -1)
+        assert zpl.EAST.offsets == (0, 1)
+
+    def test_cardinals_are_cardinal(self):
+        for d in zpl.CARDINALS_2D + zpl.CARDINALS_3D:
+            assert d.is_cardinal()
+
+    def test_diagonals_are_not_cardinal(self):
+        for d in zpl.DIAGONALS_2D:
+            assert not d.is_cardinal()
+
+    def test_opposites(self):
+        assert -zpl.NORTH == zpl.SOUTH
+        assert -zpl.WEST == zpl.EAST
+
+
+class TestAlgebra:
+    def test_addition(self):
+        assert (zpl.NORTH + zpl.WEST) == zpl.NORTHWEST
+
+    def test_addition_rank_mismatch(self):
+        with pytest.raises(DirectionError):
+            zpl.NORTH + zpl.ABOVE
+
+    def test_zero_detection(self):
+        assert Direction((0, 0)).is_zero()
+        assert not zpl.NORTH.is_zero()
+        assert (zpl.NORTH + zpl.SOUTH).is_zero()
+
+    def test_equality_with_tuple(self):
+        assert zpl.NORTH == (-1, 0)
+        assert zpl.NORTH != (1, 0)
+
+    def test_hashable(self):
+        assert len({zpl.NORTH, Direction((-1, 0)), zpl.SOUTH}) == 2
+
+    def test_iteration_and_indexing(self):
+        assert list(zpl.NORTHEAST) == [-1, 1]
+        assert zpl.NORTHEAST[1] == 1
+        assert len(zpl.NORTHEAST) == 2
+
+
+class TestCoercion:
+    def test_as_direction_passthrough(self):
+        assert as_direction(zpl.NORTH) is zpl.NORTH
+
+    def test_as_direction_from_tuple(self):
+        assert as_direction((0, -2)).offsets == (0, -2)
+
+    def test_as_direction_from_list(self):
+        assert as_direction([3, 0]).offsets == (3, 0)
+
+    def test_rank_check(self):
+        with pytest.raises(DirectionError):
+            as_direction((1, 0), rank=3)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(DirectionError):
+            as_direction("north")
+
+    def test_repr_uses_name(self):
+        assert repr(zpl.NORTH) == "north"
+        assert "(-1, 2)" in repr(Direction((-1, 2)))

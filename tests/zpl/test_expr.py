@@ -1,0 +1,188 @@
+"""Unit tests for expression trees: shifts, primes, ops, reductions."""
+
+import numpy as np
+import pytest
+
+from repro import zpl
+from repro.errors import ExpressionError
+from repro.zpl.expr import BinOp, Const, Ref, as_node
+from repro.zpl.program import eager_reader
+
+
+@pytest.fixture
+def grid():
+    a = zpl.from_numpy(np.arange(1.0, 17.0).reshape(4, 4), base=1, name="a")
+    b = zpl.full(zpl.Region.square(1, 4), 2.0, name="b")
+    return a, b
+
+
+def ev(expr, region):
+    return np.asarray(as_node(expr).evaluate(region, eager_reader))
+
+
+class TestRefs:
+    def test_plain_ref(self, grid):
+        a, _ = grid
+        np.testing.assert_array_equal(ev(a.ref, a.region), a.to_numpy())
+
+    def test_shift_reads_shifted_indices(self, grid):
+        a, _ = grid
+        inner = zpl.Region.of((2, 3), (2, 3))
+        np.testing.assert_array_equal(
+            ev(a @ zpl.NORTH, inner), a.read(inner.shift(zpl.NORTH))
+        )
+
+    def test_shift_accumulates(self, grid):
+        a, _ = grid
+        ref = (a @ zpl.NORTH) @ zpl.EAST
+        assert ref.offset == zpl.NORTHEAST
+
+    def test_at_alias(self, grid):
+        a, _ = grid
+        assert a.at(zpl.WEST).offset == zpl.WEST
+
+    def test_shift_with_tuple(self, grid):
+        a, _ = grid
+        assert (a @ (2, -1)).offset.offsets == (2, -1)
+
+    def test_prime_flag(self, grid):
+        a, _ = grid
+        assert a.p.primed
+        assert (a.p @ zpl.NORTH).primed
+        assert not (a @ zpl.NORTH).primed
+
+    def test_double_prime_rejected(self, grid):
+        a, _ = grid
+        with pytest.raises(ExpressionError):
+            a.p.p
+
+    def test_primed_eager_read_rejected(self, grid):
+        a, _ = grid
+        with pytest.raises(ExpressionError, match="scan block"):
+            ev(a.p @ zpl.NORTH, zpl.Region.of((2, 3), (1, 4)))
+
+    def test_shift_rank_check(self, grid):
+        a, _ = grid
+        with pytest.raises(Exception):
+            a @ (1, 0, 0)
+
+
+class TestArithmetic:
+    def test_binary_ops(self, grid):
+        a, b = grid
+        R = a.region
+        np.testing.assert_array_equal(ev(a + b, R), a.to_numpy() + 2.0)
+        np.testing.assert_array_equal(ev(a - b, R), a.to_numpy() - 2.0)
+        np.testing.assert_array_equal(ev(a * b, R), a.to_numpy() * 2.0)
+        np.testing.assert_array_equal(ev(a / b, R), a.to_numpy() / 2.0)
+        np.testing.assert_array_equal(ev(a ** 2.0, R), a.to_numpy() ** 2)
+
+    def test_scalar_promotion(self, grid):
+        a, _ = grid
+        R = a.region
+        np.testing.assert_array_equal(ev(1.0 / a, R), 1.0 / a.to_numpy())
+        np.testing.assert_array_equal(ev(3.0 - a, R), 3.0 - a.to_numpy())
+        np.testing.assert_array_equal(ev(a + 1, R), a.to_numpy() + 1)
+
+    def test_unary(self, grid):
+        a, _ = grid
+        R = a.region
+        np.testing.assert_array_equal(ev(-a, R), -a.to_numpy())
+        np.testing.assert_allclose(ev(zpl.sqrt(a), R), np.sqrt(a.to_numpy()))
+
+    def test_comparisons_and_where(self, grid):
+        a, _ = grid
+        R = a.region
+        result = ev(zpl.where(BinOp(">", a.ref, Const(8.0)), a, 0.0), R)
+        expected = np.where(a.to_numpy() > 8.0, a.to_numpy(), 0.0)
+        np.testing.assert_array_equal(result, expected)
+
+    def test_maximum_minimum(self, grid):
+        a, b = grid
+        R = a.region
+        np.testing.assert_array_equal(
+            ev(zpl.maximum(a, 5.0), R), np.maximum(a.to_numpy(), 5.0)
+        )
+        np.testing.assert_array_equal(
+            ev(zpl.minimum(a, b), R), np.minimum(a.to_numpy(), 2.0)
+        )
+
+    def test_mixed_rank_rejected(self, grid):
+        a, _ = grid
+        line = zpl.ones(zpl.Region.of((1, 4)))
+        with pytest.raises(ExpressionError):
+            (a + line).rank
+
+    def test_unknown_operand_rejected(self):
+        with pytest.raises(ExpressionError):
+            as_node(object())
+
+
+class TestStructure:
+    def test_refs_enumeration(self, grid):
+        a, b = grid
+        expr = a + (b @ zpl.NORTH) * (a.p @ zpl.SOUTH)
+        refs = list(expr.refs())
+        assert len(refs) == 3
+        assert sum(r.primed for r in refs) == 1
+
+    def test_has_prime(self, grid):
+        a, b = grid
+        assert (a.p @ zpl.NORTH + b).has_prime()
+        assert not (a @ zpl.NORTH + b).has_prime()
+
+    def test_rank(self, grid):
+        a, _ = grid
+        assert (a + 1.0).rank == 2
+        assert Const(1.0).rank is None
+
+    def test_substitute(self, grid):
+        a, b = grid
+        inner = b @ zpl.NORTH
+        expr = a + inner
+        swapped = expr.substitute({inner: Const(0.0)})
+        assert "north" not in repr(swapped)
+        # Original tree untouched.
+        assert "north" in repr(expr)
+
+    def test_repr_mentions_prime(self, grid):
+        a, _ = grid
+        assert "a'" in repr(a.p @ zpl.NORTH)
+
+
+class TestParallelOps:
+    def test_full_sum(self, grid):
+        a, _ = grid
+        assert ev(zpl.zsum(a), a.region) == pytest.approx(a.to_numpy().sum())
+
+    def test_partial_sum_broadcast_back(self, grid):
+        a, _ = grid
+        result = ev(zpl.zsum(a, dims=[0]), a.region)
+        expected = np.broadcast_to(a.to_numpy().sum(axis=0, keepdims=True), (4, 4))
+        np.testing.assert_array_equal(result, expected)
+
+    def test_full_max_min(self, grid):
+        a, _ = grid
+        assert ev(zpl.zmax(a), a.region) == 16.0
+        assert ev(zpl.zmin(a), a.region) == 1.0
+
+    def test_flood(self, grid):
+        a, _ = grid
+        result = ev(zpl.flood(a, dims=[0]), a.region)
+        expected = np.broadcast_to(a.to_numpy()[:1, :], (4, 4))
+        np.testing.assert_array_equal(result, expected)
+
+    def test_flood_needs_dims(self, grid):
+        a, _ = grid
+        with pytest.raises(ExpressionError):
+            zpl.flood(a, dims=[])
+
+    def test_parallel_ops_enumeration(self, grid):
+        a, b = grid
+        expr = zpl.zsum(a) + b * zpl.flood(a, dims=[1])
+        assert len(list(expr.parallel_ops())) == 2
+
+    def test_pointwise_reduction_rejected(self, grid):
+        a, _ = grid
+        with pytest.raises(ExpressionError):
+            zpl.zsum(a).evaluate_at((1, 1), lambda *args: 0.0)

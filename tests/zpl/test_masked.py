@@ -1,0 +1,125 @@
+"""Tests for masked execution (ZPL's ``[R with m]``)."""
+
+import numpy as np
+import pytest
+
+from repro import zpl
+from repro.compiler import compile_scan, contractible
+from repro.errors import LegalityError, RegionError
+from repro.machine import MachineParams, pipelined_wavefront
+from repro.runtime import execute_loopnest, execute_vectorized, run_and_capture
+
+
+def lower_triangle_mask(n: int) -> zpl.ZArray:
+    m = zpl.zeros(zpl.Region.square(1, n), name="m")
+    with zpl.covering(m.region):
+        m[...] = zpl.where(zpl.index(0) >= zpl.index(1), 1.0, 0.0)
+    return m
+
+
+class TestEagerMasking:
+    def test_store_only_where_mask(self):
+        n = 5
+        a = zpl.zeros(zpl.Region.square(1, n), name="a")
+        mask = lower_triangle_mask(n)
+        with zpl.covering(a.region), zpl.masked(mask):
+            a[...] = 7.0
+        values = a.to_numpy()
+        np.testing.assert_array_equal(values, 7.0 * np.tril(np.ones((n, n))))
+
+    def test_reads_unaffected(self):
+        n = 5
+        a = zpl.ones(zpl.Region.square(1, n), name="a")
+        b = zpl.zeros(zpl.Region.square(1, n), name="b")
+        mask = lower_triangle_mask(n)
+        with zpl.covering(zpl.Region.square(2, n - 1)), zpl.masked(mask):
+            b[...] = (a @ zpl.NORTH) + (a @ zpl.EAST)  # reads cross the mask
+        assert float(b[(3, 2)]) == 2.0  # masked in
+        assert float(b[(2, 3)]) == 0.0  # masked out
+
+    def test_innermost_mask_wins(self):
+        n = 4
+        a = zpl.zeros(zpl.Region.square(1, n), name="a")
+        outer = lower_triangle_mask(n)
+        inner = zpl.ZArray(zpl.Region.square(1, n), name="inner", fill=1.0)
+        inner.put((1, 1), 0.0)
+        with zpl.covering(a.region), zpl.masked(outer), zpl.masked(inner):
+            a[...] = 5.0
+        assert float(a[(1, 1)]) == 0.0  # inner mask excludes
+        assert float(a[(1, 4)]) == 5.0  # outer mask ignored
+
+    def test_non_array_rejected(self):
+        with pytest.raises(RegionError):
+            with zpl.masked("mask"):  # type: ignore[arg-type]
+                pass
+
+    def test_mask_cleared_on_exit(self):
+        n = 4
+        a = zpl.zeros(zpl.Region.square(1, n), name="a")
+        with zpl.covering(a.region):
+            with zpl.masked(lower_triangle_mask(n)):
+                pass
+            a[...] = 3.0  # unmasked again
+        assert np.all(a.to_numpy() == 3.0)
+
+
+class TestMaskedScanBlocks:
+    def banded_wavefront(self, n, bandwidth):
+        """A wavefront restricted to a diagonal band — an irregular domain."""
+        mask = zpl.zeros(zpl.Region.square(1, n), name="band")
+        with zpl.covering(mask.region):
+            mask[...] = zpl.where(
+                zpl.absolute(zpl.index(0) - zpl.index(1)) <= float(bandwidth),
+                1.0,
+                0.0,
+            )
+        a = zpl.ones(zpl.Region.square(1, n), name="a")
+        with zpl.covering(zpl.Region.of((2, n), (1, n))):
+            with zpl.masked(mask), zpl.scan(execute=False) as block:
+                a[...] = 2.0 * (a.p @ zpl.NORTH)
+        return block, a, mask
+
+    def test_masked_wavefront_engines_agree(self):
+        block, a, mask = self.banded_wavefront(8, 2)
+        compiled = compile_scan(block)
+        oracle = run_and_capture(execute_loopnest, compiled, [a, mask])
+        fast = run_and_capture(execute_vectorized, compiled, [a, mask])
+        np.testing.assert_allclose(fast[0], oracle[0], rtol=1e-13)
+
+    def test_masked_out_points_untouched(self):
+        block, a, mask = self.banded_wavefront(8, 1)
+        execute_vectorized(compile_scan(block))
+        values = a.to_numpy()
+        # Far off-band: never written, still 1.
+        assert values[7, 0] == 1.0
+        # On the diagonal: doubled from its northern neighbour each row.
+        assert values[1, 1] == 2.0
+
+    def test_masked_distributed_matches_sequential(self):
+        params = MachineParams(name="m", alpha=20.0, beta=1.0)
+        block, a, mask = self.banded_wavefront(12, 3)
+        compiled = compile_scan(block)
+        expected = run_and_capture(execute_vectorized, compiled, [a, mask])
+        pipelined_wavefront(compiled, params, n_procs=3, block_size=4)
+        np.testing.assert_allclose(a._data, expected[0], rtol=1e-13)
+
+    def test_block_written_mask_rejected(self):
+        n = 6
+        a = zpl.ones(zpl.Region.square(1, n), name="a")
+        with zpl.covering(zpl.Region.of((2, n), (1, n))):
+            with zpl.masked(a), zpl.scan(execute=False) as block:
+                a[...] = 2.0 * (a.p @ zpl.NORTH)
+        with pytest.raises(LegalityError, match="loop-invariant"):
+            compile_scan(block)
+
+    def test_masked_target_not_contractible(self):
+        n = 6
+        mask = lower_triangle_mask(n)
+        r = zpl.zeros(zpl.Region.square(1, n), name="r")
+        d = zpl.ones(zpl.Region.square(1, n), name="d")
+        with zpl.covering(zpl.Region.of((2, n), (1, n))):
+            with zpl.masked(mask), zpl.scan(execute=False) as block:
+                r[...] = 0.5 * (d.p @ zpl.NORTH)
+                d[...] = d + r
+        compiled = compile_scan(block)
+        assert not contractible(compiled, r)

@@ -1,0 +1,148 @@
+"""Tests for the extended parallel operators: prefix scan and wrap shift."""
+
+import numpy as np
+import pytest
+
+from repro import zpl
+from repro.compiler import compile_scan
+from repro.errors import ExpressionError, PrimedOperandError
+from repro.runtime import execute_vectorized
+from repro.zpl import prefix_scan, wrap
+
+
+@pytest.fixture
+def grid():
+    a = zpl.from_numpy(np.arange(9.0).reshape(3, 3), base=1, name="a")
+    out = zpl.zeros(a.region, name="out")
+    return a, out
+
+
+class TestPrefixScan:
+    def test_inclusive_sum(self, grid):
+        a, out = grid
+        with zpl.covering(a.region):
+            out[...] = prefix_scan(a, "+", dim=0)
+        np.testing.assert_array_equal(
+            out.to_numpy(), np.cumsum(a.to_numpy(), axis=0)
+        )
+
+    def test_exclusive_sum(self, grid):
+        a, out = grid
+        with zpl.covering(a.region):
+            out[...] = prefix_scan(a, "+", dim=1, exclusive=True)
+        expected = np.zeros((3, 3))
+        expected[:, 1:] = np.cumsum(a.to_numpy(), axis=1)[:, :-1]
+        np.testing.assert_array_equal(out.to_numpy(), expected)
+
+    def test_max_scan(self, grid):
+        a, out = grid
+        values = np.array([[3.0, 1.0, 2.0]] * 3)
+        a.load(values)
+        with zpl.covering(a.region):
+            out[...] = prefix_scan(a, "max", dim=1)
+        np.testing.assert_array_equal(
+            out.to_numpy(), np.maximum.accumulate(values, axis=1)
+        )
+
+    def test_exclusive_identity_elements(self, grid):
+        a, out = grid
+        a.fill(5.0)
+        with zpl.covering(a.region):
+            out[...] = prefix_scan(a, "*", dim=0, exclusive=True)
+        assert np.all(out.to_numpy()[0] == 1.0)  # multiplicative identity
+
+    def test_scan_over_subregion(self, grid):
+        # The prefix runs over the covering region, not the whole array.
+        a, out = grid
+        sub = zpl.Region.of((2, 3), (1, 3))
+        with zpl.covering(sub):
+            out[...] = prefix_scan(a, "+", dim=0)
+        np.testing.assert_array_equal(
+            out.read(sub), np.cumsum(a.read(sub), axis=0)
+        )
+
+    def test_unknown_op_rejected(self, grid):
+        a, _ = grid
+        with pytest.raises(ExpressionError):
+            prefix_scan(a, "median", dim=0)
+
+    def test_bad_dim_rejected(self, grid):
+        a, out = grid
+        with pytest.raises(ExpressionError):
+            with zpl.covering(a.region):
+                out[...] = prefix_scan(a, "+", dim=5)
+
+    def test_hoisted_from_scan_block(self, grid):
+        # Inside a scan block the prefix is computed once, at block entry.
+        a, out = grid
+        b = zpl.ones(a.region, name="b", fluff=1)
+        with zpl.covering(zpl.Region.of((2, 3), (1, 3))):
+            with zpl.scan(execute=False) as block:
+                b[...] = (b.p @ zpl.NORTH) + prefix_scan(a, "+", dim=1)
+        compiled = compile_scan(block)
+        assert len(compiled.hoisted) == 1
+        execute_vectorized(compiled)
+        assert np.all(np.isfinite(b.to_numpy()))
+
+    def test_primed_operand_rejected(self, grid):
+        a, _ = grid
+        b = zpl.ones(a.region, name="b", fluff=1)
+        with zpl.covering(zpl.Region.of((2, 3), (1, 3))):
+            with zpl.scan(execute=False) as block:
+                b[...] = prefix_scan(b.p @ zpl.NORTH, "+", dim=0)
+        with pytest.raises(PrimedOperandError):
+            compile_scan(block)
+
+
+class TestWrap:
+    def test_wrap_north_is_periodic(self, grid):
+        a, out = grid
+        with zpl.covering(a.region):
+            out[...] = wrap(a, zpl.NORTH)
+        values = a.to_numpy()
+        np.testing.assert_array_equal(out.to_numpy()[0], values[2])
+        np.testing.assert_array_equal(out.to_numpy()[1], values[0])
+
+    def test_wrap_diagonal(self, grid):
+        a, out = grid
+        with zpl.covering(a.region):
+            out[...] = wrap(a, zpl.SOUTHEAST)
+        values = a.to_numpy()
+        assert out.to_numpy()[0, 0] == values[1, 1]  # plain shifted read
+        assert out.to_numpy()[2, 2] == values[0, 0]  # wrapped at the edge
+
+    def test_periodic_stencil_conserves_sum(self, grid):
+        # A periodic averaging stencil neither creates nor destroys mass.
+        a, out = grid
+        with zpl.covering(a.region):
+            out[...] = (wrap(a, zpl.NORTH) + wrap(a, zpl.SOUTH)
+                        + wrap(a, zpl.WEST) + wrap(a, zpl.EAST)) / 4.0
+        assert out.to_numpy().sum() == pytest.approx(a.to_numpy().sum())
+
+    def test_wrap_requires_plain_ref(self, grid):
+        a, _ = grid
+        with pytest.raises(ExpressionError):
+            wrap(a + 1.0, zpl.NORTH)
+        with pytest.raises(ExpressionError):
+            wrap(a.p, zpl.NORTH)
+        with pytest.raises(ExpressionError):
+            wrap(a @ zpl.NORTH, zpl.NORTH)
+
+    def test_wrap_of_block_written_array_rejected(self, grid):
+        a, _ = grid
+        b = zpl.ones(a.region, name="b", fluff=1)
+        with zpl.covering(zpl.Region.of((2, 3), (1, 3))):
+            with zpl.scan(execute=False) as block:
+                b[...] = (b.p @ zpl.NORTH) + wrap(b, zpl.SOUTH)
+        with pytest.raises(PrimedOperandError, match="cannot be hoisted"):
+            compile_scan(block)
+
+    def test_wrap_of_readonly_array_in_scan_ok(self, grid):
+        a, _ = grid
+        b = zpl.ones(a.region, name="b", fluff=1)
+        with zpl.covering(zpl.Region.of((2, 3), (1, 3))):
+            with zpl.scan(execute=False) as block:
+                b[...] = (b.p @ zpl.NORTH) + wrap(a, zpl.SOUTH)
+        compiled = compile_scan(block)
+        assert len(compiled.hoisted) == 1
+        execute_vectorized(compiled)

@@ -1,0 +1,278 @@
+"""Tests for the textual ZPL front end."""
+
+import numpy as np
+import pytest
+
+from repro import zpl
+from repro.compiler import compile_scan
+from repro.runtime import execute_vectorized, run_and_capture
+from repro.zpl.parser import (
+    ParseError,
+    parse_program,
+    parse_scan_block,
+    tokenize,
+)
+from tests.conftest import make_tomcatv_arrays, tomcatv_fragment_oracle
+
+
+class TestTokenizer:
+    def test_numbers_vs_ranges(self):
+        # '2..n' must tokenise as [2, .., n], not as the float '2.'.
+        kinds = [(t.kind, t.text) for t in tokenize("2..n-1")][:-1]
+        assert kinds == [
+            ("number", "2"), ("op", ".."), ("name", "n"),
+            ("op", "-"), ("number", "1"),
+        ]
+
+    def test_floats(self):
+        texts = [t.text for t in tokenize("1.0 0.25 .5 2.")][:-1]
+        assert texts == ["1.0", "0.25", ".5", "2."]
+
+    def test_compound_operators(self):
+        texts = [t.text for t in tokenize("a := b ** c")][:-1]
+        assert ":=" in texts and "**" in texts
+
+    def test_comments_skipped(self):
+        tokens = tokenize("a # comment to end of line\nb")
+        assert [t.text for t in tokens][:-1] == ["a", "b"]
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            tokenize("a ? b")
+
+    def test_prime_token(self):
+        assert "'" in [t.text for t in tokenize("d'@north")]
+
+
+@pytest.fixture
+def env():
+    n = 8
+    base = zpl.Region.square(1, n)
+    arrays = {
+        name: zpl.ones(base, name=name) for name in ("a", "b", "c")
+    }
+    return n, arrays
+
+
+class TestStatements:
+    def test_simple_assignment(self, env):
+        n, arrays = env
+        program = parse_program(
+            "[2..7, 2..7] a := b + 2.0 * c;", arrays, {"n": n}
+        )
+        program.run()
+        assert float(arrays["a"][(3, 3)]) == 3.0
+        assert float(arrays["a"][(1, 1)]) == 1.0  # outside region
+
+    def test_named_region_and_direction(self, env):
+        n, arrays = env
+        source = """
+        direction east = (0, 1);
+        region Inner = [2..n-1, 2..n-1];
+        [Inner] a := b@east + 1;
+        """
+        program = parse_program(source, arrays, {"n": n})
+        program.run()
+        assert float(arrays["a"][(2, 2)]) == 2.0
+        assert program.regions["Inner"].ranges == ((2, 7), (2, 7))
+        assert tuple(program.directions["east"]) == (0, 1)
+
+    def test_inline_vector_direction(self, env):
+        n, arrays = env
+        program = parse_program("[2..7, 1..8] a := b@(-1, 0) * 3.0;", arrays)
+        program.run()
+        assert float(arrays["a"][(2, 1)]) == 3.0
+
+    def test_operator_precedence(self, env):
+        n, arrays = env
+        program = parse_program("[2..2, 2..2] a := 1 + 2 * 3 ** 2;", arrays)
+        program.run()
+        assert float(arrays["a"][(2, 2)]) == 19.0
+
+    def test_unary_minus_and_parens(self, env):
+        n, arrays = env
+        program = parse_program("[2..2, 2..2] a := -(1 + 2) * b;", arrays)
+        program.run()
+        assert float(arrays["a"][(2, 2)]) == -3.0
+
+    def test_functions(self, env):
+        n, arrays = env
+        program = parse_program(
+            "[2..2, 2..2] a := max(b * 4, sqrt(b * 9));", arrays
+        )
+        program.run()
+        assert float(arrays["a"][(2, 2)]) == 4.0
+
+    def test_constants_in_expressions(self, env):
+        n, arrays = env
+        program = parse_program("[2..2, 2..2] a := b * n;", arrays, {"n": n})
+        program.run()
+        assert float(arrays["a"][(2, 2)]) == float(n)
+
+    def test_statement_without_region_rejected(self, env):
+        _, arrays = env
+        with pytest.raises(ParseError, match="covering region"):
+            parse_program("a := b;", arrays)
+
+    def test_unknown_array(self, env):
+        _, arrays = env
+        with pytest.raises(ParseError, match="unknown array"):
+            parse_program("[1..2, 1..2] a := zz;", arrays)
+
+    def test_unknown_direction(self, env):
+        _, arrays = env
+        with pytest.raises(ParseError, match="unknown direction"):
+            parse_program("[1..2, 1..2] a := b@nowhere;", arrays)
+
+    def test_unknown_region(self, env):
+        _, arrays = env
+        with pytest.raises(ParseError, match="unknown region"):
+            parse_program("[R] a := b;", arrays)
+
+
+class TestScanBlocks:
+    def test_fig2b_verbatim_matches_fortran_oracle(self):
+        n = 12
+        _, aa, d, dd, rx, ry, r = make_tomcatv_arrays(n)
+        expected = tomcatv_fragment_oracle(n, aa, d, dd, rx, ry, r)
+        source = """
+        direction north = (-1, 0);
+        region R = [2..n-2, 2..n-1];
+        [R] scan
+              r := aa * d'@north;
+              d := 1.0 / (dd - aa@north * r);
+              rx := rx - rx'@north * r;
+              ry := ry - ry'@north * r;
+            end;
+        """
+        program = parse_program(
+            source,
+            arrays=dict(r=r, d=d, dd=dd, aa=aa, rx=rx, ry=ry),
+            constants=dict(n=n),
+        )
+        program.run()
+        for got, want in zip((r, d, rx, ry), expected):
+            np.testing.assert_allclose(got.to_numpy(), want, rtol=1e-12)
+
+    def test_parse_scan_block_returns_block(self, env):
+        n, arrays = env
+        block = parse_scan_block(
+            """
+            direction north = (-1, 0);
+            [2..8, 1..8] scan
+                a := 2.0 * a'@north;
+            end;
+            """,
+            arrays,
+        )
+        compiled = compile_scan(block)
+        assert repr(compiled.wsv) == "(-,0)"
+
+    def test_parse_scan_block_requires_exactly_one(self, env):
+        _, arrays = env
+        with pytest.raises(ParseError, match="exactly one"):
+            parse_scan_block("[2..3, 2..3] a := b;", arrays)
+
+    def test_mixed_program_order(self, env):
+        n, arrays = env
+        source = """
+        direction north = (-1, 0);
+        [2..7, 1..8] a := 0.0;
+        [2..8, 1..8] scan
+            a := a'@north + 1.0;
+        end;
+        [1..1, 1..8] c := a@(1, 0);
+        """
+        program = parse_program(source, arrays)
+        assert len(program.items) == 3
+        program.run()
+        # Row 1 keeps its initial 1.0, so the wavefront gives row 2 the
+        # value 1 + 1 = 2; the final statement copies it into c's row 1.
+        assert float(arrays["a"][(2, 1)]) == 2.0
+        assert float(arrays["c"][(1, 1)]) == 2.0
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("entry_name", [
+        "single-stream", "tomcatv-fragment", "gauss-seidel", "eastward",
+    ])
+    def test_format_then_parse_preserves_semantics(self, entry_name):
+        # Pretty-print a suite block, re-parse the text against the same
+        # arrays, and check both compiled forms execute identically.
+        from repro.apps import suite
+        from repro.zpl.pretty import format_scan_block
+
+        entry = suite.get(entry_name)
+        compiled = entry.build(10)
+        arrays = {
+            a.name: a
+            for a in (*compiled.written_arrays(), *compiled.read_arrays())
+        }
+        block = zpl.ScanBlock(name="reparsed")
+        for stmt in compiled.statements:
+            block.append(stmt)
+        text = format_scan_block(block)
+        reparsed = parse_scan_block(text, arrays)
+        recompiled = compile_scan(reparsed)
+        assert recompiled.wsv == compiled.wsv
+        assert recompiled.loops == compiled.loops
+
+        targets = list(compiled.written_arrays())
+        first = run_and_capture(execute_vectorized, compiled, targets)
+        second = run_and_capture(execute_vectorized, recompiled, targets)
+        for a, b in zip(first, second):
+            np.testing.assert_allclose(a, b, rtol=1e-13)
+
+
+class TestMaskedCover:
+    def test_masked_statement(self):
+        n = 6
+        a = zpl.zeros(zpl.Region.square(1, n), name="a")
+        m = zpl.zeros(zpl.Region.square(1, n), name="m")
+        with zpl.covering(m.region):
+            m[...] = zpl.where(zpl.index(0) >= zpl.index(1), 1.0, 0.0)
+        program = parse_program(
+            "[1..6, 1..6 with m] a := 7.0;", arrays=dict(a=a, m=m)
+        )
+        program.run()
+        np.testing.assert_array_equal(
+            a.to_numpy(), 7.0 * np.tril(np.ones((n, n)))
+        )
+
+    def test_masked_scan_block(self):
+        n = 6
+        h = zpl.ones(zpl.Region.square(1, n), name="h")
+        m = zpl.zeros(zpl.Region.square(1, n), name="m")
+        with zpl.covering(m.region):
+            m[...] = zpl.where(zpl.index(0) >= zpl.index(1), 1.0, 0.0)
+        program = parse_program(
+            """
+            [2..6, 1..6 with m] scan
+                h := 2.0 * h'@north;
+            end;
+            """,
+            arrays=dict(h=h, m=m),
+        )
+        program.run()
+        values = h.to_numpy()
+        assert values[5, 0] == 32.0  # inside the band: doubled per row
+        assert values[1, 5] == 1.0  # masked out: untouched
+
+    def test_unknown_mask_rejected(self):
+        a = zpl.zeros(zpl.Region.square(1, 4), name="a")
+        with pytest.raises(ParseError, match="unknown mask"):
+            parse_program("[1..4, 1..4 with zz] a := 1.0;", arrays=dict(a=a))
+
+
+class TestKeywords:
+    def test_keyword_array_name_rejected(self):
+        a = zpl.zeros(zpl.Region.square(1, 3), name="scan")
+        with pytest.raises(ParseError, match="keyword"):
+            parse_program("[1..3, 1..3] scan := 1.0;", arrays={"scan": a})
+
+    def test_keyword_constant_rejected(self):
+        a = zpl.zeros(zpl.Region.square(1, 3), name="a")
+        with pytest.raises(ParseError, match="keyword"):
+            parse_program(
+                "[1..3, 1..3] a := 1.0;", arrays={"a": a}, constants={"end": 3}
+            )

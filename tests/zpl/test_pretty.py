@@ -1,0 +1,101 @@
+"""Tests for the ZPL pretty-printer."""
+
+import pytest
+
+from repro import zpl
+from repro.zpl.pretty import (
+    format_direction,
+    format_expr,
+    format_region,
+    format_scan_block,
+    format_statement,
+)
+from repro.zpl.statements import Assign
+from tests.conftest import record_tomcatv_block
+
+
+class TestDirections:
+    def test_cardinals_named(self):
+        assert format_direction(zpl.NORTH) == "north"
+        assert format_direction(zpl.as_direction((-1, 0))) == "north"
+        assert format_direction(zpl.SOUTHEAST) == "southeast"
+
+    def test_vector_fallback(self):
+        assert format_direction(zpl.as_direction((2, -1))) == "(2,-1)"
+
+
+class TestRegions:
+    def test_paper_form(self):
+        assert format_region(zpl.Region.of((2, 10), (2, 11))) == "[2..10,2..11]"
+
+    def test_rank3(self):
+        assert format_region(zpl.Region.square(1, 4, rank=3)) == "[1..4,1..4,1..4]"
+
+
+class TestExpressions:
+    @pytest.fixture
+    def arrays(self):
+        base = zpl.Region.square(1, 6)
+        return zpl.ones(base, name="a"), zpl.ones(base, name="b")
+
+    def test_primed_shift(self, arrays):
+        a, _ = arrays
+        assert format_expr(a.p @ zpl.NORTH) == "a'@north"
+
+    def test_unprimed_shift(self, arrays):
+        a, _ = arrays
+        assert format_expr(a @ zpl.EAST) == "a@east"
+
+    def test_precedence_minimal_parens(self, arrays):
+        a, b = arrays
+        text = format_expr(1.0 / (b - (a @ zpl.NORTH) * a.ref))
+        assert text == "1 / (b - a@north * a)"
+
+    def test_constants(self):
+        assert format_expr(zpl.Const(2.5)) == "2.5"
+        assert format_expr(zpl.Const(4.0)) == "4"
+
+    def test_maximum(self, arrays):
+        a, b = arrays
+        assert format_expr(zpl.maximum(a, b)) == "max(a, b)"
+
+    def test_reduction(self, arrays):
+        a, _ = arrays
+        assert format_expr(zpl.zsum(a)) == "+<< a"
+        assert format_expr(zpl.zmax(a, dims=[0])) == "max<<[0] a"
+
+    def test_flood(self, arrays):
+        a, _ = arrays
+        assert format_expr(zpl.flood(a, dims=[1])) == ">>[1] a"
+
+    def test_unary(self, arrays):
+        a, _ = arrays
+        assert format_expr(zpl.sqrt(a)) == "sqrt(a)"
+        assert format_expr(-a) == "-a"
+
+    def test_where(self, arrays):
+        a, b = arrays
+        assert format_expr(zpl.where(a, b, 0.0)) == "where(a, b, 0)"
+
+
+class TestStatementsAndBlocks:
+    def test_statement_with_region(self):
+        a = zpl.ones(zpl.Region.square(1, 5), name="a")
+        stmt = Assign(a, 2.0 * (a @ zpl.NORTH), zpl.Region.of((2, 5), (1, 5)))
+        assert format_statement(stmt) == "[2..5,1..5] a := 2 * a@north;"
+
+    def test_tomcatv_matches_fig2b(self):
+        block, _ = record_tomcatv_block(12)
+        text = format_scan_block(block)
+        assert text.splitlines()[0] == "[2..10,2..11] scan"
+        assert "r := aa * d'@north;" in text
+        assert "d := 1 / (dd - aa@north * r);" in text
+        assert "rx := rx - rx'@north * r;" in text
+        assert text.rstrip().endswith("end;")
+
+    def test_indentation_consistent(self):
+        block, _ = record_tomcatv_block(8)
+        lines = format_scan_block(block).splitlines()
+        body = lines[1:-1]
+        indents = {len(line) - len(line.lstrip()) for line in body}
+        assert len(indents) == 1

@@ -1,0 +1,152 @@
+"""Tests for region scoping, eager statements and scan recording."""
+
+import numpy as np
+import pytest
+
+from repro import zpl
+from repro.errors import ExpressionError, RegionError
+
+
+class TestCovering:
+    def test_ambient_region(self):
+        R = zpl.Region.square(1, 3)
+        assert zpl.current_region() is None
+        with zpl.covering(R):
+            assert zpl.current_region() == R
+        assert zpl.current_region() is None
+
+    def test_nesting(self):
+        R1, R2 = zpl.Region.square(1, 3), zpl.Region.square(1, 2)
+        with zpl.covering(R1):
+            with zpl.covering(R2):
+                assert zpl.current_region() == R2
+            assert zpl.current_region() == R1
+
+    def test_non_region_rejected(self):
+        with pytest.raises(RegionError):
+            with zpl.covering((1, 3)):  # type: ignore[arg-type]
+                pass
+
+    def test_statement_without_region_rejected(self):
+        a = zpl.ones(zpl.Region.square(1, 3))
+        with pytest.raises(RegionError, match="covering region"):
+            a[...] = a + 1.0
+
+
+class TestEagerSemantics:
+    def test_jacobi_stencil(self):
+        # Paper Section 2.1's four-point stencil.
+        n = 5
+        b = zpl.ones(zpl.Region.square(1, n), name="b")
+        a = zpl.zeros(zpl.Region.square(1, n), name="a")
+        inner = zpl.Region.square(2, n - 1)
+        with zpl.covering(inner):
+            a[...] = (b @ zpl.NORTH + b @ zpl.SOUTH + b @ zpl.WEST + b @ zpl.EAST) / 4.0
+        assert float(a[(3, 3)]) == 1.0
+        assert float(a[(1, 1)]) == 0.0  # outside covering region untouched
+
+    def test_rhs_before_assignment(self):
+        # Paper Fig. 3(a-c): unprimed self-reference uses OLD values only.
+        n = 5
+        a = zpl.ones(zpl.Region.square(1, n), name="a")
+        with zpl.covering(zpl.Region.of((2, n), (1, n))):
+            a[...] = 2.0 * (a @ zpl.NORTH)
+        expected = np.ones((n, n))
+        expected[1:, :] = 2.0
+        np.testing.assert_array_equal(a.to_numpy(), expected)
+
+    def test_explicit_region_overrides_ambient(self):
+        a = zpl.zeros(zpl.Region.square(1, 4))
+        row2 = zpl.Region.of((2, 2), (1, 4))
+        with zpl.covering(zpl.Region.square(1, 4)):
+            a[row2] = 5.0
+        assert float(a[(2, 1)]) == 5.0
+        assert float(a[(1, 1)]) == 0.0
+
+    def test_scalar_assignment(self):
+        a = zpl.zeros(zpl.Region.square(1, 3))
+        a[a.region] = 2.5
+        assert np.all(a.to_numpy() == 2.5)
+
+    def test_reduction_statement(self):
+        a = zpl.from_numpy(np.arange(4.0).reshape(2, 2), base=1)
+        total = zpl.zeros(a.region)
+        total[a.region] = zpl.zsum(a)
+        assert np.all(total.to_numpy() == 6.0)
+
+    def test_prime_outside_scan_rejected(self):
+        a = zpl.ones(zpl.Region.square(1, 3))
+        with zpl.covering(zpl.Region.of((2, 3), (1, 3))):
+            with pytest.raises(ExpressionError, match="scan block"):
+                a[...] = a.p @ zpl.NORTH
+
+
+class TestScanRecording:
+    def test_statements_recorded_not_executed(self):
+        n = 4
+        a = zpl.ones(zpl.Region.square(1, n))
+        with zpl.covering(zpl.Region.of((2, n), (1, n))):
+            with zpl.scan(execute=False) as block:
+                a[...] = 2.0 * (a.p @ zpl.NORTH)
+        assert len(block) == 1
+        assert np.all(a.to_numpy() == 1.0)  # nothing ran
+
+    def test_execute_on_exit(self):
+        n = 4
+        a = zpl.ones(zpl.Region.square(1, n))
+        with zpl.covering(zpl.Region.of((2, n), (1, n))):
+            with zpl.scan():
+                a[...] = 2.0 * (a.p @ zpl.NORTH)
+        assert float(a[(4, 1)]) == 8.0
+
+    def test_nested_scan_rejected(self):
+        with pytest.raises(ExpressionError, match="nested"):
+            with zpl.scan(execute=False):
+                with zpl.scan(execute=False):
+                    pass
+
+    def test_exception_inside_scan_clears_recorder(self):
+        a = zpl.ones(zpl.Region.square(1, 3))
+        with pytest.raises(ValueError):
+            with zpl.scan(execute=False):
+                raise ValueError("boom")
+        # Recorder must be cleared: eager statements work again.
+        with zpl.covering(a.region):
+            a[...] = a + 1.0
+        assert float(a[(1, 1)]) == 2.0
+
+    def test_custom_engine(self):
+        calls = []
+        n = 4
+        a = zpl.ones(zpl.Region.square(1, n))
+        with zpl.covering(zpl.Region.of((2, n), (1, n))):
+            with zpl.scan(engine=lambda compiled: calls.append(compiled)):
+                a[...] = 2.0 * (a.p @ zpl.NORTH)
+        assert len(calls) == 1
+        assert np.all(a.to_numpy() == 1.0)  # custom engine did nothing
+
+    def test_set_default_engine(self):
+        calls = []
+        zpl.set_default_engine(lambda compiled: calls.append(compiled))
+        try:
+            n = 3
+            a = zpl.ones(zpl.Region.square(1, n))
+            with zpl.covering(zpl.Region.of((2, n), (1, n))):
+                with zpl.scan():
+                    a[...] = a.p @ zpl.NORTH
+            assert len(calls) == 1
+        finally:
+            zpl.set_default_engine(None)
+
+    def test_scan_block_region_property(self):
+        n = 4
+        a = zpl.ones(zpl.Region.square(1, n))
+        R = zpl.Region.of((2, n), (1, n))
+        with zpl.covering(R):
+            with zpl.scan(execute=False) as block:
+                a[...] = a.p @ zpl.NORTH
+        assert block.region == R
+        assert block.rank == 2
+        assert block.written_arrays() == (a,)
+        assert block.writes(a)
+        assert block.primed_directions() == (zpl.NORTH,)

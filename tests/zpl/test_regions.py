@@ -1,0 +1,182 @@
+"""Unit tests for regions and the region algebra."""
+
+import pytest
+
+from repro import zpl
+from repro.errors import RegionError
+from repro.zpl.regions import Region
+
+
+class TestConstruction:
+    def test_of(self):
+        r = Region.of((2, 5), (1, 4))
+        assert r.ranges == ((2, 5), (1, 4))
+        assert r.rank == 2
+
+    def test_square(self):
+        r = Region.square(1, 8)
+        assert r.ranges == ((1, 8), (1, 8))
+
+    def test_square_rank3(self):
+        assert Region.square(0, 3, rank=3).rank == 3
+
+    def test_from_shape(self):
+        r = Region.from_shape((4, 5), base=1)
+        assert r.ranges == ((1, 4), (1, 5))
+
+    def test_empty_ranges_rejected(self):
+        with pytest.raises(RegionError):
+            Region(())
+
+    def test_bad_pair_rejected(self):
+        with pytest.raises(RegionError):
+            Region(((1, 2, 3),))
+
+    def test_named(self):
+        r = Region.of((1, 3), name="R")
+        assert r.name == "R"
+        assert r.named("S").name == "S"
+        assert r.named("S") == r  # name does not affect equality
+
+
+class TestQueries:
+    def test_shape_and_size(self):
+        r = Region.of((2, 5), (1, 4))
+        assert r.shape == (4, 4)
+        assert r.size == 16
+
+    def test_inclusive_bounds(self):
+        # ZPL ranges are inclusive: [2..5] has 4 indices.
+        assert Region.of((2, 5)).extent(0) == 4
+
+    def test_empty(self):
+        r = Region.of((5, 2), (1, 4))
+        assert r.is_empty()
+        assert r.size == 0
+        assert r.shape == (0, 4)
+
+    def test_contains(self):
+        r = Region.of((2, 5), (1, 4))
+        assert r.contains((2, 1))
+        assert r.contains((5, 4))
+        assert not r.contains((6, 4))
+        assert not r.contains((2,))
+
+    def test_covers(self):
+        big = Region.square(1, 8)
+        small = Region.of((2, 5), (3, 3))
+        assert big.covers(small)
+        assert not small.covers(big)
+        assert big.covers(Region.of((5, 2), (1, 1)))  # empty covered by all
+
+    def test_lo_hi(self):
+        r = Region.of((2, 5), (1, 4))
+        assert r.lo == (2, 1)
+        assert r.hi == (5, 4)
+
+
+class TestAlgebra:
+    def test_shift(self):
+        r = Region.of((2, 5), (1, 4)).shift(zpl.NORTH)
+        assert r.ranges == ((1, 4), (1, 4))
+
+    def test_shift_preserves_shape(self):
+        r = Region.of((2, 5), (1, 4))
+        assert r.shift((3, -2)).shape == r.shape
+
+    def test_expand(self):
+        r = Region.of((2, 5), (1, 4)).expand(((1, 1), (0, 2)))
+        assert r.ranges == ((1, 6), (1, 6))
+
+    def test_border_north(self):
+        # ZPL's [north of R]: the row immediately above, full width.
+        r = Region.of((2, 5), (1, 4)).border(zpl.NORTH)
+        assert r.ranges == ((1, 1), (1, 4))
+
+    def test_border_south_depth2(self):
+        r = Region.of((2, 5), (1, 4)).border((2, 0))
+        assert r.ranges == ((6, 7), (1, 4))
+
+    def test_border_zero_rejected(self):
+        with pytest.raises(RegionError):
+            Region.of((1, 3), (1, 3)).border((0, 0))
+
+    def test_intersect(self):
+        a = Region.of((1, 5), (1, 5))
+        b = Region.of((3, 8), (0, 2))
+        assert a.intersect(b).ranges == ((3, 5), (1, 2))
+
+    def test_intersect_disjoint_is_empty(self):
+        a = Region.of((1, 2), (1, 2))
+        b = Region.of((5, 6), (1, 2))
+        assert a.intersect(b).is_empty()
+
+    def test_bounding(self):
+        a = Region.of((1, 2), (4, 5))
+        b = Region.of((5, 6), (1, 2))
+        assert a.bounding(b).ranges == ((1, 6), (1, 5))
+
+    def test_slab(self):
+        r = Region.of((2, 5), (1, 4)).slab(0, 3, 3)
+        assert r.ranges == ((3, 3), (1, 4))
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(RegionError):
+            Region.of((1, 2)).intersect(Region.of((1, 2), (1, 2)))
+
+
+class TestSplit:
+    def test_balanced(self):
+        slabs = Region.of((1, 10), (1, 4)).split(0, 3)
+        assert [s.range(0) for s in slabs] == [(1, 4), (5, 7), (8, 10)]
+
+    def test_covering_and_disjoint(self):
+        r = Region.of((1, 17), (1, 3))
+        slabs = r.split(0, 5)
+        assert sum(s.size for s in slabs) == r.size
+        for a, b in zip(slabs, slabs[1:]):
+            assert a.range(0)[1] + 1 == b.range(0)[0]
+
+    def test_more_pieces_than_elements(self):
+        slabs = Region.of((1, 2), (1, 1)).split(0, 4)
+        assert len(slabs) == 4
+        assert sum(s.size for s in slabs) == 2
+        assert sum(1 for s in slabs if s.is_empty()) == 2
+
+    def test_bad_pieces(self):
+        with pytest.raises(RegionError):
+            Region.of((1, 4)).split(0, 0)
+
+
+class TestConversionIteration:
+    def test_to_local(self):
+        r = Region.of((2, 5), (1, 4))
+        assert r.to_local((0, 0)) == (slice(2, 6), slice(1, 5))
+        assert r.to_local((2, 1)) == (slice(0, 4), slice(0, 4))
+
+    def test_to_local_rank_mismatch(self):
+        with pytest.raises(RegionError):
+            Region.of((1, 2)).to_local((0, 0))
+
+    def test_indices(self):
+        r = Region.of((2, 4))
+        assert list(r.indices(0)) == [2, 3, 4]
+        assert list(r.indices(0, reverse=True)) == [4, 3, 2]
+
+    def test_indices_empty(self):
+        assert list(Region.of((4, 2)).indices(0)) == []
+
+    def test_iteration_row_major(self):
+        r = Region.of((1, 2), (1, 2))
+        assert list(r) == [(1, 1), (1, 2), (2, 1), (2, 2)]
+
+    def test_iteration_empty(self):
+        assert list(Region.of((2, 1), (1, 2))) == []
+
+    def test_iteration_count_matches_size(self):
+        r = Region.of((0, 3), (2, 4), (1, 1))
+        assert len(list(r)) == r.size
+
+    def test_hash_and_eq(self):
+        assert Region.of((1, 2)) == Region.of((1, 2))
+        assert len({Region.of((1, 2)), Region.of((1, 2)), Region.of((1, 3))}) == 2
