@@ -6,13 +6,45 @@ DESIGN.md calls out (block size dynamism, transpose-vs-pipeline, engine
 vectorisation, schedule overheads).  Sizes are chosen so the full suite runs
 in about a minute: the *figures'* fidelity is asserted in tests/ — here the
 benchmark clock measures the harness itself.
+
+Besides pytest-benchmark's console tables, every module's timings are also
+written as a machine-readable ``BENCH_<suite>.json`` artifact (see
+:mod:`repro.util.benchjson`) at session end — ``test_bench_engines.py``
+produces ``BENCH_engines.json``, and so on — so the repository's performance
+trajectory can be tracked by tooling across commits.
 """
 
 import pytest
 
+#: Collected pytest-benchmark stats, per suite (module name sans prefix).
+_RECORDS: dict[str, list[dict]] = {}
+
 
 @pytest.fixture
-def bench(benchmark):
+def bench(benchmark, request):
     """A pytest-benchmark handle tuned for fast, stable runs."""
     benchmark._min_rounds = 3
-    return benchmark
+    yield benchmark
+    meta = getattr(benchmark, "stats", None)
+    if meta is None:  # the test never ran the benchmark body
+        return
+    stats = meta.stats
+    suite = request.module.__name__.removeprefix("test_bench_")
+    _RECORDS.setdefault(suite, []).append(
+        {
+            "test": request.node.name,
+            "min_seconds": stats.min,
+            "mean_seconds": stats.mean,
+            "stddev_seconds": stats.stddev,
+            "rounds": stats.rounds,
+        }
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Flush one ``BENCH_<suite>.json`` per benchmarked module."""
+    from repro.util.benchjson import write_bench
+
+    for suite, records in sorted(_RECORDS.items()):
+        if records:
+            write_bench(suite, records)

@@ -1,0 +1,35 @@
+"""The real machine, measured: multiprocess backend vs its own prediction.
+
+Unlike every other bench in this suite, the times here are *not* produced by
+the virtual clock: :func:`repro.parallel.bench.speedup_curve` runs the
+Tomcatv forward wavefront across real OS processes, verifies the results
+element-identical to the sequential engine, and records the simulator's
+prediction for the same measured machine parameters alongside.  The payload
+is written to ``BENCH_parallel.json`` directly (this module bypasses
+pytest-benchmark — the workers carry their own clocks).
+
+Sizes are CI-safe: two process counts, two repeats, a small mesh.
+"""
+
+from repro.parallel import speedup_curve
+from repro.util.benchjson import read_bench, write_bench
+
+#: Process counts measured in CI; local runs can sweep further.
+PROCS = (1, 2)
+
+
+def test_measured_speedup_curve_artifact():
+    payload = speedup_curve(n=64, procs=PROCS, repeats=2)
+    results = payload.pop("results")
+    path = write_bench("parallel", results, meta=payload)
+
+    written = read_bench("parallel")
+    recorded = written["results"]
+    assert len(recorded) == len(PROCS)
+    for record, p in zip(recorded, PROCS):
+        assert record["procs"] == p
+        assert record["measured_seconds"] > 0
+        assert record["predicted_seconds"] > 0
+        assert record["verified_identical"] is True
+    assert written["meta"]["machine"]["alpha_seconds"] > 0
+    assert path.name == "BENCH_parallel.json"

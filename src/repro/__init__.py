@@ -26,6 +26,7 @@ Subpackages
 ``repro.compiler``   UDVs, wavefront summary vectors, legality, loop structure
 ``repro.runtime``    sequential engines (scalar oracle, vectorised)
 ``repro.machine``    simulated distributed machine (naive & pipelined schedules)
+``repro.parallel``   real multiprocess backend (shared memory, pipes, autotuner)
 ``repro.models``     analytic performance models (Model1, Model2, Amdahl)
 ``repro.cache``      trace-driven cache simulator (uniprocessor study)
 ``repro.apps``       Tomcatv, SIMPLE hydro, SWEEP3D-style sweep, Jacobi, DP

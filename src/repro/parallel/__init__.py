@@ -1,0 +1,72 @@
+"""Real multiprocess pipelined-wavefront execution (the measured machine).
+
+Everything else in :mod:`repro.machine` runs on a virtual clock; this package
+runs the same compiled scan blocks on the *host*: one OS process per
+processor-grid cell, global arrays in :mod:`multiprocessing.shared_memory`,
+pipeline synchronisation over real pipes, and per-block local execution
+through the very same :func:`~repro.runtime.vectorized.execute_vectorized`
+the sequential engine uses — so the compiler output, the distribution
+machinery (:class:`~repro.machine.grid.ProcessorGrid`,
+:class:`~repro.machine.distribution.BlockMap`,
+:func:`~repro.machine.schedules.plan_wavefront`) and the semantics are all
+shared with the simulator, and the results are element-identical.
+
+Layers:
+
+* :mod:`repro.parallel.sharedmem` — shared-segment array storage;
+* :mod:`repro.parallel.channels`  — token pipes between pipeline stages;
+* :mod:`repro.parallel.worker`    — the per-process SPMD loop;
+* :mod:`repro.parallel.executor`  — :func:`execute`, the single entry point;
+* :mod:`repro.parallel.autotune`  — measured α/β → Equation (1) block sizes;
+* :mod:`repro.parallel.bench`     — measured-vs-predicted speedup curves.
+"""
+
+from repro.parallel.autotune import (
+    AutotuneResult,
+    CommParams,
+    autotune,
+    dynamic_block_size,
+    effective_params,
+    host_comm,
+    measure_block_overhead,
+    measure_comm,
+    measure_compute_cost,
+    measured_probe,
+    normalized_params,
+    optimal_block_size,
+    tuned_block_size,
+)
+from repro.parallel.bench import speedup_curve, tomcatv_forward
+from repro.parallel.executor import (
+    MAX_PROCS_ENV,
+    ParallelRun,
+    SCHEDULES,
+    default_grid,
+    execute,
+)
+from repro.parallel.sharedmem import SharedArrayPool, collect_arrays
+
+__all__ = [
+    "AutotuneResult",
+    "CommParams",
+    "MAX_PROCS_ENV",
+    "ParallelRun",
+    "SCHEDULES",
+    "SharedArrayPool",
+    "autotune",
+    "collect_arrays",
+    "default_grid",
+    "dynamic_block_size",
+    "effective_params",
+    "execute",
+    "host_comm",
+    "measure_block_overhead",
+    "measure_comm",
+    "measure_compute_cost",
+    "measured_probe",
+    "normalized_params",
+    "optimal_block_size",
+    "speedup_curve",
+    "tomcatv_forward",
+    "tuned_block_size",
+]

@@ -1,0 +1,372 @@
+"""Autotuning: measure the host's real α and β, feed the paper's Eq. (1).
+
+The analytic machinery (:mod:`repro.models.pipeline_model`) works in
+*element-compute units*: α and β are expressed as multiples of the time to
+compute one element of the data space.  On a real host all three quantities
+are measurable:
+
+* **α** — one-way latency of a synchronisation token between two processes,
+  measured by pipe ping-pong at several payload sizes and read off as the
+  intercept of the fitted line;
+* **β** — per-element transfer cost, the slope of the same line (on a
+  shared-memory host this is small but not zero: tokens still cross the
+  kernel and array traffic crosses the cache hierarchy);
+* **compute cost** — seconds per element of the actual compiled block under
+  :func:`~repro.runtime.vectorized.execute_vectorized`.
+
+Dividing the measured α and β by the measured per-element compute time gives
+a :class:`~repro.machine.params.MachineParams` directly comparable with the
+``CRAY_T3E``-style presets — the same object drives the simulator, Model1/
+Model2, and Equation (1)'s optimal block size for the real backend.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from dataclasses import dataclass
+from multiprocessing.connection import Connection
+
+from repro.compiler.lowering import CompiledScan
+from repro.errors import MachineError
+from repro.machine.params import MachineParams
+from repro.machine.schedules import WavefrontPlan, _chunk_regions, plan_wavefront
+from repro.models.pipeline_model import model2
+from repro.models.tuning import Probe, TuningResult, select_dynamic
+from repro.parallel.sharedmem import collect_arrays
+from repro.runtime.interp import ArraySnapshot
+from repro.runtime.vectorized import execute_vectorized
+
+#: Bytes per element everywhere in this library (float64 storage).
+ELEMENT_BYTES = 8
+
+
+@dataclass(frozen=True)
+class CommParams:
+    """Measured communication constants of the host, in seconds."""
+
+    #: One-way per-message latency (the real α), seconds.
+    alpha_seconds: float
+    #: One-way per-element cost (the real β), seconds per float64.
+    beta_seconds: float
+    #: The (size, one-way seconds) samples the fit was made from.
+    samples: tuple[tuple[int, float], ...]
+
+    def message_seconds(self, size: int) -> float:
+        """The fitted linear model at ``size`` elements."""
+        return self.alpha_seconds + self.beta_seconds * size
+
+
+def _echo_child(conn: Connection) -> None:
+    """Ping-pong peer: echo every payload until the empty sentinel."""
+    while True:
+        payload = conn.recv_bytes()
+        if not payload:
+            return
+        conn.send_bytes(payload)
+
+
+def measure_comm(
+    sizes: tuple[int, ...] = (1, 64, 512, 4096),
+    repeats: int = 30,
+    start_method: str | None = None,
+) -> CommParams:
+    """Measure α and β by pipe ping-pong against a real child process.
+
+    For each payload size the minimum round trip over ``repeats`` trials is
+    halved into a one-way latency; a least-squares line over the samples
+    yields α (intercept) and β (slope per element).
+    """
+    if len(sizes) < 2:
+        raise MachineError("need at least two payload sizes to fit alpha and beta")
+    if start_method is None:
+        start_method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+    ctx = mp.get_context(start_method)
+    here, there = ctx.Pipe(duplex=True)
+    child = ctx.Process(target=_echo_child, args=(there,), name="repro-pingpong")
+    child.start()
+    samples: list[tuple[int, float]] = []
+    try:
+        there.close()
+        for size in sizes:
+            payload = bytes(size * ELEMENT_BYTES)
+            # Warm the pipe (page faults, allocator) before timing.
+            here.send_bytes(payload)
+            here.recv_bytes()
+            best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                here.send_bytes(payload)
+                here.recv_bytes()
+                best = min(best, time.perf_counter() - start)
+            samples.append((size, best / 2.0))
+        here.send_bytes(b"")
+    finally:
+        child.join(timeout=10.0)
+        if child.is_alive():
+            child.terminate()
+            child.join(timeout=5.0)
+        here.close()
+
+    n = len(samples)
+    mean_x = sum(s for s, _ in samples) / n
+    mean_y = sum(t for _, t in samples) / n
+    var = sum((s - mean_x) ** 2 for s, _ in samples)
+    cov = sum((s - mean_x) * (t - mean_y) for s, t in samples)
+    beta = max(0.0, cov / var)
+    alpha = max(0.0, mean_y - beta * mean_x)
+    if alpha == 0.0:
+        # Degenerate fit (huge-payload noise): fall back to the smallest
+        # sample, which is almost pure startup cost.
+        alpha = min(t for _, t in samples)
+    return CommParams(alpha, beta, tuple(samples))
+
+
+def measure_compute_cost(compiled: CompiledScan, repeats: int = 3) -> float:
+    """Seconds per element of the compiled block on one processor.
+
+    Runs the real vectorised engine over the full region ``repeats`` times
+    (restoring the arrays between runs so every run does identical work) and
+    takes the fastest.
+    """
+    if repeats < 1:
+        raise MachineError(f"repeats must be >= 1, got {repeats}")
+    arrays = collect_arrays(compiled)
+    snap = ArraySnapshot(arrays)
+    compiled.prepare()
+    best = float("inf")
+    try:
+        for _ in range(repeats):
+            snap.restore()
+            start = time.perf_counter()
+            execute_vectorized(compiled)
+            best = min(best, time.perf_counter() - start)
+    finally:
+        snap.restore()
+    return best / max(1, compiled.region.size)
+
+
+def measure_block_overhead(
+    compiled: CompiledScan, block: int = 8, repeats: int = 3
+) -> float:
+    """Seconds of extra per-block dispatch cost of the vectorised engine.
+
+    On the real machine a pipeline block costs more than its elements: every
+    ``execute_vectorized(within=block)`` call pays Python dispatch per slab,
+    which behaves exactly like an additional per-message startup cost.  The
+    measurement is differential — run the whole region once monolithically
+    and once split into blocks of ``block`` columns, and attribute the gap to
+    the extra block boundaries.  The result is folded into the *effective* α
+    that Equation (1) sees (pure pipe latency alone would suggest far smaller
+    blocks than the host actually rewards).
+    """
+    plan = plan_wavefront(compiled)
+    if plan.chunk_dim is None:
+        return 0.0
+    region = compiled.region
+    reverse = compiled.loops.signs[plan.chunk_dim] < 0
+    chunks = _chunk_regions(region, plan.chunk_dim, block, reverse)
+    if len(chunks) < 2:
+        return 0.0
+    arrays = collect_arrays(compiled)
+    snap = ArraySnapshot(arrays)
+    compiled.prepare()
+    try:
+        whole = float("inf")
+        blocked = float("inf")
+        for _ in range(repeats):
+            snap.restore()
+            start = time.perf_counter()
+            execute_vectorized(compiled)
+            whole = min(whole, time.perf_counter() - start)
+            snap.restore()
+            start = time.perf_counter()
+            for chunk in chunks:
+                execute_vectorized(compiled, within=chunk)
+            blocked = min(blocked, time.perf_counter() - start)
+    finally:
+        snap.restore()
+    return max(0.0, (blocked - whole) / (len(chunks) - 1))
+
+
+@dataclass(frozen=True)
+class AutotuneResult:
+    """The host, measured and normalised, plus the Eq. (1) block size."""
+
+    comm: CommParams
+    #: Seconds per element of the tuned block (the normalisation unit).
+    compute_seconds: float
+    #: Per-pipeline-block dispatch overhead of the engine, seconds.
+    dispatch_seconds: float
+    #: α and β in element-compute units: the simulator-ready machine.
+    params: MachineParams
+    #: Like ``params`` but with the dispatch overhead folded into α — the
+    #: machine Equation (1) should see on this host.
+    effective_params: MachineParams
+    block_size: int
+    n_procs: int
+
+    def __repr__(self) -> str:
+        return (
+            f"AutotuneResult(alpha={self.params.alpha:.1f}, "
+            f"beta={self.params.beta:.3f}, b*={self.block_size}, "
+            f"p={self.n_procs})"
+        )
+
+
+def normalized_params(
+    comm: CommParams, compute_seconds: float, name: str = "measured host"
+) -> MachineParams:
+    """Express measured seconds as element-compute units (simulator-ready)."""
+    if compute_seconds <= 0:
+        raise MachineError(f"compute cost must be positive, got {compute_seconds}")
+    return MachineParams(
+        name=name,
+        alpha=comm.alpha_seconds / compute_seconds,
+        beta=comm.beta_seconds / compute_seconds,
+    )
+
+
+def _geometry(plan: WavefrontPlan) -> tuple[int, int, int]:
+    region = plan.region
+    rows = region.extent(plan.wavefront_dim)
+    cols = region.extent(plan.chunk_dim) if plan.chunk_dim is not None else 1
+    return rows, cols, max(1, plan.boundary_rows)
+
+
+def optimal_block_size(
+    plan: WavefrontPlan, params: MachineParams, n_procs: int
+) -> int:
+    """Equation (1) (exact integer search) for a planned block on ``params``."""
+    rows, cols, m = _geometry(plan)
+    if n_procs < 2 or cols <= 1:
+        return max(1, cols)  # no pipe to fill: one whole-width block
+    return model2(
+        params, rows, n_procs, boundary_rows=m, cols=cols
+    ).optimal_block_size(b_max=cols)
+
+
+def autotune(
+    compiled: CompiledScan,
+    n_procs: int,
+    *,
+    comm: CommParams | None = None,
+    compute_seconds: float | None = None,
+    dispatch_seconds: float | None = None,
+    start_method: str | None = None,
+) -> AutotuneResult:
+    """Measure the host and derive the optimal pipeline block size.
+
+    Pass ``comm``/``compute_seconds``/``dispatch_seconds`` to reuse earlier
+    measurements (the benchmarks measure once and tune for every processor
+    count).
+    """
+    plan = plan_wavefront(compiled)
+    if comm is None:
+        comm = measure_comm(start_method=start_method)
+    if compute_seconds is None:
+        compute_seconds = measure_compute_cost(compiled)
+    if dispatch_seconds is None:
+        dispatch_seconds = measure_block_overhead(compiled)
+    params = normalized_params(comm, compute_seconds)
+    effective = effective_params(comm, compute_seconds, dispatch_seconds, n_procs)
+    block = optimal_block_size(plan, effective, n_procs)
+    return AutotuneResult(
+        comm, compute_seconds, dispatch_seconds, params, effective, block, n_procs
+    )
+
+
+def effective_params(
+    comm: CommParams,
+    compute_seconds: float,
+    dispatch_seconds: float,
+    n_procs: int,
+    name: str = "measured host (effective)",
+) -> MachineParams:
+    """The machine Equation (1) should see: α plus per-block dispatch cost.
+
+    The dispatch overhead was measured over whole-column blocks; with the
+    wavefront dimension split ``n_procs`` ways each pipeline stage pays only
+    its local share, hence the division.
+    """
+    if compute_seconds <= 0:
+        raise MachineError(f"compute cost must be positive, got {compute_seconds}")
+    local_dispatch = dispatch_seconds / max(1, n_procs)
+    return MachineParams(
+        name=name,
+        alpha=(comm.alpha_seconds + local_dispatch) / compute_seconds,
+        beta=comm.beta_seconds / compute_seconds,
+    )
+
+
+#: Per-process cache of the host's comm constants (measuring costs a child
+#: process; the constants do not change between calls).
+_HOST_COMM: CommParams | None = None
+
+
+def host_comm(start_method: str | None = None) -> CommParams:
+    """The host's measured :class:`CommParams`, measured once per process."""
+    global _HOST_COMM
+    if _HOST_COMM is None:
+        _HOST_COMM = measure_comm(start_method=start_method)
+    return _HOST_COMM
+
+
+def tuned_block_size(
+    compiled: CompiledScan,
+    n_procs: int,
+    plan: WavefrontPlan | None = None,
+) -> int:
+    """The executor's default block size: cached host α/β into Eq. (1)."""
+    if plan is None:
+        plan = plan_wavefront(compiled)
+    comm = host_comm()
+    compute = measure_compute_cost(compiled, repeats=1)
+    dispatch = measure_block_overhead(compiled, repeats=1)
+    return optimal_block_size(
+        plan, effective_params(comm, compute, dispatch, n_procs), n_procs
+    )
+
+
+def measured_probe(
+    compiled: CompiledScan,
+    n_procs: int,
+    schedule: str = "pipelined",
+    start_method: str | None = None,
+) -> Probe:
+    """A :mod:`repro.models.tuning` probe that runs the *real* backend.
+
+    Restores array state after every run, so a selector may probe freely.
+    """
+    from repro.parallel.executor import execute
+
+    snap = ArraySnapshot(collect_arrays(compiled))
+
+    def probe(b: int) -> float:
+        try:
+            run = execute(
+                compiled,
+                grid=n_procs,
+                schedule=schedule,
+                block=b,
+                start_method=start_method,
+            )
+            return run.wall_time
+        finally:
+            snap.restore()
+
+    return probe
+
+
+def dynamic_block_size(
+    compiled: CompiledScan,
+    n_procs: int,
+    b_max: int | None = None,
+    start_method: str | None = None,
+) -> TuningResult:
+    """The paper's future-work selector, on real hardware: ternary search
+    over measured wall-clock times (reuses ``models.tuning.select_dynamic``,
+    swapping its simulated probe for the multiprocess backend)."""
+    probe = measured_probe(compiled, n_procs, start_method=start_method)
+    params = normalized_params(host_comm(), measure_compute_cost(compiled, repeats=1))
+    return select_dynamic(compiled, params, n_procs, probe=probe, b_max=b_max)

@@ -1,0 +1,284 @@
+"""The multiprocess executor: real pipelined wavefronts on the host machine.
+
+This is the production counterpart of :mod:`repro.machine.schedules`: the
+same :func:`~repro.machine.schedules.plan_wavefront` derivation, the same
+:class:`~repro.machine.distribution.BlockMap` decomposition, the same naive
+and pipelined schedules — but run across real OS processes against shared
+memory, on the real clock.  The virtual-clock simulator predicts; this
+executor measures.
+
+Topology
+--------
+A rank-1 :class:`~repro.machine.grid.ProcessorGrid` distributes the wavefront
+dimension: one pipeline chain (paper Fig. 4).  A rank-2 grid additionally
+distributes the chunk dimension: each mesh column runs an independent chain
+over its slice, which requires the chunk dimension to be fully parallel
+(exactly the constraint of
+:func:`~repro.machine.schedules.pipelined_wavefront_mesh`).
+
+Block sizes
+-----------
+``block=None`` asks the autotuner for the host's measured α and β (cached per
+process) and applies the paper's Equation (1); an explicit integer bypasses
+the measurement.  ``schedule="naive"`` always uses the full local width —
+whole-boundary messages, no overlap, Fig. 4(a).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import time
+from dataclasses import dataclass
+
+from repro.compiler.lowering import CompiledScan
+from repro.errors import DistributionError, MachineError
+from repro.machine.distribution import BlockMap
+from repro.machine.grid import ProcessorGrid
+from repro.machine.schedules import WavefrontPlan, _chunk_regions, plan_wavefront
+from repro.parallel.channels import chain_links
+from repro.parallel.sharedmem import SharedArrayPool
+from repro.parallel.worker import WorkerTask, run_worker
+from repro.zpl.regions import Region
+
+#: Environment knob: hard cap on worker counts chosen *by default* (CI safety).
+MAX_PROCS_ENV = "REPRO_PARALLEL_MAX_PROCS"
+
+SCHEDULES = ("pipelined", "naive")
+
+
+@dataclass(frozen=True)
+class ParallelRun:
+    """Outcome of one real parallel execution (values land in the arrays)."""
+
+    schedule: str
+    grid_dims: tuple[int, ...]
+    block_size: int | None
+    n_chunks: int
+    #: Pipeline busy time: the slowest worker's barrier-to-finish seconds.
+    wall_time: float
+    #: Per-processor busy times, indexed by grid rank.
+    worker_times: tuple[float, ...]
+    #: Parent-side overhead: sharing, pickling, process startup (seconds).
+    setup_time: float
+    plan: WavefrontPlan
+
+    @property
+    def n_procs(self) -> int:
+        total = 1
+        for extent in self.grid_dims:
+            total *= extent
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelRun({self.schedule}, grid={self.grid_dims}, "
+            f"b={self.block_size}, wall={self.wall_time * 1e3:.2f}ms)"
+        )
+
+
+def default_grid(max_procs: int | None = None) -> ProcessorGrid:
+    """A rank-1 grid sized to the host, honouring ``REPRO_PARALLEL_MAX_PROCS``."""
+    cap = max_procs or int(os.environ.get(MAX_PROCS_ENV, "4"))
+    return ProcessorGrid((max(1, min(cap, os.cpu_count() or 1)),))
+
+
+def _as_grid(grid: ProcessorGrid | int | tuple[int, ...] | None) -> ProcessorGrid:
+    if grid is None:
+        return default_grid()
+    if isinstance(grid, ProcessorGrid):
+        return grid
+    if isinstance(grid, int):
+        return ProcessorGrid((grid,))
+    return ProcessorGrid(tuple(grid))
+
+
+def _context(start_method: str | None):
+    if start_method is None:
+        start_method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+    return mp.get_context(start_method)
+
+
+def _build_distribution(
+    plan: WavefrontPlan, grid: ProcessorGrid
+) -> BlockMap:
+    region = plan.region
+    w, c = plan.wavefront_dim, plan.chunk_dim
+    dim_map: list[int | None] = [None] * region.rank
+    dim_map[w] = 0
+    if grid.rank == 2:
+        if c is None:
+            raise DistributionError("no chunkable dimension: cannot mesh-distribute")
+        if any(d.vector[c] != 0 for d in plan.compiled.dependences):
+            raise DistributionError(
+                f"dimension {c} carries a dependence; a 2-D grid would couple "
+                f"the pipeline chains — use a rank-1 grid"
+            )
+        dim_map[c] = 1
+    elif grid.rank != 1:
+        raise MachineError(
+            f"the multiprocess backend supports rank-1 and rank-2 grids, "
+            f"got rank {grid.rank}"
+        )
+    return BlockMap(region, grid, tuple(dim_map))
+
+
+def _chains(grid: ProcessorGrid, ascending: bool) -> list[list[int]]:
+    """Processor ranks grouped into pipeline chains, in wave order."""
+    rows = list(range(grid.dims[0]))
+    if not ascending:
+        rows.reverse()
+    if grid.rank == 1:
+        return [[grid.proc((row,)) for row in rows]]
+    return [
+        [grid.proc((row, col)) for row in rows] for col in range(grid.dims[1])
+    ]
+
+
+def _worker_chunks(
+    plan: WavefrontPlan, local: Region, block_size: int, reverse: bool
+) -> tuple[Region, ...]:
+    """One worker's pipeline blocks.  All workers of a chain share the same
+    chunk-dimension ranges, so token ``k`` means the same columns chain-wide."""
+    if plan.chunk_dim is None or local.extent(plan.chunk_dim) == 0:
+        return (local,)
+    return tuple(_chunk_regions(local, plan.chunk_dim, block_size, reverse))
+
+
+def execute(
+    compiled: CompiledScan,
+    grid: ProcessorGrid | int | tuple[int, ...] | None = None,
+    *,
+    schedule: str = "pipelined",
+    block: int | None = None,
+    wavefront_dim: int | None = None,
+    start_method: str | None = None,
+    timeout: float = 120.0,
+) -> ParallelRun:
+    """Run a compiled scan block across real OS processes.
+
+    The block's arrays are updated in place, exactly as the sequential
+    engines would; the returned :class:`ParallelRun` carries the measured
+    wall-clock times.  ``grid`` may be a :class:`ProcessorGrid`, a process
+    count, a dims tuple, or ``None`` for a host-sized default.
+    """
+    if schedule not in SCHEDULES:
+        raise MachineError(f"unknown schedule {schedule!r}; pick from {SCHEDULES}")
+    grid = _as_grid(grid)
+    plan = plan_wavefront(compiled, wavefront_dim)
+    if plan.chunk_dim is None and grid.dims[0] > 1 and schedule == "pipelined":
+        raise DistributionError(
+            "no chunkable dimension: this block cannot be pipelined"
+        )
+    dist = _build_distribution(plan, grid)
+    loops = compiled.loops
+    ascending = loops.signs[plan.wavefront_dim] >= 0
+    reverse_chunks = (
+        plan.chunk_dim is not None and loops.signs[plan.chunk_dim] < 0
+    )
+
+    if schedule == "naive":
+        block_size = None
+    elif block is not None:
+        if block < 1:
+            raise MachineError(f"block size must be >= 1, got {block}")
+        block_size = block
+    else:
+        from repro.parallel.autotune import tuned_block_size
+
+        block_size = tuned_block_size(compiled, grid.dims[0], plan=plan)
+
+    setup_start = time.perf_counter()
+    compiled.prepare()  # hoisted temporaries: evaluated once, shared below
+    pool = SharedArrayPool(compiled)
+    procs: list[mp.process.BaseProcess] = []
+    try:
+        blob = pickle.dumps(compiled)
+        ctx = _context(start_method)
+        chains = _chains(grid, ascending)
+        links = chain_links(ctx, chains)
+        barrier = ctx.Barrier(grid.size + 1)
+        results = ctx.Queue()
+
+        n_chunks = 1
+        for rank in grid:
+            local = dist.local_region(rank)
+            width = (
+                local.extent(plan.chunk_dim)
+                if plan.chunk_dim is not None
+                else 1
+            )
+            per_block = width if block_size is None else block_size
+            chunks = _worker_chunks(plan, local, max(1, per_block), reverse_chunks)
+            n_chunks = max(n_chunks, len(chunks))
+            recv, send = links[rank]
+            task = WorkerTask(
+                rank=rank,
+                compiled_blob=blob,
+                specs=pool.specs,
+                chunks=chunks,
+                recv=recv,
+                send=send,
+                timeout=timeout,
+            )
+            proc = ctx.Process(
+                target=run_worker,
+                args=(task, barrier, results),
+                name=f"repro-worker-{rank}",
+            )
+            proc.start()
+            procs.append(proc)
+
+        try:
+            barrier.wait(timeout=timeout)
+        except Exception as exc:
+            detail = ""
+            try:
+                while True:
+                    status, rank, payload = results.get(timeout=1.0)
+                    if status == "error":
+                        detail = f"\nworker {rank}:\n{payload}"
+                        break
+            except Exception:
+                pass
+            raise MachineError(f"workers failed to start: {exc}{detail}") from exc
+        setup_time = time.perf_counter() - setup_start
+
+        outcomes: dict[int, float] = {}
+        for _ in range(grid.size):
+            try:
+                status, rank, payload = results.get(timeout=timeout)
+            except Exception as exc:
+                raise MachineError(
+                    f"lost contact with {grid.size - len(outcomes)} worker(s) "
+                    f"after {timeout:.0f}s"
+                ) from exc
+            if status != "ok":
+                # Raise on the first failure: downstream stages are blocked
+                # on tokens that will never arrive, so waiting out their
+                # timeouts only delays this traceback.  The finally block
+                # terminates the stragglers.
+                raise MachineError(f"worker {rank} failed:\n{payload}")
+            outcomes[rank] = payload
+        for proc in procs:
+            proc.join(timeout=timeout)
+        pool.gather()
+    finally:
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        pool.release()
+
+    worker_times = tuple(outcomes[rank] for rank in grid)
+    return ParallelRun(
+        schedule=schedule,
+        grid_dims=grid.dims,
+        block_size=block_size,
+        n_chunks=n_chunks,
+        wall_time=max(worker_times),
+        worker_times=worker_times,
+        setup_time=setup_time,
+        plan=plan,
+    )

@@ -1,0 +1,156 @@
+"""Shared-memory array storage for the multiprocess backend.
+
+The real backend keeps every global array's storage (declared region plus
+fluff) in a :mod:`multiprocessing.shared_memory` segment.  Workers receive a
+pickled :class:`~repro.compiler.lowering.CompiledScan` — pickling preserves
+object identity within one payload, so every ``Ref`` to the same array stays
+one array in the worker — and then *rebind* each array's storage onto the
+segment, so reads and writes land in the one true copy.
+
+Because storage is global, a shifted reference that crosses a processor
+boundary reads the neighbour's elements directly: messages between workers
+carry only synchronisation (the pipeline tokens of
+:mod:`repro.parallel.channels`), never data.  This is the natural
+shared-memory realisation of the paper's message-passing schedules — the
+α cost survives as per-token latency, the β cost as memory traffic.
+
+The array enumeration order must be identical in the parent and in every
+worker; :func:`collect_arrays` defines it (hoisted temporaries first, then
+first occurrence across statements) and both sides traverse the *same*
+pickled structure, so the order is stable by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.compiler.lowering import CompiledScan
+from repro.errors import MachineError
+from repro.zpl.arrays import ZArray
+
+
+def collect_arrays(compiled: CompiledScan) -> tuple[ZArray, ...]:
+    """Every array the lowered block touches, in deterministic order.
+
+    Order: hoisted temporaries (already evaluated by the parent), then for
+    each statement its target, its mask, and its referenced arrays, each in
+    first-occurrence order.  Contracted arrays are included — sharing their
+    (unused) storage is cheaper than special-casing them.
+    """
+    seen: list[ZArray] = []
+
+    def add(array: ZArray) -> None:
+        if not any(array is a for a in seen):
+            seen.append(array)
+
+    for temp in compiled.hoisted:
+        add(temp.temp)
+    for stmt in compiled.statements:
+        add(stmt.target)
+        if stmt.mask is not None:
+            add(stmt.mask)
+        for ref in stmt.expr.refs():
+            add(ref.array)
+    return tuple(seen)
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Shape/dtype of one shared segment (validated on attach)."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+
+class SharedArrayPool:
+    """Parent-side owner of the shared segments backing a compiled block.
+
+    Usage::
+
+        pool = SharedArrayPool(compiled)     # copies current values in
+        ... run workers against pool.specs ...
+        pool.gather()                        # copy results back
+        pool.release()                       # close + unlink
+    """
+
+    def __init__(self, compiled: CompiledScan):
+        self.arrays = collect_arrays(compiled)
+        self._segments: list[shared_memory.SharedMemory] = []
+        self.specs: list[ArraySpec] = []
+        try:
+            for array in self.arrays:
+                data = array._data
+                seg = shared_memory.SharedMemory(create=True, size=data.nbytes)
+                view = np.ndarray(data.shape, dtype=data.dtype, buffer=seg.buf)
+                view[...] = data
+                self._segments.append(seg)
+                self.specs.append(
+                    ArraySpec(seg.name, tuple(data.shape), data.dtype.str)
+                )
+        except BaseException:
+            self.release()
+            raise
+
+    def gather(self) -> None:
+        """Copy every segment's contents back into the original arrays."""
+        for array, seg in zip(self.arrays, self._segments):
+            data = array._data
+            view = np.ndarray(data.shape, dtype=data.dtype, buffer=seg.buf)
+            data[...] = view
+
+    def release(self) -> None:
+        """Close and unlink every segment (idempotent)."""
+        for seg in self._segments:
+            try:
+                seg.close()
+                seg.unlink()
+            except FileNotFoundError:
+                pass
+        self._segments = []
+
+
+class AttachedArrays:
+    """Worker-side view: rebind a compiled block's arrays onto the segments.
+
+    Keeps the :class:`~multiprocessing.shared_memory.SharedMemory` handles
+    alive for as long as the object lives — dropping a handle invalidates
+    every numpy view built on its buffer.
+    """
+
+    def __init__(self, compiled: CompiledScan, specs: list[ArraySpec]):
+        arrays = collect_arrays(compiled)
+        if len(arrays) != len(specs):
+            raise MachineError(
+                f"worker sees {len(arrays)} arrays, parent shared {len(specs)}"
+            )
+        self._segments: list[shared_memory.SharedMemory] = []
+        try:
+            for array, spec in zip(arrays, specs):
+                if tuple(array._data.shape) != spec.shape:
+                    raise MachineError(
+                        f"array {array!r} storage shape {array._data.shape} "
+                        f"!= shared spec {spec.shape}"
+                    )
+                seg = shared_memory.SharedMemory(name=spec.name)
+                array._data = np.ndarray(
+                    spec.shape, dtype=np.dtype(spec.dtype), buffer=seg.buf
+                )
+                self._segments.append(seg)
+        except BaseException:
+            self.detach()
+            raise
+
+    def detach(self) -> None:
+        """Close the worker's handles (the parent owns unlinking)."""
+        for seg in self._segments:
+            try:
+                seg.close()
+            except BufferError:
+                # A numpy view still points into the buffer; the mapping is
+                # reclaimed at process exit anyway.
+                pass
+        self._segments = []

@@ -1,0 +1,66 @@
+"""The SPMD worker: one OS process per processor-grid cell.
+
+Each worker unpickles its own copy of the compiled block (preserving array
+identity within the copy), rebinds every array onto the parent's shared
+segments, and then runs the classic pipelined loop: receive the token for
+block ``k``, execute the block's local portion with the *same*
+:func:`~repro.runtime.vectorized.execute_vectorized` the sequential engine
+uses, send the token downstream.
+
+Hoisted parallel operators were evaluated once by the parent before the
+segments were filled, so the worker strips ``hoisted`` from its copy — the
+temporaries' values are already in shared memory, and re-evaluating them
+mid-wave would race against neighbours' stores.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+import traceback
+from dataclasses import dataclass, replace
+from multiprocessing.connection import Connection
+
+from repro.parallel.channels import recv_token, send_token
+from repro.parallel.sharedmem import ArraySpec, AttachedArrays
+from repro.runtime.vectorized import execute_vectorized
+from repro.zpl.regions import Region
+
+
+@dataclass
+class WorkerTask:
+    """Everything one worker needs, shipped through the Process arguments."""
+
+    rank: int
+    compiled_blob: bytes
+    specs: list[ArraySpec]
+    #: This worker's pipeline blocks, already localised and in wave order.
+    chunks: tuple[Region, ...]
+    recv: Connection | None
+    send: Connection | None
+    timeout: float
+
+
+def run_worker(task: WorkerTask, barrier, results) -> None:
+    """Process entry point (top-level so every start method can import it)."""
+    attached = None
+    try:
+        compiled = pickle.loads(task.compiled_blob)
+        attached = AttachedArrays(compiled, task.specs)
+        runnable = replace(compiled, hoisted=())
+        barrier.wait(timeout=task.timeout)
+        start = time.perf_counter()
+        for k, chunk in enumerate(task.chunks):
+            if task.recv is not None:
+                recv_token(task.recv, k, task.timeout)
+            if not chunk.is_empty():
+                execute_vectorized(runnable, within=chunk)
+            if task.send is not None:
+                send_token(task.send, k)
+        elapsed = time.perf_counter() - start
+        results.put(("ok", task.rank, elapsed))
+    except BaseException:
+        results.put(("error", task.rank, traceback.format_exc()))
+    finally:
+        if attached is not None:
+            attached.detach()

@@ -1,5 +1,6 @@
-"""Shared utilities: validation helpers, ASCII reporting, timers."""
+"""Shared utilities: validation helpers, ASCII reporting, timers, artifacts."""
 
+from repro.util.benchjson import read_bench, write_bench
 from repro.util.validation import (
     check_int,
     check_positive_int,
@@ -20,4 +21,6 @@ __all__ = [
     "Series",
     "format_bar_chart",
     "WallTimer",
+    "read_bench",
+    "write_bench",
 ]

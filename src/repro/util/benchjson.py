@@ -1,0 +1,79 @@
+"""Machine-readable benchmark artifacts (``BENCH_*.json``).
+
+Benchmarks write one JSON file per suite so the performance trajectory of
+the repository can be tracked across commits by tooling instead of by
+reading pytest-benchmark's console tables.  The schema is deliberately
+small::
+
+    {
+      "schema": "repro-bench/1",
+      "name": "parallel",
+      "written_at": "2026-08-06T12:00:00+00:00",
+      "meta": {...},            # free-form context (host, sizes, params)
+      "results": [...]          # list of measurement records
+    }
+
+Files land in ``$REPRO_BENCH_DIR`` when set, else the current directory —
+benchmark runs start from the repository root, so artifacts appear beside
+``README.md`` by default.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from datetime import datetime, timezone
+from pathlib import Path
+
+SCHEMA = "repro-bench/1"
+
+#: Environment override for the artifact directory.
+BENCH_DIR_ENV = "REPRO_BENCH_DIR"
+
+
+def bench_dir(directory: str | Path | None = None) -> Path:
+    """Resolve the artifact directory (arg > env > cwd)."""
+    if directory is not None:
+        return Path(directory)
+    return Path(os.environ.get(BENCH_DIR_ENV, "."))
+
+
+def host_meta() -> dict:
+    """Context every artifact should carry: where was this measured."""
+    return {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def write_bench(
+    name: str,
+    results: list[dict],
+    meta: dict | None = None,
+    directory: str | Path | None = None,
+) -> Path:
+    """Write ``BENCH_<name>.json`` atomically; returns the final path."""
+    payload = {
+        "schema": SCHEMA,
+        "name": name,
+        "written_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "meta": {**host_meta(), **(meta or {})},
+        "results": results,
+    }
+    target = bench_dir(directory) / f"BENCH_{name}.json"
+    tmp = target.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    tmp.replace(target)
+    return target
+
+
+def read_bench(name: str, directory: str | Path | None = None) -> dict:
+    """Load a previously written artifact (raises on schema mismatch)."""
+    path = bench_dir(directory) / f"BENCH_{name}.json"
+    payload = json.loads(path.read_text())
+    if payload.get("schema") != SCHEMA:
+        raise ValueError(f"{path} has schema {payload.get('schema')!r}, want {SCHEMA}")
+    return payload

@@ -1,0 +1,75 @@
+"""Shared-segment plumbing: enumeration order, round trips, rebinding."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_scan
+from repro.errors import MachineError
+from repro.parallel.sharedmem import (
+    ArraySpec,
+    AttachedArrays,
+    SharedArrayPool,
+    collect_arrays,
+)
+from tests.conftest import record_tomcatv_block
+
+
+def _compiled(n=10):
+    block, arrays = record_tomcatv_block(n)
+    return compile_scan(block), arrays
+
+
+def test_collect_arrays_is_deterministic_and_complete():
+    compiled, arrays = _compiled()
+    collected = collect_arrays(compiled)
+    assert collect_arrays(compiled) == collected
+    # All six Tomcatv arrays participate in the fragment.
+    assert {a.name for a in collected} == {a.name for a in arrays}
+    # First-occurrence order: the first statement is r = aa * (d.p @ NORTH).
+    assert [a.name for a in collected[:3]] == ["r", "aa", "d"]
+
+
+def test_collect_survives_pickling_in_same_order():
+    compiled, _ = _compiled()
+    clone = pickle.loads(pickle.dumps(compiled))
+    assert [a.name for a in collect_arrays(clone)] == [
+        a.name for a in collect_arrays(compiled)
+    ]
+
+
+def test_pool_roundtrip_gathers_segment_contents():
+    compiled, arrays = _compiled()
+    pool = SharedArrayPool(compiled)
+    try:
+        clone = pickle.loads(pickle.dumps(compiled))
+        attached = AttachedArrays(clone, pool.specs)
+        try:
+            for array in collect_arrays(clone):
+                array._data[...] = 42.0
+        finally:
+            attached.detach()
+        pool.gather()
+        for array in arrays:
+            np.testing.assert_array_equal(array._data, 42.0)
+    finally:
+        pool.release()
+    assert pool._segments == []
+    pool.release()  # idempotent
+
+
+def test_attach_validates_shape():
+    compiled, _ = _compiled()
+    pool = SharedArrayPool(compiled)
+    try:
+        clone = pickle.loads(pickle.dumps(compiled))
+        bad = [
+            ArraySpec(spec.name, (1, 1), spec.dtype) for spec in pool.specs
+        ]
+        with pytest.raises(MachineError):
+            AttachedArrays(clone, bad)
+        with pytest.raises(MachineError):
+            AttachedArrays(clone, pool.specs[:-1])
+    finally:
+        pool.release()
