@@ -8,11 +8,16 @@ prediction for the same measured machine parameters alongside.  The payload
 is written to ``BENCH_parallel.json`` directly (this module bypasses
 pytest-benchmark — the workers carry their own clocks).
 
+With ``REPRO_TRACE=1`` each processor count also yields one traced run,
+written beside the bench artifact as ``TRACE_parallel_p<p>.json`` (the
+:mod:`repro.obs` schema) plus a ``.chrome.json`` Perfetto export.
+
 Sizes are CI-safe: two process counts, two repeats, a small mesh.
 """
 
+from repro.obs import Trace, write_chrome
 from repro.parallel import speedup_curve
-from repro.util.benchjson import read_bench, write_bench
+from repro.util.benchjson import bench_dir, read_bench, write_bench
 
 #: Process counts measured in CI; local runs can sweep further.
 PROCS = (1, 2)
@@ -21,7 +26,15 @@ PROCS = (1, 2)
 def test_measured_speedup_curve_artifact():
     payload = speedup_curve(n=64, procs=PROCS, repeats=2)
     results = payload.pop("results")
+    traces = payload.pop("traces", None)
     path = write_bench("parallel", results, meta=payload)
+
+    if traces:
+        out_dir = bench_dir()
+        for p, data in sorted(traces.items()):
+            trace = Trace.from_dict(data)
+            trace.save(out_dir / f"TRACE_parallel_p{p}.json")
+            write_chrome(trace, out_dir / f"TRACE_parallel_p{p}.chrome.json")
 
     written = read_bench("parallel")
     recorded = written["results"]

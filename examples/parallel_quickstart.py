@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""The real backend in five steps: Tomcatv's wavefront on actual processes.
+"""The real backend in six steps: Tomcatv's wavefront on actual processes.
 
 The other examples pipeline wavefronts on a *simulated* machine; this one
 runs the same compiled scan block across real OS processes with
@@ -64,3 +64,13 @@ for row in payload["results"]:
         f"{row['measured_seconds'] * 1e3:8.2f}ms {row['predicted_seconds'] * 1e3:8.2f}ms "
         f"{row['measured_speedup']:7.2f}x"
     )
+
+# 6. Watch the pipeline fill, stream, and drain: trace one run and report.
+from repro.obs import Tracer, analyze_phases, format_phase_report, write_chrome
+
+run = execute(compiled, grid=2, schedule="pipelined", block=8, tracer=Tracer())
+report = analyze_phases(run.trace)
+print()
+print(format_phase_report(report, title="== traced parallel run =="))
+path = write_chrome(run.trace, "TRACE_quickstart.chrome.json")
+print(f"wrote {path} -- open in https://ui.perfetto.dev")

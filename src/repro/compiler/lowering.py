@@ -18,6 +18,7 @@ sequential runtime and the distributed machine executor all consume it.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -129,17 +130,33 @@ def _hoist_parallel_ops(
     return tuple(lowered), tuple(hoisted)
 
 
-def compile_scan(block: ScanBlock) -> CompiledScan:
-    """The full pipeline: legality, WSV, dependences, loop structure, lowering."""
-    check_scan_block(block)  # conditions (i), (iii), (iv), (v)
+def _pass_span(tracer, name: str):
+    """A compile-pass timing span; tracers are duck-typed (see repro.obs)."""
+    if tracer is not None and tracer.enabled:
+        return tracer.span(name, cat="compile")
+    return nullcontext()
+
+
+def compile_scan(block: ScanBlock, tracer=None) -> CompiledScan:
+    """The full pipeline: legality, WSV, dependences, loop structure, lowering.
+
+    ``tracer`` (an optional :class:`repro.obs.Tracer`) records one span per
+    compiler pass, so end-to-end traces attribute zpl→plan time too.
+    """
+    with _pass_span(tracer, "compile.legality"):
+        check_scan_block(block)  # conditions (i), (iii), (iv), (v)
     region = block.region
     rank = block.rank
 
-    statements, hoisted = _hoist_parallel_ops(block.statements, region)
-    deps = extract_dependences(statements)
-    classes = classify(true_vectors(deps), rank)
-    loops = derive_loop_structure(constraint_vectors(deps), classes, rank)  # (ii)
-    summary = wsv_of(block.primed_directions(), rank=rank)
+    with _pass_span(tracer, "compile.hoist"):
+        statements, hoisted = _hoist_parallel_ops(block.statements, region)
+    with _pass_span(tracer, "compile.udv"):
+        deps = extract_dependences(statements)
+    with _pass_span(tracer, "compile.loops"):
+        classes = classify(true_vectors(deps), rank)
+        loops = derive_loop_structure(constraint_vectors(deps), classes, rank)  # (ii)
+    with _pass_span(tracer, "compile.wsv"):
+        summary = wsv_of(block.primed_directions(), rank=rank)
     return CompiledScan(
         region=region,
         statements=statements,
@@ -152,7 +169,7 @@ def compile_scan(block: ScanBlock) -> CompiledScan:
 
 
 def compile_statements(
-    statements: Sequence[Assign], name: str | None = None
+    statements: Sequence[Assign], name: str | None = None, tracer=None
 ) -> CompiledScan:
     """Compile an ordinary (non-scan) fused statement group.
 
@@ -172,10 +189,13 @@ def compile_statements(
             )
         if stmt.expr.has_prime():
             raise ValueError("primed references require a scan block")
-    lowered, hoisted = _hoist_parallel_ops(statements, region)
-    deps = extract_dependences(lowered, primed_allowed=False)
-    classes = classify(true_vectors(deps), rank)
-    loops = derive_loop_structure(constraint_vectors(deps), classes, rank)
+    with _pass_span(tracer, "compile.hoist"):
+        lowered, hoisted = _hoist_parallel_ops(statements, region)
+    with _pass_span(tracer, "compile.udv"):
+        deps = extract_dependences(lowered, primed_allowed=False)
+    with _pass_span(tracer, "compile.loops"):
+        classes = classify(true_vectors(deps), rank)
+        loops = derive_loop_structure(constraint_vectors(deps), classes, rank)
     return CompiledScan(
         region=region,
         statements=lowered,

@@ -107,6 +107,10 @@ class Endpoint:
         message = Message(self.rank, dst, tag, size, payload, self.sim.now)
         self.stats.messages_sent += 1
         self.stats.elements_sent += size
+        if self.network.tracing and tag >= 0:
+            tracer = self.network.tracer
+            tracer.count("tokens_sent", proc=self.rank)
+            tracer.count("bytes_moved", size * 8, proc=self.rank)
         self.network.deliver(message)
         overhead = self.network.send_overhead
         if overhead > 0:
@@ -122,7 +126,8 @@ class Endpoint:
         self.stats.comm_time += cost
         self.stats.messages_received += 1
         self.stats.finish_time = self.sim.now
-        self._record("comm", cost)
+        if self.network.observing:
+            self._record("comm", cost, block=tag, size=message.size)
         return message
 
     def irecv(self, src: int, tag: int = 0) -> "RecvRequest":
@@ -142,25 +147,58 @@ class Endpoint:
         self.send(dst, payload=payload, size=size, tag=tag)
 
     # -- computation -------------------------------------------------------
-    def compute(self, elements: float) -> Generator:
-        """Model computing ``elements`` data-space elements."""
+    def compute(self, elements: float, label: int | None = None) -> Generator:
+        """Model computing ``elements`` data-space elements.
+
+        ``label`` names the pipeline block being computed; it flows into
+        the structured trace (``args["block"]``) when one is attached.
+        """
         cost = elements * self.network.params.compute_cost
         yield self.sim.timeout(cost)
         self.stats.compute_time += cost
         self.stats.finish_time = self.sim.now
-        self._record("compute", cost)
+        if self.network.observing:
+            self._record("compute", cost, block=label, elements=elements)
 
     def _charge_comm(self, cost: float) -> Generator:
         yield self.sim.timeout(cost)
         self.stats.comm_time += cost
         self.stats.finish_time = self.sim.now
-        self._record("comm", cost)
+        if self.network.observing:
+            self._record("comm", cost, name="send")
 
-    def _record(self, kind: str, cost: float) -> None:
-        if self.network.trace_activity and cost > 0:
+    def _record(
+        self,
+        kind: str,
+        cost: float,
+        name: str | None = None,
+        block: int | None = None,
+        **extra: float,
+    ) -> None:
+        if cost <= 0:
+            return
+        if self.network.trace_activity:
             self.stats.activity.append(
                 Activity(kind, self.sim.now - cost, self.sim.now)
             )
+        if self.network.tracing:
+            tracer = self.network.tracer
+            # Same schema as the real backend's workers: virtual-clock
+            # spans named compute/recv_wait/send with per-block args,
+            # plus the blocks/tokens counters.
+            if block is not None and block >= 0:
+                extra["block"] = block
+            name = name or ("compute" if kind == "compute" else "recv_wait")
+            tracer.add_span(
+                name, kind, self.sim.now - cost, self.sim.now, self.rank, **extra
+            )
+            if name == "compute":
+                tracer.count("blocks_executed", proc=self.rank)
+                tracer.count(
+                    "elements_computed", extra.get("elements", 0), proc=self.rank
+                )
+            elif name == "recv_wait" and "block" in extra:
+                tracer.count("tokens_recv", proc=self.rank)
 
 
 class Network:
@@ -174,6 +212,7 @@ class Network:
         send_overhead: float = 0.0,
         wire_latency: float = 0.0,
         trace_activity: bool = False,
+        tracer=None,
     ):
         if n_procs < 1:
             raise CommunicationError(f"need at least one processor, got {n_procs}")
@@ -183,6 +222,12 @@ class Network:
         self.send_overhead = float(send_overhead)
         self.wire_latency = float(wire_latency)
         self.trace_activity = bool(trace_activity)
+        #: Optional structured-trace recorder (:class:`repro.obs.Tracer`);
+        #: duck-typed so this module stays import-independent of repro.obs.
+        self.tracer = tracer
+        self.tracing = tracer is not None and getattr(tracer, "enabled", False)
+        #: One bool the hot paths branch on: any recording at all?
+        self.observing = self.trace_activity or self.tracing
         self._mailboxes: dict[tuple[int, int, int], Store] = {}
         self.endpoints = [Endpoint(self, rank) for rank in range(n_procs)]
         self.total_messages = 0
@@ -233,5 +278,8 @@ class RecvRequest:
         self._endpoint.stats.comm_time += cost
         self._endpoint.stats.messages_received += 1
         self._endpoint.stats.finish_time = self._endpoint.sim.now
-        self._endpoint._record("comm", cost)
+        if self._endpoint.network.observing:
+            self._endpoint._record(
+                "comm", cost, block=message.tag, size=message.size
+            )
         return message

@@ -18,10 +18,27 @@ from repro.errors import MachineError
 from repro.machine.simulator import RunResult
 
 
+#: Narrowest renderable timeline (one cell still shows up at width 1).
+MIN_WIDTH = 1
+
+
+def _header(width: int, total_time: float) -> str:
+    """The time axis, robust at any width (no negative padding)."""
+    left = "t = 0"
+    right = f"{total_time:.0f}"
+    dots = width - len(left) - len(right) - 2
+    if dots < 1:
+        return f"{left} .. {right}"
+    return f"{left} {'.' * dots} {right}"
+
+
 def render_gantt(run: RunResult, width: int = 72, title: str | None = None) -> str:
     """Render one timeline row per processor.
 
     Requires the run to have been executed with activity tracing enabled.
+    Any ``width >= 1`` renders: the header never underflows, and every
+    positive-duration interval paints at least one cell (sub-cell
+    intervals are rounded up, clamped into the timeline).
     """
     if run.total_time <= 0:
         raise MachineError("cannot render a zero-length run")
@@ -29,15 +46,19 @@ def render_gantt(run: RunResult, width: int = 72, title: str | None = None) -> s
         raise MachineError(
             "no activity recorded: run the schedule with trace_activity=True"
         )
+    if width < MIN_WIDTH:
+        raise MachineError(f"gantt width must be >= {MIN_WIDTH}, got {width}")
     scale = width / run.total_time
     lines = []
     if title:
         lines.append(title)
-    lines.append(f"t = 0 {'.' * (width - 12)} {run.total_time:.0f}")
+    lines.append(_header(width, run.total_time))
     for rank, stats in enumerate(run.proc_stats):
         row = ["."] * width
         for interval in stats.activity:
-            start = int(interval.start * scale)
+            if interval.duration <= 0:
+                continue
+            start = min(int(interval.start * scale), width - 1)
             end = max(start + 1, int(interval.end * scale))
             mark = "#" if interval.kind == "compute" else "~"
             for k in range(start, min(end, width)):

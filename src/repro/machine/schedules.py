@@ -169,6 +169,7 @@ def pipelined_wavefront(
     send_overhead: float = 0.0,
     wire_latency: float = 0.0,
     trace_activity: bool = False,
+    tracer=None,
 ) -> DistributedOutcome:
     """Run a scan block with pipelined communication (paper Section 4).
 
@@ -196,6 +197,7 @@ def pipelined_wavefront(
         wire_latency,
         schedule="pipelined",
         trace_activity=trace_activity,
+        tracer=tracer,
     )
 
 
@@ -209,6 +211,7 @@ def naive_wavefront(
     send_overhead: float = 0.0,
     wire_latency: float = 0.0,
     trace_activity: bool = False,
+    tracer=None,
 ) -> DistributedOutcome:
     """Run a scan block with naive (whole-block) communication (Fig. 4(a))."""
     plan = plan_wavefront(compiled, wavefront_dim)
@@ -224,6 +227,7 @@ def naive_wavefront(
         wire_latency,
         schedule="naive",
         trace_activity=trace_activity,
+        tracer=tracer,
     )
 
 
@@ -238,6 +242,7 @@ def _run_wavefront(
     wire_latency: float,
     schedule: str,
     trace_activity: bool = False,
+    tracer=None,
 ) -> DistributedOutcome:
     compiled = plan.compiled
     region = plan.region
@@ -267,6 +272,7 @@ def _run_wavefront(
         send_overhead=send_overhead,
         wire_latency=wire_latency,
         trace_activity=trace_activity,
+        tracer=tracer,
     )
 
     def body(ep: Endpoint, position: int) -> Generator:
@@ -293,7 +299,9 @@ def _run_wavefront(
             if not local_chunk.is_empty():
                 if compute_values:
                     execute_vectorized(compiled, within=local_chunk)
-                yield from ep.compute(local_chunk.size * work_per_element)
+                yield from ep.compute(
+                    local_chunk.size * work_per_element, label=k
+                )
             if succ is not None and plan.boundary_rows > 0:
                 ep.send(
                     succ,
@@ -444,6 +452,7 @@ def pipelined_wavefront_mesh(
     wavefront_dim: int | None = None,
     compute_values: bool = True,
     work_per_element: float = 1.0,
+    tracer=None,
 ) -> DistributedOutcome:
     """Pipelined execution on a 2-D processor mesh (the paper's Fig. 4 shape).
 
@@ -497,7 +506,7 @@ def pipelined_wavefront_mesh(
     if compute_values:
         compiled.prepare()
 
-    machine = Machine(params, grid.size)
+    machine = Machine(params, grid.size, tracer=tracer)
 
     def body(ep: Endpoint, proc: int) -> Generator:
         row, col = grid.coords(proc)
@@ -537,7 +546,7 @@ def pipelined_wavefront_mesh(
             if not chunk.is_empty():
                 if compute_values:
                     execute_vectorized(compiled, within=chunk)
-                yield from ep.compute(chunk.size * work_per_element)
+                yield from ep.compute(chunk.size * work_per_element, label=k)
             if succ is not None and plan.boundary_rows > 0:
                 ep.send(succ, size=max(1, plan.boundary_rows * chunk_width), tag=k)
         return

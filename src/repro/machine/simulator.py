@@ -75,6 +75,7 @@ class Machine:
         send_overhead: float = 0.0,
         wire_latency: float = 0.0,
         trace_activity: bool = False,
+        tracer=None,
     ):
         self.params = params
         self.sim = Simulator()
@@ -85,6 +86,7 @@ class Machine:
             send_overhead=send_overhead,
             wire_latency=wire_latency,
             trace_activity=trace_activity,
+            tracer=tracer,
         )
 
     @property

@@ -1,0 +1,62 @@
+"""Unified tracing & metrics across the simulator and the real backend.
+
+``repro.obs`` is the one event schema every engine speaks:
+
+* :mod:`repro.obs.trace`   — the span/counter recorder (:class:`Tracer`),
+  its guarded no-op twin (off by default; ``REPRO_TRACE=1`` enables), and
+  the serialisable :class:`Trace` container;
+* :mod:`repro.obs.export`  — Chrome trace-event JSON for Perfetto;
+* :mod:`repro.obs.phases`  — pipeline fill/steady/drain analytics and the
+  per-block measured-vs-Eq.(1) residual tables;
+* :mod:`repro.obs.capture` — one-call traced runs of suite kernels on
+  either backend (imported lazily: it pulls in the executors);
+* ``python -m repro.obs``  — ``summarize`` / ``export`` / ``residuals``.
+
+Producers: :func:`repro.parallel.execute` (wall clock, per-worker spans
+flushed over the result channel), the :mod:`repro.machine` schedules
+(virtual clock, identical schema), and :func:`repro.compiler.compile_scan`
+(compile-pass spans).  All accept a ``tracer=`` argument.
+"""
+
+from repro.obs.export import to_chrome, write_chrome
+from repro.obs.phases import (
+    PhaseReport,
+    ResidualRow,
+    WorkerStat,
+    analyze_phases,
+    format_phase_report,
+    format_residuals,
+    residual_table,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    PARENT_PROC,
+    TRACE_ENV,
+    NullTracer,
+    Span,
+    Trace,
+    Tracer,
+    resolve_tracer,
+    tracing_enabled,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "PARENT_PROC",
+    "TRACE_ENV",
+    "NullTracer",
+    "PhaseReport",
+    "ResidualRow",
+    "Span",
+    "Trace",
+    "Tracer",
+    "WorkerStat",
+    "analyze_phases",
+    "format_phase_report",
+    "format_residuals",
+    "residual_table",
+    "resolve_tracer",
+    "to_chrome",
+    "tracing_enabled",
+    "write_chrome",
+]

@@ -1,0 +1,105 @@
+"""Exporters: Chrome trace-event JSON (Perfetto / ``chrome://tracing``).
+
+The Chrome trace-event format wants microsecond timestamps in complete
+(``"ph": "X"``) events plus ``"C"`` counter samples; processors map onto
+threads of one synthetic process so Perfetto draws the familiar one-row-
+per-processor pipeline picture.  Wall-clock traces are rebased to the
+earliest span (epoch differences between OS processes cancel out);
+virtual-clock traces use one "microsecond" per element-compute unit, so
+the numbers Perfetto shows *are* the paper's model units.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.trace import PARENT_PROC, Trace
+
+#: Wall-clock seconds → Chrome microseconds.
+_US = 1e6
+
+
+def _scale(trace: Trace) -> float:
+    return _US if trace.clock == "wall" else 1.0
+
+
+def to_chrome(trace: Trace) -> dict:
+    """Convert a :class:`Trace` into a Chrome trace-event JSON object."""
+    try:
+        t0 = trace.t0
+    except ValueError:
+        t0 = min((s.start for s in trace.spans), default=0.0)
+    t0 = min(t0, min((s.start for s in trace.spans), default=t0))
+    scale = _scale(trace)
+
+    events: list[dict] = []
+    procs = sorted({s.proc for s in trace.spans})
+    for proc in procs:
+        label = "driver" if proc == PARENT_PROC else f"P{proc}"
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": 0,
+                "tid": proc - PARENT_PROC,  # driver=0, workers from 1
+                "args": {"name": label},
+            }
+        )
+    events.append(
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": trace.meta.get("backend", "repro")},
+        }
+    )
+    for s in trace.spans:
+        events.append(
+            {
+                "ph": "X",
+                "name": s.name,
+                "cat": s.cat or "span",
+                "ts": (s.start - t0) * scale,
+                "dur": s.duration * scale,
+                "pid": 0,
+                "tid": s.proc - PARENT_PROC,
+                "args": dict(s.args),
+            }
+        )
+    # Counters: the recorder keeps totals, so emit one closing sample per
+    # processor placed at the end of that processor's timeline.
+    proc_end = {
+        proc: max(
+            (s.end for s in trace.spans if s.proc == proc), default=t0
+        )
+        for proc in procs
+    }
+    for (proc, name), value in sorted(trace.counters.items()):
+        events.append(
+            {
+                "ph": "C",
+                "name": name,
+                "ts": (proc_end.get(proc, t0) - t0) * scale,
+                "pid": 0,
+                "tid": proc - PARENT_PROC,
+                "args": {f"P{proc}": value},
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": "repro-obs",
+            "clock": trace.clock,
+            **{k: v for k, v in trace.meta.items() if not isinstance(v, dict)},
+        },
+    }
+
+
+def write_chrome(trace: Trace, path: str | Path) -> Path:
+    """Write Chrome trace-event JSON; open the file in Perfetto to view."""
+    path = Path(path)
+    path.write_text(json.dumps(to_chrome(trace), indent=1) + "\n")
+    return path

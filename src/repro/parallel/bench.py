@@ -68,6 +68,7 @@ def speedup_curve(
     start_method: str | None = None,
     comm: CommParams | None = None,
     verify: bool = True,
+    collect_traces: bool | None = None,
 ) -> dict:
     """Measured-vs-predicted times for the Tomcatv wavefront.
 
@@ -75,7 +76,16 @@ def speedup_curve(
     baseline, and one record per processor count with the real wall-clock
     time and the simulator's prediction at the same (measured) machine
     parameters and block size.
+
+    ``collect_traces`` (default: follow ``REPRO_TRACE``) adds one traced
+    run per processor count — serialised :mod:`repro.obs` traces under
+    ``payload["traces"]``, keyed by processor count, each carrying the
+    measured machine model so residual reports work offline.  Traced runs
+    are *extra* runs: the timed minima above stay untraced.
     """
+    from repro.obs.trace import Tracer, tracing_enabled
+
+    collect = tracing_enabled() if collect_traces is None else collect_traces
     compiled = tomcatv_forward(n)
     plan = plan_wavefront(compiled)
     arrays = collect_arrays(compiled)
@@ -98,6 +108,7 @@ def speedup_curve(
     params = normalized_params(comm, compute_seconds)
 
     results = []
+    traces: dict[str, dict] = {}
     for p in procs:
         # Equation (1) and the predictions see the *effective* α: real pipe
         # latency plus this p's share of the per-block dispatch overhead.
@@ -151,9 +162,31 @@ def speedup_curve(
                 "verified_identical": reference is not None,
             }
         )
+        if collect:
+            snap.restore()
+            tracer = Tracer()
+            traced = execute(
+                compiled,
+                grid=p,
+                schedule=schedule,
+                block=b,
+                start_method=start_method,
+                tracer=tracer,
+            )
+            trace = traced.trace
+            trace.meta["benchmark"] = "tomcatv-forward"
+            trace.meta["model"] = {
+                "alpha": effective.alpha,
+                "beta": effective.beta,
+                "m": max(1, plan.boundary_rows),
+                "unit_seconds": compute_seconds,
+            }
+            traces[str(p)] = trace.to_dict()
     snap.restore()
 
+    payload_traces = {"traces": traces} if collect else {}
     return {
+        **payload_traces,
         "benchmark": "tomcatv-forward",
         "n": n,
         "region_size": compiled.region.size,

@@ -37,6 +37,7 @@ from repro.errors import DistributionError, MachineError
 from repro.machine.distribution import BlockMap
 from repro.machine.grid import ProcessorGrid
 from repro.machine.schedules import WavefrontPlan, _chunk_regions, plan_wavefront
+from repro.obs.trace import Trace, resolve_tracer
 from repro.parallel.channels import chain_links
 from repro.parallel.sharedmem import SharedArrayPool
 from repro.parallel.worker import WorkerTask, run_worker
@@ -63,6 +64,8 @@ class ParallelRun:
     #: Parent-side overhead: sharing, pickling, process startup (seconds).
     setup_time: float
     plan: WavefrontPlan
+    #: Structured event recording (:mod:`repro.obs`), when tracing was on.
+    trace: Trace | None = None
 
     @property
     def n_procs(self) -> int:
@@ -155,6 +158,7 @@ def execute(
     wavefront_dim: int | None = None,
     start_method: str | None = None,
     timeout: float = 120.0,
+    tracer=None,
 ) -> ParallelRun:
     """Run a compiled scan block across real OS processes.
 
@@ -162,6 +166,12 @@ def execute(
     engines would; the returned :class:`ParallelRun` carries the measured
     wall-clock times.  ``grid`` may be a :class:`ProcessorGrid`, a process
     count, a dims tuple, or ``None`` for a host-sized default.
+
+    ``tracer`` opts this run into :mod:`repro.obs` recording (an explicit
+    :class:`~repro.obs.Tracer`, or ``None`` to honour ``REPRO_TRACE``);
+    workers then ship per-block spans and counters back with their
+    results, and the packaged :class:`~repro.obs.Trace` is returned on
+    ``ParallelRun.trace``.
     """
     if schedule not in SCHEDULES:
         raise MachineError(f"unknown schedule {schedule!r}; pick from {SCHEDULES}")
@@ -189,11 +199,15 @@ def execute(
 
         block_size = tuned_block_size(compiled, grid.dims[0], plan=plan)
 
+    obs = resolve_tracer(tracer)
     setup_start = time.perf_counter()
-    compiled.prepare()  # hoisted temporaries: evaluated once, shared below
-    pool = SharedArrayPool(compiled)
+    with obs.span("prepare", "setup"):
+        compiled.prepare()  # hoisted temporaries: evaluated once, shared below
+    with obs.span("share", "setup"):
+        pool = SharedArrayPool(compiled)
     procs: list[mp.process.BaseProcess] = []
     try:
+        spawn_start = time.perf_counter()
         blob = pickle.dumps(compiled)
         ctx = _context(start_method)
         chains = _chains(grid, ascending)
@@ -221,6 +235,9 @@ def execute(
                 recv=recv,
                 send=send,
                 timeout=timeout,
+                chunk_dim=plan.chunk_dim,
+                boundary_rows=plan.boundary_rows,
+                trace=obs.enabled,
             )
             proc = ctx.Process(
                 target=run_worker,
@@ -229,9 +246,11 @@ def execute(
             )
             proc.start()
             procs.append(proc)
+        obs.add_span("spawn", "setup", spawn_start, time.perf_counter())
 
         try:
-            barrier.wait(timeout=timeout)
+            with obs.span("barrier", "sync"):
+                barrier.wait(timeout=timeout)
         except Exception as exc:
             detail = ""
             try:
@@ -260,10 +279,12 @@ def execute(
                 # timeouts only delays this traceback.  The finally block
                 # terminates the stragglers.
                 raise MachineError(f"worker {rank} failed:\n{payload}")
-            outcomes[rank] = payload
+            outcomes[rank] = payload["elapsed"]
+            obs.absorb(payload["events"])
         for proc in procs:
             proc.join(timeout=timeout)
-        pool.gather()
+        with obs.span("gather", "setup"):
+            pool.gather()
     finally:
         for proc in procs:
             if proc.is_alive():
@@ -272,6 +293,36 @@ def execute(
         pool.release()
 
     worker_times = tuple(outcomes[rank] for rank in grid)
+    trace = None
+    if obs.enabled:
+        region = plan.region
+        trace = Trace.from_tracer(
+            obs,
+            clock="wall",
+            meta={
+                "backend": "parallel",
+                "schedule": schedule,
+                "grid": list(grid.dims),
+                "n_procs": grid.size,
+                # Stages per pipeline chain (rank-2 grids run dims[1]
+                # independent chains of dims[0] stages each).
+                "pipeline_procs": grid.dims[0],
+                "block_size": block_size,
+                "n_chunks": n_chunks,
+                "rows": region.extent(plan.wavefront_dim),
+                "cols": (
+                    region.extent(plan.chunk_dim)
+                    if plan.chunk_dim is not None
+                    else 1
+                ),
+                "boundary_rows": plan.boundary_rows,
+                "halo_rows": plan.halo_rows,
+                "wavefront_dim": plan.wavefront_dim,
+                "chunk_dim": plan.chunk_dim,
+                "wall_time": max(worker_times),
+                "setup_time": setup_time,
+            },
+        )
     return ParallelRun(
         schedule=schedule,
         grid_dims=grid.dims,
@@ -281,4 +332,5 @@ def execute(
         worker_times=worker_times,
         setup_time=setup_time,
         plan=plan,
+        trace=trace,
     )

@@ -11,20 +11,32 @@ Hoisted parallel operators were evaluated once by the parent before the
 segments were filled, so the worker strips ``hoisted`` from its copy — the
 temporaries' values are already in shared memory, and re-evaluating them
 mid-wave would race against neighbours' stores.
+
+When the task asks for tracing (``WorkerTask.trace``) the loop records the
+:mod:`repro.obs` event schema — ``recv_wait``/``compute``/``send`` spans per
+block plus blocks/tokens/elements/bytes counters — into a per-process
+buffer that rides home on the existing result queue.  Untraced runs branch
+on one cached boolean per event site, keeping the hot loop at its
+pre-observability cost.
 """
 
 from __future__ import annotations
 
+import gc
 import pickle
 import time
 import traceback
 from dataclasses import dataclass, replace
 from multiprocessing.connection import Connection
 
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.parallel.channels import recv_token, send_token
 from repro.parallel.sharedmem import ArraySpec, AttachedArrays
 from repro.runtime.vectorized import execute_vectorized
 from repro.zpl.regions import Region
+
+#: float64 storage throughout the library (boundary-traffic accounting).
+ELEMENT_BYTES = 8
 
 
 @dataclass
@@ -39,26 +51,87 @@ class WorkerTask:
     recv: Connection | None
     send: Connection | None
     timeout: float
+    #: The plan's chunk dimension (block widths for the trace), if any.
+    chunk_dim: int | None = None
+    #: Boundary elements per unit block width (the model's ``m``).
+    boundary_rows: int = 0
+    #: Record :mod:`repro.obs` spans and counters for this run.
+    trace: bool = False
+
+
+def _width(chunk: Region, chunk_dim: int | None) -> int:
+    return chunk.extent(chunk_dim) if chunk_dim is not None else 1
 
 
 def run_worker(task: WorkerTask, barrier, results) -> None:
     """Process entry point (top-level so every start method can import it)."""
     attached = None
+    tracer = Tracer(proc=task.rank) if task.trace else NULL_TRACER
+    tracing = tracer.enabled
     try:
+        t_entry = time.perf_counter()
         compiled = pickle.loads(task.compiled_blob)
         attached = AttachedArrays(compiled, task.specs)
         runnable = replace(compiled, hoisted=())
+        if tracing:
+            tracer.add_span("startup", "setup", t_entry, time.perf_counter())
+        # The inherited (forked) heap is garbage-collector ballast: freeze it
+        # so collector pauses inside the timed loop depend only on what the
+        # loop itself allocates, not on what the parent happened to import.
+        gc.freeze()
+        t_barrier = time.perf_counter()
         barrier.wait(timeout=task.timeout)
+        if tracing:
+            tracer.add_span("barrier", "sync", t_barrier, time.perf_counter())
         start = time.perf_counter()
         for k, chunk in enumerate(task.chunks):
             if task.recv is not None:
-                recv_token(task.recv, k, task.timeout)
+                if tracing:
+                    t = time.perf_counter()
+                    recv_token(task.recv, k, task.timeout)
+                    tracer.add_span(
+                        "recv_wait", "comm", t, time.perf_counter(), block=k
+                    )
+                    tracer.count("tokens_recv")
+                else:
+                    recv_token(task.recv, k, task.timeout)
             if not chunk.is_empty():
-                execute_vectorized(runnable, within=chunk)
+                if tracing:
+                    t = time.perf_counter()
+                    execute_vectorized(runnable, within=chunk)
+                    tracer.add_span(
+                        "compute",
+                        "compute",
+                        t,
+                        time.perf_counter(),
+                        block=k,
+                        elements=chunk.size,
+                        width=_width(chunk, task.chunk_dim),
+                    )
+                    tracer.count("blocks_executed")
+                    tracer.count("elements_computed", chunk.size)
+                else:
+                    execute_vectorized(runnable, within=chunk)
             if task.send is not None:
-                send_token(task.send, k)
+                if tracing:
+                    t = time.perf_counter()
+                    send_token(task.send, k)
+                    tracer.add_span(
+                        "send", "comm", t, time.perf_counter(), block=k
+                    )
+                    tracer.count("tokens_sent")
+                    tracer.count(
+                        "bytes_moved",
+                        task.boundary_rows
+                        * _width(chunk, task.chunk_dim)
+                        * ELEMENT_BYTES,
+                    )
+                else:
+                    send_token(task.send, k)
         elapsed = time.perf_counter() - start
-        results.put(("ok", task.rank, elapsed))
+        results.put(
+            ("ok", task.rank, {"elapsed": elapsed, "events": tracer.drain()})
+        )
     except BaseException:
         results.put(("error", task.rank, traceback.format_exc()))
     finally:

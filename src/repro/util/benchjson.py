@@ -6,12 +6,19 @@ reading pytest-benchmark's console tables.  The schema is deliberately
 small::
 
     {
-      "schema": "repro-bench/1",
+      "schema": "repro-bench/2",
+      "schema_version": 2,
       "name": "parallel",
       "written_at": "2026-08-06T12:00:00+00:00",
-      "meta": {...},            # free-form context (host, sizes, params)
+      "host": {...},            # who measured: python, platform, cpus
+      "meta": {...},            # free-form context (sizes, params)
       "results": [...]          # list of measurement records
     }
+
+Version 2 adds ``schema_version`` plus the ``host`` block (python
+version/implementation, platform, machine, cpu count) so trajectories
+from different machines are comparable; :func:`read_bench` still accepts
+version-1 artifacts, whose host fields lived merged into ``meta``.
 
 Files land in ``$REPRO_BENCH_DIR`` when set, else the current directory —
 benchmark runs start from the repository root, so artifacts appear beside
@@ -26,7 +33,11 @@ import platform
 from datetime import datetime, timezone
 from pathlib import Path
 
-SCHEMA = "repro-bench/1"
+SCHEMA = "repro-bench/2"
+SCHEMA_VERSION = 2
+
+#: Schemas :func:`read_bench` accepts (older artifacts stay loadable).
+COMPATIBLE_SCHEMAS = ("repro-bench/1", SCHEMA)
 
 #: Environment override for the artifact directory.
 BENCH_DIR_ENV = "REPRO_BENCH_DIR"
@@ -43,8 +54,11 @@ def host_meta() -> dict:
     """Context every artifact should carry: where was this measured."""
     return {
         "python": platform.python_version(),
+        "python_implementation": platform.python_implementation(),
         "machine": platform.machine(),
         "system": platform.system(),
+        "release": platform.release(),
+        "platform": platform.platform(),
         "cpu_count": os.cpu_count(),
     }
 
@@ -58,12 +72,16 @@ def write_bench(
     """Write ``BENCH_<name>.json`` atomically; returns the final path."""
     payload = {
         "schema": SCHEMA,
+        "schema_version": SCHEMA_VERSION,
         "name": name,
         "written_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
-        "meta": {**host_meta(), **(meta or {})},
+        "host": host_meta(),
+        "meta": dict(meta or {}),
         "results": results,
     }
-    target = bench_dir(directory) / f"BENCH_{name}.json"
+    out_dir = bench_dir(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    target = out_dir / f"BENCH_{name}.json"
     tmp = target.with_suffix(".json.tmp")
     tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     tmp.replace(target)
@@ -74,6 +92,9 @@ def read_bench(name: str, directory: str | Path | None = None) -> dict:
     """Load a previously written artifact (raises on schema mismatch)."""
     path = bench_dir(directory) / f"BENCH_{name}.json"
     payload = json.loads(path.read_text())
-    if payload.get("schema") != SCHEMA:
-        raise ValueError(f"{path} has schema {payload.get('schema')!r}, want {SCHEMA}")
+    if payload.get("schema") not in COMPATIBLE_SCHEMAS:
+        raise ValueError(
+            f"{path} has schema {payload.get('schema')!r}, "
+            f"want one of {COMPATIBLE_SCHEMAS}"
+        )
     return payload

@@ -32,6 +32,15 @@ class WallTimer:
         self._start = None
 
     def reset(self) -> None:
-        """Zero the accumulated time."""
+        """Zero the accumulated time.
+
+        Refuses to run inside an open interval: silently discarding the
+        in-progress measurement would corrupt the caller's accounting.
+        Exit the ``with`` block (or call ``__exit__``) first.
+        """
+        if self._start is not None:
+            raise RuntimeError(
+                "WallTimer.reset() called with an interval in progress; "
+                "exit the timing context before resetting"
+            )
         self.elapsed = 0.0
-        self._start = None

@@ -75,6 +75,70 @@ class TestGantt:
         assert render_gantt(naive, title="hello").startswith("hello")
 
 
+#: Golden Fig. 4(a): the naive schedule's staircase of idle time.  The
+#: virtual clock is deterministic, so these renders are byte-stable.
+GOLDEN_NAIVE = """\
+t = 0 ............................. 1245
+P0 |########................................|
+P1 |........~~########......................|
+P2 |..................~~~########...........|
+P3 |.............................~~########.|
+legend: # compute   ~ communication   . idle (utilisation 25%)"""
+
+#: Golden Fig. 4(b): the pipelined schedule's early overlap.
+GOLDEN_PIPELINED = """\
+t = 0 .............................. 715
+P0 |###############.........................|
+P1 |...~~####~~###~~~###~~####~~#...........|
+P2 |.........~~###~~~###~~####~~####~#......|
+P3 |..............~~~###~~####~~####~~###~~#|
+legend: # compute   ~ communication   . idle (utilisation 56%)"""
+
+
+class TestGanttGolden:
+    """Byte-exact Fig. 4 renders (regressions in scaling/marks show here)."""
+
+    def test_naive_timeline(self):
+        naive, _ = traced_runs(n=33, p=4, b=8)
+        assert render_gantt(naive, width=40) == GOLDEN_NAIVE
+
+    def test_pipelined_timeline(self):
+        _, piped = traced_runs(n=33, p=4, b=8)
+        assert render_gantt(piped, width=40) == GOLDEN_PIPELINED
+
+
+class TestGanttTinyWidths:
+    """Degenerate widths: the header must not underflow and every
+    positive-duration interval must paint at least one cell."""
+
+    def test_width_five_header_falls_back(self):
+        _, piped = traced_runs()
+        text = render_gantt(piped, width=5)
+        assert text.splitlines()[0] == "t = 0 .. 715"
+        # Every row is exactly |·····| wide.
+        for line in text.splitlines()[1:-1]:
+            assert len(line.split("|")[1]) == 5
+
+    def test_width_one_renders(self):
+        _, piped = traced_runs()
+        text = render_gantt(piped, width=1)
+        for rank in range(4):
+            assert f"P{rank} |#|" in text
+
+    def test_width_zero_rejected(self):
+        _, piped = traced_runs()
+        with pytest.raises(MachineError, match="width"):
+            render_gantt(piped, width=0)
+
+    def test_subcell_intervals_paint(self):
+        # At width 5 a single compute chunk is far below one cell; each
+        # processor must still show at least one '#'.
+        _, piped = traced_runs()
+        text = render_gantt(piped, width=5)
+        for line in text.splitlines()[1:-1]:
+            assert "#" in line
+
+
 class TestFig4Experiment:
     def test_pipelined_wins(self):
         from repro.experiments import fig4_illustration

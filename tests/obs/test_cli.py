@@ -1,0 +1,62 @@
+"""Smoke tests for the ``python -m repro.obs`` CLI."""
+
+import json
+
+import pytest
+
+from repro.obs.__main__ import main
+from repro.obs.capture import capture_simulator
+
+
+class TestSummarize:
+    def test_fresh_simulator_capture(self, capsys):
+        rc = main(["summarize", "--backend", "simulator", "--n", "32",
+                   "--procs", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "== simulator ==" in out
+        assert "phase coverage" in out
+        assert "counter blocks_executed" in out
+
+    def test_saved_trace(self, tmp_path, capsys):
+        _, trace = capture_simulator(n=32, procs=2)
+        path = trace.save(tmp_path / "t.json")
+        assert main(["summarize", str(path)]) == 0
+        assert "fill" in capsys.readouterr().out
+
+
+class TestExport:
+    def test_explicit_output(self, tmp_path, capsys):
+        out = tmp_path / "sim.chrome.json"
+        rc = main(["export", "--backend", "simulator", "--n", "32",
+                   "--procs", "2", "-o", str(out)])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+        assert "Perfetto" in capsys.readouterr().out
+
+    def test_default_name_next_to_saved_trace(self, tmp_path, capsys):
+        _, trace = capture_simulator(n=32, procs=2)
+        path = trace.save(tmp_path / "run.json")
+        assert main(["export", str(path)]) == 0
+        assert (tmp_path / "run.chrome.json").exists()
+
+
+class TestResiduals:
+    def test_simulator_table(self, capsys):
+        rc = main(["residuals", "--backend", "simulator", "--n", "32",
+                   "--procs", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Eq.(1)" in out
+        assert "ratio" in out
+
+
+class TestArgParsing:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])

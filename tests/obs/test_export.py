@@ -1,0 +1,83 @@
+"""Tests for the Chrome trace-event exporter (:mod:`repro.obs.export`)."""
+
+import json
+
+import pytest
+
+from repro.obs.export import to_chrome, write_chrome
+from repro.obs.trace import PARENT_PROC, Trace, Tracer
+
+
+def _wall_trace() -> Trace:
+    tracer = Tracer()
+    # Deliberately large perf_counter-style epoch: export must rebase.
+    base = 1_000_000.0
+    tracer.add_span("prepare", "setup", base + 0.0, base + 0.1, proc=PARENT_PROC)
+    tracer.add_span("compute", "compute", base + 0.2, base + 0.4, proc=0, block=0)
+    tracer.add_span("recv_wait", "comm", base + 0.2, base + 0.3, proc=1, block=0)
+    tracer.count("blocks_executed", proc=0)
+    tracer.count("tokens_recv", proc=1)
+    return Trace.from_tracer(
+        tracer, clock="wall", meta={"backend": "parallel", "n_procs": 2}
+    )
+
+
+class TestToChrome:
+    def test_thread_metadata_per_proc(self):
+        doc = to_chrome(_wall_trace())
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {
+            e["args"]["name"] for e in meta if e["name"] == "thread_name"
+        }
+        assert names == {"driver", "P0", "P1"}
+        # Driver sits on tid 0; workers count up from 1.
+        tids = {
+            e["args"]["name"]: e["tid"]
+            for e in meta
+            if e["name"] == "thread_name"
+        }
+        assert tids["driver"] == 0
+        assert tids["P0"] == 1 and tids["P1"] == 2
+
+    def test_complete_events_rebased_to_microseconds(self):
+        doc = to_chrome(_wall_trace())
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(spans) == 3
+        # Rebased: the earliest event starts at ts == 0, epoch gone.
+        assert min(e["ts"] for e in spans) == pytest.approx(0.0)
+        by_name = {e["name"]: e for e in spans}
+        assert by_name["compute"]["ts"] == pytest.approx(0.2e6)
+        assert by_name["compute"]["dur"] == pytest.approx(0.2e6)
+        assert by_name["compute"]["args"] == {"block": 0}
+
+    def test_virtual_clock_not_scaled(self):
+        tracer = Tracer()
+        tracer.add_span("compute", "compute", 10.0, 25.0, proc=0)
+        trace = Trace.from_tracer(tracer, clock="virtual")
+        (span,) = [
+            e for e in to_chrome(trace)["traceEvents"] if e["ph"] == "X"
+        ]
+        assert span["ts"] == pytest.approx(0.0)
+        assert span["dur"] == pytest.approx(15.0)
+
+    def test_counter_samples(self):
+        doc = to_chrome(_wall_trace())
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert {e["name"] for e in counters} == {"blocks_executed", "tokens_recv"}
+        sample = next(e for e in counters if e["name"] == "blocks_executed")
+        assert sample["args"] == {"P0": 1}
+
+    def test_meta_carried_in_other_data(self):
+        doc = to_chrome(_wall_trace())
+        assert doc["otherData"]["backend"] == "parallel"
+        assert doc["otherData"]["clock"] == "wall"
+
+    def test_json_serializable(self):
+        json.dumps(to_chrome(_wall_trace()))
+
+
+class TestWriteChrome:
+    def test_writes_loadable_file(self, tmp_path):
+        path = write_chrome(_wall_trace(), tmp_path / "t.chrome.json")
+        doc = json.loads(path.read_text())
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])

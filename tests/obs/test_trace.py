@@ -1,0 +1,175 @@
+"""Tests for the core span/counter recorder (:mod:`repro.obs.trace`)."""
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    PARENT_PROC,
+    TRACE_ENV,
+    NullTracer,
+    Span,
+    Trace,
+    Tracer,
+    resolve_tracer,
+    tracing_enabled,
+)
+
+
+class TestTracer:
+    def test_span_context_manager_records(self):
+        tracer = Tracer()
+        with tracer.span("compute", cat="compute", proc=2, block=5):
+            pass
+        (span,) = tracer.spans
+        assert span.name == "compute"
+        assert span.cat == "compute"
+        assert span.proc == 2
+        assert span.args == {"block": 5}
+        assert span.end >= span.start
+
+    def test_add_span_uses_default_proc(self):
+        tracer = Tracer(proc=3)
+        tracer.add_span("recv_wait", "comm", 1.0, 2.0)
+        assert tracer.spans[0].proc == 3
+        assert tracer.spans[0].duration == pytest.approx(1.0)
+
+    def test_parent_proc_default(self):
+        tracer = Tracer()
+        tracer.add_span("prepare", "setup", 0.0, 1.0)
+        assert tracer.spans[0].proc == PARENT_PROC
+
+    def test_count_accumulates_per_proc(self):
+        tracer = Tracer()
+        tracer.count("blocks_executed", proc=0)
+        tracer.count("blocks_executed", proc=0)
+        tracer.count("blocks_executed", proc=1)
+        tracer.count("bytes_moved", 64, proc=0)
+        assert tracer.counters[(0, "blocks_executed")] == 2
+        assert tracer.counters[(1, "blocks_executed")] == 1
+        assert tracer.counters[(0, "bytes_moved")] == 64
+
+    def test_drain_detaches_and_absorb_merges(self):
+        worker = Tracer(proc=1)
+        worker.add_span("compute", "compute", 0.0, 1.0, block=0)
+        worker.count("blocks_executed")
+        payload = worker.drain()
+        assert worker.spans == [] and worker.counters == {}
+
+        parent = Tracer()
+        parent.count("blocks_executed", proc=1)  # pre-existing: must sum
+        parent.absorb(payload)
+        assert len(parent.spans) == 1
+        assert parent.spans[0].proc == 1
+        assert parent.spans[0].args == {"block": 0}
+        assert parent.counters[(1, "blocks_executed")] == 2
+
+    def test_absorb_none_is_noop(self):
+        parent = Tracer()
+        parent.absorb(None)
+        parent.absorb(NULL_TRACER.drain())
+        assert parent.spans == []
+
+
+class TestNullTracer:
+    def test_records_nothing(self):
+        null = NullTracer()
+        with null.span("compute", cat="compute"):
+            pass
+        null.add_span("x", "y", 0.0, 1.0)
+        null.count("n")
+        assert null.enabled is False
+        assert null.drain() is None
+        assert not null.spans and not null.counters
+
+
+class TestResolveTracer:
+    def test_explicit_tracer_wins(self, monkeypatch):
+        monkeypatch.delenv(TRACE_ENV, raising=False)
+        tracer = Tracer()
+        assert resolve_tracer(tracer) is tracer
+
+    def test_default_is_shared_null(self, monkeypatch):
+        monkeypatch.delenv(TRACE_ENV, raising=False)
+        assert resolve_tracer(None) is NULL_TRACER
+        assert not tracing_enabled()
+
+    @pytest.mark.parametrize("value", ["1", "true", "yes", "on"])
+    def test_env_enables(self, monkeypatch, value):
+        monkeypatch.setenv(TRACE_ENV, value)
+        assert tracing_enabled()
+        assert isinstance(resolve_tracer(None), Tracer)
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "off", " OFF "])
+    def test_env_off_values(self, monkeypatch, value):
+        monkeypatch.setenv(TRACE_ENV, value)
+        assert not tracing_enabled()
+        assert resolve_tracer(None) is NULL_TRACER
+
+
+def _sample_trace() -> Trace:
+    tracer = Tracer()
+    tracer.add_span("prepare", "setup", 0.0, 0.5, proc=PARENT_PROC)
+    tracer.add_span("compute", "compute", 1.0, 2.0, proc=0, block=0, elements=8)
+    tracer.add_span("recv_wait", "comm", 1.0, 1.5, proc=1, block=0)
+    tracer.add_span("compute", "compute", 1.5, 3.0, proc=1, block=0, elements=8)
+    tracer.count("blocks_executed", proc=0)
+    tracer.count("blocks_executed", proc=1)
+    tracer.count("bytes_moved", 128, proc=0)
+    return Trace.from_tracer(
+        tracer, clock="wall", meta={"backend": "test", "n_procs": 2}
+    )
+
+
+class TestTrace:
+    def test_views(self):
+        trace = _sample_trace()
+        assert trace.procs() == (0, 1)
+        assert len(list(trace.worker_spans())) == 3
+        assert len(list(trace.worker_spans("compute"))) == 2
+        assert trace.t0 == 1.0 and trace.t_end == 3.0
+        assert trace.wall == pytest.approx(2.0)
+        assert trace.counter_total("blocks_executed") == 2
+        assert trace.counter_total("bytes_moved") == 128
+
+    def test_empty_trace_window_raises(self):
+        trace = Trace(clock="wall")
+        with pytest.raises(ValueError, match="no worker spans"):
+            trace.t0
+
+    def test_dict_roundtrip(self):
+        trace = _sample_trace()
+        clone = Trace.from_dict(trace.to_dict())
+        assert clone.clock == trace.clock
+        assert clone.meta == trace.meta
+        assert clone.spans == trace.spans
+        assert clone.counters == trace.counters
+
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = _sample_trace()
+        path = trace.save(tmp_path / "trace.json")
+        clone = Trace.load(path)
+        assert clone.spans == trace.spans
+        assert clone.counters == trace.counters
+
+    def test_from_dict_rejects_wrong_schema(self):
+        with pytest.raises(ValueError, match="schema"):
+            Trace.from_dict({"schema": "not-a-trace", "clock": "wall"})
+
+    def test_span_duration(self):
+        span = Span("s", "c", 1.0, 3.5, 0)
+        assert span.duration == pytest.approx(2.5)
+
+
+class TestCompilerSpans:
+    def test_compile_scan_records_pass_timings(self):
+        from repro.compiler import compile_scan
+        from tests.conftest import record_tomcatv_block
+
+        block, _ = record_tomcatv_block(12)
+        tracer = Tracer()
+        compile_scan(block, tracer=tracer)
+        names = {s.name for s in tracer.spans}
+        assert "compile.legality" in names
+        assert "compile.loops" in names
+        assert all(s.cat == "compile" for s in tracer.spans)
+        assert all(s.proc == PARENT_PROC for s in tracer.spans)

@@ -1,0 +1,80 @@
+"""Tests for the versioned benchmark-artifact schema (``BENCH_*.json``)."""
+
+import json
+
+import pytest
+
+from repro.util.benchjson import (
+    COMPATIBLE_SCHEMAS,
+    SCHEMA,
+    SCHEMA_VERSION,
+    bench_dir,
+    host_meta,
+    read_bench,
+    write_bench,
+)
+
+
+class TestWriteBench:
+    def test_roundtrip_with_host_block(self, tmp_path):
+        path = write_bench(
+            "demo",
+            [{"test": "t", "min_seconds": 0.5}],
+            meta={"n": 64},
+            directory=tmp_path,
+        )
+        assert path.name == "BENCH_demo.json"
+        payload = read_bench("demo", directory=tmp_path)
+        assert payload["schema"] == SCHEMA
+        assert payload["schema_version"] == SCHEMA_VERSION == 2
+        assert payload["meta"] == {"n": 64}
+        assert payload["results"][0]["min_seconds"] == 0.5
+
+    def test_host_block_separate_from_meta(self, tmp_path):
+        write_bench("demo", [], directory=tmp_path)
+        payload = read_bench("demo", directory=tmp_path)
+        host = payload["host"]
+        for key in ("python", "platform", "machine", "cpu_count"):
+            assert key in host
+        assert "python" not in payload["meta"]
+
+    def test_host_meta_fields(self):
+        meta = host_meta()
+        assert meta["cpu_count"] >= 1
+        assert meta["python"].count(".") == 2
+
+
+class TestReadBench:
+    def test_accepts_version1_artifacts(self, tmp_path):
+        # A pre-versioning artifact: host fields merged into meta, no
+        # schema_version key.  Must still load.
+        legacy = {
+            "schema": "repro-bench/1",
+            "name": "old",
+            "written_at": "2026-01-01T00:00:00+00:00",
+            "meta": {"python": "3.11.0", "n": 8},
+            "results": [],
+        }
+        (tmp_path / "BENCH_old.json").write_text(json.dumps(legacy))
+        payload = read_bench("old", directory=tmp_path)
+        assert payload["meta"]["n"] == 8
+        assert "repro-bench/1" in COMPATIBLE_SCHEMAS
+
+    def test_rejects_unknown_schema(self, tmp_path):
+        (tmp_path / "BENCH_bad.json").write_text(
+            json.dumps({"schema": "other/9", "results": []})
+        )
+        with pytest.raises(ValueError, match="schema"):
+            read_bench("bad", directory=tmp_path)
+
+
+class TestBenchDir:
+    def test_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+        assert bench_dir() == tmp_path
+        write_bench("envtest", [])
+        assert (tmp_path / "BENCH_envtest.json").exists()
+
+    def test_argument_beats_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_DIR", "/nonexistent")
+        assert bench_dir(tmp_path) == tmp_path

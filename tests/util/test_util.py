@@ -148,3 +148,24 @@ class TestWallTimer:
         t = WallTimer()
         with pytest.raises(RuntimeError):
             t.__exit__(None, None, None)
+
+    def test_reset_inside_open_interval_raises(self):
+        # Regression: reset() used to silently zero elapsed while an
+        # interval was in flight, corrupting the in-progress measurement.
+        t = WallTimer()
+        with t:
+            pass
+        with pytest.raises(RuntimeError, match="interval in progress"):
+            with t:
+                t.reset()
+
+    def test_reset_after_exit_still_works(self):
+        t = WallTimer()
+        with t:
+            time.sleep(0.001)
+        assert t.elapsed > 0.0
+        t.reset()
+        assert t.elapsed == 0.0
+        with t:  # timer remains usable after the reset
+            pass
+        assert t.elapsed >= 0.0
