@@ -24,7 +24,7 @@ PROCS = (1, 2)
 
 
 def test_measured_speedup_curve_artifact():
-    payload = speedup_curve(n=64, procs=PROCS, repeats=2)
+    payload = speedup_curve(n=64, procs=PROCS, repeats=2, use_pool=True)
     results = payload.pop("results")
     traces = payload.pop("traces", None)
     path = write_bench("parallel", results, meta=payload)
@@ -44,5 +44,14 @@ def test_measured_speedup_curve_artifact():
         assert record["measured_seconds"] > 0
         assert record["predicted_seconds"] > 0
         assert record["verified_identical"] is True
-    assert written["meta"]["machine"]["alpha_seconds"] > 0
+        assert record["pool"] is True
+    machine = written["meta"]["machine"]
+    assert machine["alpha_seconds"] > 0
+    # both dispatch regimes are persisted: the cold (fork-per-run) costs per
+    # engine, and the pooled cost Eq. (1) sees under the persistent pool.
+    assert machine["dispatch_seconds_per_block"] > 0
+    assert machine["dispatch_seconds_per_block_interp"] > 0
+    assert machine["dispatch_seconds_per_block_pooled"] >= 0
+    assert "oversubscribed" in written["meta"]
+    assert written["meta"]["host"]["cpu_count"] >= 1
     assert path.name == "BENCH_parallel.json"

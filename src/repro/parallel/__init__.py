@@ -17,6 +17,7 @@ Layers:
 * :mod:`repro.parallel.channels`  — token pipes between pipeline stages;
 * :mod:`repro.parallel.worker`    — the per-process SPMD loop;
 * :mod:`repro.parallel.executor`  — :func:`execute`, the single entry point;
+* :mod:`repro.parallel.pool`      — :class:`WorkerPool`, fork once / run many;
 * :mod:`repro.parallel.autotune`  — measured α/β → Equation (1) block sizes;
 * :mod:`repro.parallel.bench`     — measured-vs-predicted speedup curves.
 """
@@ -31,12 +32,13 @@ from repro.parallel.autotune import (
     measure_block_overhead,
     measure_comm,
     measure_compute_cost,
+    measure_pool_dispatch,
     measured_probe,
     normalized_params,
     optimal_block_size,
     tuned_block_size,
 )
-from repro.parallel.bench import speedup_curve, tomcatv_forward
+from repro.parallel.bench import oversubscription, speedup_curve, tomcatv_forward
 from repro.parallel.executor import (
     MAX_PROCS_ENV,
     ParallelRun,
@@ -44,6 +46,7 @@ from repro.parallel.executor import (
     default_grid,
     execute,
 )
+from repro.parallel.pool import WorkerPool, close_pools, shared_pool
 from repro.parallel.sharedmem import SharedArrayPool, collect_arrays
 
 __all__ = [
@@ -53,7 +56,9 @@ __all__ = [
     "ParallelRun",
     "SCHEDULES",
     "SharedArrayPool",
+    "WorkerPool",
     "autotune",
+    "close_pools",
     "collect_arrays",
     "default_grid",
     "dynamic_block_size",
@@ -63,9 +68,12 @@ __all__ = [
     "measure_block_overhead",
     "measure_comm",
     "measure_compute_cost",
+    "measure_pool_dispatch",
     "measured_probe",
     "normalized_params",
     "optimal_block_size",
+    "oversubscription",
+    "shared_pool",
     "speedup_curve",
     "tomcatv_forward",
     "tuned_block_size",

@@ -122,12 +122,16 @@ def measure_comm(
     return CommParams(alpha, beta, tuple(samples))
 
 
-def measure_compute_cost(compiled: CompiledScan, repeats: int = 3) -> float:
+def measure_compute_cost(
+    compiled: CompiledScan, repeats: int = 3, engine: str | None = None
+) -> float:
     """Seconds per element of the compiled block on one processor.
 
     Runs the real vectorised engine over the full region ``repeats`` times
     (restoring the arrays between runs so every run does identical work) and
-    takes the fastest.
+    takes the fastest.  ``engine`` picks the sequential engine
+    (``"kernel"``/``"interp"``, default-resolved like
+    :func:`~repro.runtime.vectorized.execute_vectorized`).
     """
     if repeats < 1:
         raise MachineError(f"repeats must be >= 1, got {repeats}")
@@ -139,7 +143,7 @@ def measure_compute_cost(compiled: CompiledScan, repeats: int = 3) -> float:
         for _ in range(repeats):
             snap.restore()
             start = time.perf_counter()
-            execute_vectorized(compiled)
+            execute_vectorized(compiled, engine=engine)
             best = min(best, time.perf_counter() - start)
     finally:
         snap.restore()
@@ -147,7 +151,10 @@ def measure_compute_cost(compiled: CompiledScan, repeats: int = 3) -> float:
 
 
 def measure_block_overhead(
-    compiled: CompiledScan, block: int = 8, repeats: int = 3
+    compiled: CompiledScan,
+    block: int = 8,
+    repeats: int = 3,
+    engine: str | None = None,
 ) -> float:
     """Seconds of extra per-block dispatch cost of the vectorised engine.
 
@@ -159,6 +166,11 @@ def measure_block_overhead(
     the extra block boundaries.  The result is folded into the *effective* α
     that Equation (1) sees (pure pipe latency alone would suggest far smaller
     blocks than the host actually rewards).
+
+    ``engine`` selects the sequential engine being measured; the default
+    (AOT kernels) pays per block only a plan-cache lookup per region, so its
+    dispatch cost is orders of magnitude below the tree-walking
+    ``engine="interp"`` number this library used to report.
     """
     plan = plan_wavefront(compiled)
     if plan.chunk_dim is None:
@@ -177,16 +189,75 @@ def measure_block_overhead(
         for _ in range(repeats):
             snap.restore()
             start = time.perf_counter()
-            execute_vectorized(compiled)
+            execute_vectorized(compiled, engine=engine)
             whole = min(whole, time.perf_counter() - start)
             snap.restore()
             start = time.perf_counter()
             for chunk in chunks:
-                execute_vectorized(compiled, within=chunk)
+                execute_vectorized(compiled, within=chunk, engine=engine)
             blocked = min(blocked, time.perf_counter() - start)
     finally:
         snap.restore()
     return max(0.0, (blocked - whole) / (len(chunks) - 1))
+
+
+def measure_pool_dispatch(
+    compiled: CompiledScan,
+    pool=None,
+    block: int = 8,
+    repeats: int = 3,
+) -> float:
+    """Per-pipeline-block dispatch cost through the *persistent pool*, seconds.
+
+    The pooled counterpart of :func:`measure_block_overhead`: run the block
+    through :class:`repro.parallel.pool.WorkerPool` once with a single
+    whole-width chunk and once split into ``block``-column chunks, and
+    attribute the wall-clock gap to the extra block boundaries.  The
+    differential cancels the per-run costs the pool already amortises
+    (refresh, job send, barrier, gather), leaving the true marginal cost of
+    one more pipeline block: one token crossing plus one warm kernel-engine
+    dispatch.  This is the ``dispatch_seconds_per_block`` a pooled schedule
+    actually pays, and what Equation (1) should see when the pool is used.
+
+    ``pool`` defaults to a throwaway single-worker pool (closed before
+    returning); pass an existing pool to measure its grid instead.
+    """
+    plan = plan_wavefront(compiled)
+    if plan.chunk_dim is None:
+        return 0.0
+    region = compiled.region
+    cols = region.extent(plan.chunk_dim)
+    reverse = compiled.loops.signs[plan.chunk_dim] < 0
+    n_blocked = len(_chunk_regions(region, plan.chunk_dim, block, reverse))
+    if n_blocked < 2:
+        return 0.0
+    from repro.parallel.pool import WorkerPool
+
+    own_pool = pool is None
+    if own_pool:
+        pool = WorkerPool(1)
+    snap = ArraySnapshot(collect_arrays(compiled))
+    try:
+        # Warm the pool: ship the blob, build the worker's kernel plans.
+        pool.execute(compiled, block=cols)
+        snap.restore()
+        whole = float("inf")
+        blocked = float("inf")
+        for _ in range(repeats):
+            run = pool.execute(compiled, block=cols)
+            whole = min(whole, run.wall_time)
+            snap.restore()
+            run = pool.execute(compiled, block=block)
+            blocked = min(blocked, run.wall_time)
+            snap.restore()
+        # Each worker's chunk count grew by (n_blocked - 1) / n_procs on
+        # average; charge the gap to the blocks the critical path added.
+        extra = max(1, (n_blocked - 1) // max(1, pool.grid.dims[0]))
+        return max(0.0, (blocked - whole) / extra)
+    finally:
+        snap.restore()
+        if own_pool:
+            pool.close()
 
 
 @dataclass(frozen=True)

@@ -14,6 +14,9 @@ sequential vectorised engine before its time is accepted.
 
 from __future__ import annotations
 
+import os
+import warnings
+
 import numpy as np
 
 from repro.apps import tomcatv
@@ -26,6 +29,7 @@ from repro.parallel.autotune import (
     measure_block_overhead,
     measure_comm,
     measure_compute_cost,
+    measure_pool_dispatch,
     normalized_params,
     optimal_block_size,
 )
@@ -34,6 +38,35 @@ from repro.parallel.sharedmem import collect_arrays
 from repro.runtime.interp import ArraySnapshot
 from repro.runtime.vectorized import execute_vectorized
 from repro.util.timing import WallTimer
+
+
+def oversubscription(procs: tuple[int, ...] | int) -> dict:
+    """Host-vs-request facts for the bench artifacts.
+
+    On a 1-CPU host a "2-processor speedup" time-slices one core, so the
+    measured curve must not be read against Equation (1)'s predictions.
+    Returns ``{"cpu_count": ..., "max_procs": ..., "oversubscribed": ...}``
+    and emits a :class:`RuntimeWarning` when the host is oversubscribed —
+    benchmarks stamp the dict into their artifacts so downstream comparisons
+    can filter.
+    """
+    max_procs = max(procs) if isinstance(procs, tuple) else int(procs)
+    cpu_count = os.cpu_count() or 1
+    oversubscribed = cpu_count < max_procs
+    if oversubscribed:
+        warnings.warn(
+            f"host has {cpu_count} CPU(s) but the benchmark asks for "
+            f"{max_procs} worker process(es); measured speedups are "
+            f"time-sliced and must not be compared against Eq. (1) "
+            f"predictions",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return {
+        "cpu_count": cpu_count,
+        "max_procs": max_procs,
+        "oversubscribed": oversubscribed,
+    }
 
 
 def tomcatv_forward(n: int, seed: int = 7) -> CompiledScan:
@@ -69,6 +102,7 @@ def speedup_curve(
     comm: CommParams | None = None,
     verify: bool = True,
     collect_traces: bool | None = None,
+    use_pool: bool = False,
 ) -> dict:
     """Measured-vs-predicted times for the Tomcatv wavefront.
 
@@ -82,10 +116,24 @@ def speedup_curve(
     ``payload["traces"]``, keyed by processor count, each carrying the
     measured machine model so residual reports work offline.  Traced runs
     are *extra* runs: the timed minima above stay untraced.
+
+    ``use_pool`` runs the sweep through a persistent
+    :class:`~repro.parallel.pool.WorkerPool` per processor count — fork,
+    pickle and segment creation paid once per ``p`` instead of once per
+    repeat, so the timed minima measure the pipeline, not process startup.
+
+    The ``machine`` block reports three dispatch costs: the kernel engine's
+    (``dispatch_seconds_per_block``, what the default schedule pays), the
+    tree-walking interpreter's (``..._interp``, the pre-kernel cost kept for
+    comparability with older artifacts), and the pooled cost (``..._pooled``,
+    one token plus one warm dispatch — what Eq. (1) sees under the pool).
+    The payload also carries :func:`oversubscription` facts; oversubscribed
+    hosts get a :class:`RuntimeWarning` and a marked artifact.
     """
     from repro.obs.trace import Tracer, tracing_enabled
 
     collect = tracing_enabled() if collect_traces is None else collect_traces
+    host = oversubscription(procs)
     compiled = tomcatv_forward(n)
     plan = plan_wavefront(compiled)
     arrays = collect_arrays(compiled)
@@ -104,6 +152,9 @@ def speedup_curve(
         comm = measure_comm(start_method=start_method)
     compute_seconds = measure_compute_cost(compiled)
     dispatch_seconds = measure_block_overhead(compiled)
+    dispatch_interp = measure_block_overhead(compiled, engine="interp")
+    snap.restore()
+    dispatch_pooled = measure_pool_dispatch(compiled)
     snap.restore()
     params = normalized_params(comm, compute_seconds)
 
@@ -111,9 +162,16 @@ def speedup_curve(
     traces: dict[str, dict] = {}
     for p in procs:
         # Equation (1) and the predictions see the *effective* α: real pipe
-        # latency plus this p's share of the per-block dispatch overhead.
-        effective = effective_params(comm, compute_seconds, dispatch_seconds, p)
+        # latency plus this p's share of the per-block dispatch overhead —
+        # the pooled cost when the pool runs the schedule.
+        per_block = dispatch_pooled if use_pool else dispatch_seconds
+        effective = effective_params(comm, compute_seconds, per_block, p)
         b = block if block is not None else optimal_block_size(plan, effective, p)
+        pool = None
+        if use_pool:
+            from repro.parallel.pool import WorkerPool
+
+            pool = WorkerPool(p, start_method=start_method)
         measured = float("inf")
         for _ in range(repeats):
             snap.restore()
@@ -123,6 +181,7 @@ def speedup_curve(
                 schedule=schedule,
                 block=b,
                 start_method=start_method,
+                pool=pool,
             )
             measured = min(measured, run.wall_time)
         if reference is not None:
@@ -153,6 +212,7 @@ def speedup_curve(
                 "procs": p,
                 "block_size": b,
                 "schedule": schedule,
+                "pool": use_pool,
                 "measured_seconds": measured,
                 "predicted_seconds": predicted,
                 "alpha_effective": effective.alpha,
@@ -172,6 +232,7 @@ def speedup_curve(
                 block=b,
                 start_method=start_method,
                 tracer=tracer,
+                pool=pool,
             )
             trace = traced.trace
             trace.meta["benchmark"] = "tomcatv-forward"
@@ -182,6 +243,8 @@ def speedup_curve(
                 "unit_seconds": compute_seconds,
             }
             traces[str(p)] = trace.to_dict()
+        if pool is not None:
+            pool.close()
     snap.restore()
 
     payload_traces = {"traces": traces} if collect else {}
@@ -191,10 +254,14 @@ def speedup_curve(
         "n": n,
         "region_size": compiled.region.size,
         "serial_seconds": serial_seconds,
+        "host": host,
+        "oversubscribed": host["oversubscribed"],
         "machine": {
             "alpha_seconds": comm.alpha_seconds,
             "beta_seconds": comm.beta_seconds,
             "dispatch_seconds_per_block": dispatch_seconds,
+            "dispatch_seconds_per_block_interp": dispatch_interp,
+            "dispatch_seconds_per_block_pooled": dispatch_pooled,
             "compute_seconds_per_element": compute_seconds,
             "alpha_normalized": params.alpha,
             "beta_normalized": params.beta,

@@ -159,6 +159,7 @@ def execute(
     start_method: str | None = None,
     timeout: float = 120.0,
     tracer=None,
+    pool=None,
 ) -> ParallelRun:
     """Run a compiled scan block across real OS processes.
 
@@ -172,7 +173,26 @@ def execute(
     workers then ship per-block spans and counters back with their
     results, and the packaged :class:`~repro.obs.Trace` is returned on
     ``ParallelRun.trace``.
+
+    ``pool`` (a :class:`repro.parallel.pool.WorkerPool`) delegates the run
+    to persistent workers — no fork, no pickle, no segment creation after
+    the pool's first sight of the block.  The pool's grid is used; passing
+    a conflicting ``grid`` raises.
     """
+    if pool is not None:
+        if grid is not None and _as_grid(grid).dims != pool.grid.dims:
+            raise MachineError(
+                f"grid {_as_grid(grid).dims} conflicts with the pool's "
+                f"grid {pool.grid.dims}; omit grid or match the pool"
+            )
+        return pool.execute(
+            compiled,
+            schedule=schedule,
+            block=block,
+            wavefront_dim=wavefront_dim,
+            timeout=timeout,
+            tracer=tracer,
+        )
     if schedule not in SCHEDULES:
         raise MachineError(f"unknown schedule {schedule!r}; pick from {SCHEDULES}")
     grid = _as_grid(grid)

@@ -1,0 +1,588 @@
+"""Persistent worker pool: fork once, execute many.
+
+The fork-per-run executor (:mod:`repro.parallel.executor`) pays process
+startup, ``pickle.dumps``, shared-segment creation and ``gc.freeze`` on every
+``execute()`` — that is the ~milliseconds-per-run overhead that inflated the
+measured ``dispatch_seconds_per_block`` three orders of magnitude above the
+per-token α.  The pool amortises all of it:
+
+* **Workers fork once** at pool construction and then loop on a per-worker
+  job pipe.  The barrier, the result queue, and the token-pipe fabric are
+  all built once and reused; both wavefront directions get their own static
+  fabric so ascending and descending blocks can share one pool.
+* **Plans ship once.**  Each compiled block is fingerprinted
+  (:func:`repro.runtime.kernels.plan_fingerprint`); the parent keeps a
+  fingerprint-keyed :class:`_PlanEntry` (shared segments + pickled blob) and
+  each worker keeps the unpickled plan and its shared-memory attachment in a
+  per-process cache.  A repeat ``execute()`` sends only a small job record —
+  no blob, no re-attach — and refreshes the existing segments with the
+  arrays' current values.
+* **Kernel plans persist.**  Because the worker's unpickled ``CompiledScan``
+  object survives across jobs, the AOT kernel templates and region plans of
+  :mod:`repro.runtime.kernels` stay warm too: after the first run a pipeline
+  block costs one closure call per statement per slab.
+
+Failure semantics are deliberately blunt: any failed run marks the pool
+*broken* (workers may be mid-pipeline on stale tokens) and every later
+``execute()`` raises — close it and build a new one.  The fork-per-run
+executor remains the robust path; the pool is the fast path.
+
+``shared_pool()`` hands out one module-level pool per grid shape, closed
+automatically at interpreter exit; explicit pools support ``with``.
+"""
+
+from __future__ import annotations
+
+import atexit
+import gc
+import pickle
+import time
+import traceback
+from dataclasses import dataclass, field, replace
+from multiprocessing.connection import Connection
+
+from repro.compiler.lowering import CompiledScan
+from repro.errors import DistributionError, MachineError
+from repro.machine.grid import ProcessorGrid
+from repro.machine.schedules import plan_wavefront
+from repro.obs.trace import NULL_TRACER, Trace, Tracer, resolve_tracer
+from repro.parallel.channels import chain_links
+from repro.parallel.executor import (
+    SCHEDULES,
+    ParallelRun,
+    _as_grid,
+    _build_distribution,
+    _chains,
+    _context,
+    _worker_chunks,
+)
+from repro.parallel.sharedmem import ArraySpec, AttachedArrays, SharedArrayPool
+from repro.parallel.worker import pipeline_loop
+from repro.runtime.kernels import plan_fingerprint
+from repro.zpl.regions import Region
+
+#: Parent-side cap on cached plan entries (each pins shared segments).
+PLAN_ENTRY_CAP = 8
+
+
+@dataclass
+class PoolJob:
+    """One run's worth of instructions for one pooled worker."""
+
+    seq: int
+    fingerprint: str
+    #: Pickled CompiledScan — ``None`` when this worker already has it cached.
+    blob: bytes | None
+    specs: list[ArraySpec] | None
+    chunks: tuple[Region, ...]
+    #: Which static token fabric to use (wavefront traversal direction).
+    ascending: bool
+    chunk_dim: int | None
+    boundary_rows: int
+    timeout: float
+    trace: bool
+
+
+@dataclass
+class PoolBoot:
+    """Everything a pooled worker receives once, at fork time."""
+
+    rank: int
+    links_fwd: tuple[Connection | None, Connection | None]
+    links_bwd: tuple[Connection | None, Connection | None]
+    jobs: Connection
+
+
+def run_pool_worker(boot: PoolBoot, barrier, results) -> None:
+    """Process entry point: loop on the job pipe until told to close.
+
+    Per-job protocol (everything rides the per-worker job pipe; results ride
+    the shared queue, tagged with the job's sequence number):
+
+    * ``("run", PoolJob)`` — bind the plan (from cache, or unpickle + attach
+      on first sight), meet the barrier, run the pipeline loop, report.
+      A worker that fails *setup* still meets the barrier — keeping all
+      parties in lockstep — and then skips the run and reports the error.
+    * ``("forget", fingerprint)`` — drop a cached plan (the parent evicted
+      or replaced it; the old segments are about to be unlinked).
+    * ``("close",)`` — detach everything and exit.
+    """
+    #: fingerprint -> (compiled, attachment, runnable-with-hoisted-stripped)
+    cache: dict[str, tuple[CompiledScan, AttachedArrays, CompiledScan]] = {}
+    # Freeze the inherited heap once: every job after this pays collector
+    # time only for what the pipeline loop itself allocates.
+    gc.freeze()
+    try:
+        while True:
+            try:
+                msg = boot.jobs.recv()
+            except (EOFError, OSError):
+                return  # parent went away; exit quietly
+            kind = msg[0]
+            if kind == "close":
+                return
+            if kind == "forget":
+                entry = cache.pop(msg[1], None)
+                if entry is not None:
+                    entry[1].detach()
+                continue
+            job: PoolJob = msg[1]
+            tracer = Tracer(proc=boot.rank) if job.trace else NULL_TRACER
+            err = None
+            runnable = None
+            try:
+                entry = cache.get(job.fingerprint)
+                if entry is None:
+                    if job.blob is None:
+                        raise MachineError(
+                            f"pool worker {boot.rank} has no cached plan "
+                            f"{job.fingerprint[:12]} and was sent no blob"
+                        )
+                    t0 = time.perf_counter()
+                    compiled = pickle.loads(job.blob)
+                    attached = AttachedArrays(compiled, job.specs)
+                    entry = (compiled, attached, replace(compiled, hoisted=()))
+                    cache[job.fingerprint] = entry
+                    if tracer.enabled:
+                        tracer.add_span(
+                            "plan_bind", "setup", t0, time.perf_counter()
+                        )
+                        tracer.count("pool_plan_misses")
+                elif tracer.enabled:
+                    tracer.count("pool_plan_hits")
+                runnable = entry[2]
+            except BaseException:
+                err = traceback.format_exc()
+            try:
+                # Always meet the barrier, even after a setup failure:
+                # breaking it would poison every later run for every worker.
+                barrier.wait(timeout=job.timeout)
+            except Exception:
+                if err is None:
+                    err = traceback.format_exc()
+            elapsed = 0.0
+            if err is None:
+                recv, send = (
+                    boot.links_fwd if job.ascending else boot.links_bwd
+                )
+                try:
+                    elapsed = pipeline_loop(
+                        runnable,
+                        job.chunks,
+                        recv,
+                        send,
+                        job.timeout,
+                        tracer,
+                        job.chunk_dim,
+                        job.boundary_rows,
+                    )
+                except BaseException:
+                    err = traceback.format_exc()
+            if err is not None:
+                results.put(
+                    ("error", boot.rank, {"seq": job.seq, "detail": err})
+                )
+            else:
+                results.put(
+                    (
+                        "ok",
+                        boot.rank,
+                        {
+                            "seq": job.seq,
+                            "elapsed": elapsed,
+                            "events": tracer.drain(),
+                        },
+                    )
+                )
+    finally:
+        for _, attached, _ in cache.values():
+            attached.detach()
+
+
+@dataclass
+class _PlanEntry:
+    """Parent-side cache record for one compiled block."""
+
+    fingerprint: str
+    compiled: CompiledScan
+    shared: SharedArrayPool
+    blob: bytes
+    #: Ranks that have already received (and cached) the blob.
+    shipped: set[int] = field(default_factory=set)
+
+
+class WorkerPool:
+    """A persistent set of pipeline workers bound to one processor grid.
+
+    >>> pool = WorkerPool(2)
+    >>> run = pool.execute(compiled)        # forks + ships the plan
+    >>> run = pool.execute(compiled)        # reuses everything
+    >>> pool.close()
+
+    Supports ``with WorkerPool(...) as pool:``.  See
+    :meth:`execute` for the run-time surface (mirrors
+    :func:`repro.parallel.executor.execute` minus ``start_method``, fixed at
+    construction).
+    """
+
+    def __init__(
+        self,
+        grid: ProcessorGrid | int | tuple[int, ...] | None = None,
+        *,
+        start_method: str | None = None,
+        timeout: float = 120.0,
+    ):
+        self.grid = _as_grid(grid)
+        self.timeout = timeout
+        ctx = _context(start_method)
+        self._barrier = ctx.Barrier(self.grid.size + 1)
+        self._results = ctx.Queue()
+        # Two static token fabrics: one per wavefront direction.  A job
+        # selects the fabric matching its traversal sign, so one pool serves
+        # forward and backward sweeps without rebuilding pipes.
+        links_fwd = chain_links(ctx, _chains(self.grid, True))
+        links_bwd = chain_links(ctx, _chains(self.grid, False))
+        self._links = (links_fwd, links_bwd)  # keep parent copies alive
+        self._jobs: dict[int, Connection] = {}
+        self._procs = []
+        self._plans: dict[str, _PlanEntry] = {}
+        self._seq = 0
+        self._broken = False
+        self._closed = False
+        self.stats = {
+            "executes": 0,
+            "plan_hits": 0,
+            "plan_misses": 0,
+            "blobs_shipped": 0,
+        }
+        try:
+            for rank in self.grid:
+                recv_end, send_end = ctx.Pipe(duplex=False)
+                self._jobs[rank] = send_end
+                boot = PoolBoot(
+                    rank=rank,
+                    links_fwd=links_fwd[rank],
+                    links_bwd=links_bwd[rank],
+                    jobs=recv_end,
+                )
+                proc = ctx.Process(
+                    target=run_pool_worker,
+                    args=(boot, self._barrier, self._results),
+                    name=f"repro-pool-{rank}",
+                )
+                # Daemonic: a leaked pool must never keep the interpreter
+                # alive (shared_pool() also closes at exit).
+                proc.daemon = True
+                proc.start()
+                self._procs.append(proc)
+        except BaseException:
+            self.close()
+            raise
+
+    # -- lifecycle -----------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def broken(self) -> bool:
+        return self._broken
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Shut the workers down and unlink every shared segment (idempotent).
+
+        Safe to call any time — including on a broken pool, where workers may
+        be stuck mid-pipeline: stragglers are terminated after ``timeout``.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._jobs.values():
+            try:
+                conn.send(("close",))
+            except (OSError, BrokenPipeError, ValueError):
+                pass
+        for conn in self._jobs.values():
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=timeout)
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=timeout)
+        for entry in self._plans.values():
+            entry.shared.release()
+        self._plans.clear()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- plan cache ----------------------------------------------------------
+    def _forget(self, entry: _PlanEntry) -> None:
+        """Evict one plan: tell the workers first, then unlink its segments."""
+        for rank in entry.shipped:
+            try:
+                self._jobs[rank].send(("forget", entry.fingerprint))
+            except (OSError, BrokenPipeError, ValueError):
+                pass
+        entry.shared.release()
+        self._plans.pop(entry.fingerprint, None)
+
+    def _entry_for(self, compiled: CompiledScan, obs) -> _PlanEntry:
+        """The cached plan entry for ``compiled``, building/refreshing it.
+
+        Identity rules: a hit requires the *same* ``CompiledScan`` object —
+        two structurally identical blocks over different arrays fingerprint
+        differently, but a recompiled block over the same arrays would not,
+        and its segments/blob must be rebuilt.  On a hit the shared segments
+        are refreshed with the arrays' current values (``pool_reuse`` span).
+        """
+        fingerprint = plan_fingerprint(compiled)
+        entry = self._plans.get(fingerprint)
+        if entry is not None and entry.compiled is not compiled:
+            self._forget(entry)
+            entry = None
+        if entry is not None:
+            self.stats["plan_hits"] += 1
+            if obs.enabled:
+                obs.count("pool_plan_hits")
+            with obs.span("pool_reuse", "setup", fingerprint=fingerprint[:12]):
+                entry.shared.refresh()
+            return entry
+        self.stats["plan_misses"] += 1
+        if obs.enabled:
+            obs.count("pool_plan_misses")
+        with obs.span("share", "setup", fingerprint=fingerprint[:12]):
+            shared = SharedArrayPool(compiled)
+            blob = pickle.dumps(compiled)
+        entry = _PlanEntry(fingerprint, compiled, shared, blob)
+        self._plans[fingerprint] = entry
+        while len(self._plans) > PLAN_ENTRY_CAP:
+            oldest = next(iter(self._plans))
+            if oldest == fingerprint:
+                break
+            self._forget(self._plans[oldest])
+        return entry
+
+    # -- execution -----------------------------------------------------------
+    def execute(
+        self,
+        compiled: CompiledScan,
+        *,
+        schedule: str = "pipelined",
+        block: int | None = None,
+        wavefront_dim: int | None = None,
+        timeout: float | None = None,
+        tracer=None,
+    ) -> ParallelRun:
+        """Run a compiled scan block on the pooled workers.
+
+        Same semantics and return type as
+        :func:`repro.parallel.executor.execute`; the difference is purely in
+        what is amortised.  The block's arrays are updated in place.
+        """
+        if self._closed:
+            raise MachineError("worker pool is closed")
+        if self._broken:
+            raise MachineError(
+                "worker pool is broken (a previous run failed); "
+                "close() it and build a new pool"
+            )
+        if schedule not in SCHEDULES:
+            raise MachineError(
+                f"unknown schedule {schedule!r}; pick from {SCHEDULES}"
+            )
+        timeout = self.timeout if timeout is None else timeout
+        grid = self.grid
+        obs = resolve_tracer(tracer)
+        setup_start = time.perf_counter()
+
+        plan = plan_wavefront(compiled, wavefront_dim)
+        if plan.chunk_dim is None and grid.dims[0] > 1 and schedule == "pipelined":
+            raise DistributionError(
+                "no chunkable dimension: this block cannot be pipelined"
+            )
+        dist = _build_distribution(plan, grid)
+        loops = compiled.loops
+        ascending = loops.signs[plan.wavefront_dim] >= 0
+        reverse_chunks = (
+            plan.chunk_dim is not None and loops.signs[plan.chunk_dim] < 0
+        )
+        if schedule == "naive":
+            block_size = None
+        elif block is not None:
+            if block < 1:
+                raise MachineError(f"block size must be >= 1, got {block}")
+            block_size = block
+        else:
+            from repro.parallel.autotune import tuned_block_size
+
+            block_size = tuned_block_size(compiled, grid.dims[0], plan=plan)
+
+        with obs.span("prepare", "setup"):
+            compiled.prepare()  # hoisted temps must be current before refresh
+        entry = self._entry_for(compiled, obs)
+
+        self.stats["executes"] += 1
+        self._seq += 1
+        seq = self._seq
+        n_chunks = 1
+        with obs.span("dispatch", "setup"):
+            for rank in grid:
+                local = dist.local_region(rank)
+                width = (
+                    local.extent(plan.chunk_dim)
+                    if plan.chunk_dim is not None
+                    else 1
+                )
+                per_block = width if block_size is None else block_size
+                chunks = _worker_chunks(
+                    plan, local, max(1, per_block), reverse_chunks
+                )
+                n_chunks = max(n_chunks, len(chunks))
+                first_time = rank not in entry.shipped
+                if first_time:
+                    self.stats["blobs_shipped"] += 1
+                job = PoolJob(
+                    seq=seq,
+                    fingerprint=entry.fingerprint,
+                    blob=entry.blob if first_time else None,
+                    specs=entry.shared.specs if first_time else None,
+                    chunks=chunks,
+                    ascending=ascending,
+                    chunk_dim=plan.chunk_dim,
+                    boundary_rows=plan.boundary_rows,
+                    timeout=timeout,
+                    trace=obs.enabled,
+                )
+                self._jobs[rank].send(("run", job))
+                entry.shipped.add(rank)
+
+        try:
+            with obs.span("barrier", "sync"):
+                self._barrier.wait(timeout=timeout)
+        except Exception as exc:
+            self._broken = True
+            detail = self._first_error(seq)
+            raise MachineError(
+                f"pool workers failed to start: {exc}{detail}"
+            ) from exc
+        setup_time = time.perf_counter() - setup_start
+
+        outcomes: dict[int, float] = {}
+        while len(outcomes) < grid.size:
+            try:
+                status, rank, payload = self._results.get(timeout=timeout)
+            except Exception as exc:
+                self._broken = True
+                raise MachineError(
+                    f"lost contact with {grid.size - len(outcomes)} pool "
+                    f"worker(s) after {timeout:.0f}s"
+                ) from exc
+            if payload.get("seq") != seq:
+                continue  # stale report from an earlier failed run
+            if status != "ok":
+                self._broken = True
+                raise MachineError(
+                    f"worker {rank} failed:\n{payload['detail']}"
+                )
+            outcomes[rank] = payload["elapsed"]
+            obs.absorb(payload["events"])
+        with obs.span("gather", "setup"):
+            entry.shared.gather()
+
+        worker_times = tuple(outcomes[rank] for rank in grid)
+        trace = None
+        if obs.enabled:
+            region = plan.region
+            trace = Trace.from_tracer(
+                obs,
+                clock="wall",
+                meta={
+                    "backend": "parallel",
+                    "pool": True,
+                    "schedule": schedule,
+                    "grid": list(grid.dims),
+                    "n_procs": grid.size,
+                    "pipeline_procs": grid.dims[0],
+                    "block_size": block_size,
+                    "n_chunks": n_chunks,
+                    "rows": region.extent(plan.wavefront_dim),
+                    "cols": (
+                        region.extent(plan.chunk_dim)
+                        if plan.chunk_dim is not None
+                        else 1
+                    ),
+                    "boundary_rows": plan.boundary_rows,
+                    "halo_rows": plan.halo_rows,
+                    "wavefront_dim": plan.wavefront_dim,
+                    "chunk_dim": plan.chunk_dim,
+                    "wall_time": max(worker_times),
+                    "setup_time": setup_time,
+                },
+            )
+        return ParallelRun(
+            schedule=schedule,
+            grid_dims=grid.dims,
+            block_size=block_size,
+            n_chunks=n_chunks,
+            wall_time=max(worker_times),
+            worker_times=worker_times,
+            setup_time=setup_time,
+            plan=plan,
+            trace=trace,
+        )
+
+    def _first_error(self, seq: int) -> str:
+        """Best-effort: pull this run's first worker error off the queue."""
+        try:
+            while True:
+                status, rank, payload = self._results.get(timeout=1.0)
+                if status == "error" and payload.get("seq") == seq:
+                    return f"\nworker {rank}:\n{payload['detail']}"
+        except Exception:
+            return ""
+
+
+#: Module-level pools, one per (grid dims, start method) — see shared_pool().
+_SHARED: dict[tuple, WorkerPool] = {}
+
+
+def shared_pool(
+    grid: ProcessorGrid | int | tuple[int, ...] | None = None,
+    *,
+    start_method: str | None = None,
+    timeout: float = 120.0,
+) -> WorkerPool:
+    """A process-wide pool for the given grid shape, built on first use.
+
+    Closed or broken pools are transparently replaced; every pool handed out
+    here is closed at interpreter exit.  Callers that want deterministic
+    teardown should build their own :class:`WorkerPool` and ``close()`` it.
+    """
+    g = _as_grid(grid)
+    key = (g.dims, start_method)
+    pool = _SHARED.get(key)
+    if pool is not None and not (pool.closed or pool.broken):
+        return pool
+    if pool is not None:
+        pool.close()
+    pool = WorkerPool(g, start_method=start_method, timeout=timeout)
+    _SHARED[key] = pool
+    return pool
+
+
+def close_pools() -> None:
+    """Close every :func:`shared_pool` pool (idempotent)."""
+    for pool in list(_SHARED.values()):
+        pool.close()
+    _SHARED.clear()
+
+
+atexit.register(close_pools)

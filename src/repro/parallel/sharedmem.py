@@ -22,8 +22,9 @@ pickled structure, so the order is stable by construction.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from multiprocessing import shared_memory
+from multiprocessing import resource_tracker, shared_memory
 
 import numpy as np
 
@@ -57,6 +58,31 @@ def collect_arrays(compiled: CompiledScan) -> tuple[ZArray, ...]:
     return tuple(seen)
 
 
+@contextmanager
+def _untracked_attach():
+    """Keep segment *attaches* out of the resource tracker.
+
+    The parent owns every segment's lifetime (it unlinks them), but
+    Python ≤3.12 registers attachers with the resource tracker too: the
+    tracker then either warns about "leaked" segments the parent already
+    cleaned up, or — if each attacher unregisters — raises KeyError when
+    several workers attached the same segment.  Suppressing the spurious
+    registration at the source avoids both.  (Python 3.13 exposes this as
+    ``SharedMemory(..., track=False)``.)
+    """
+    original = resource_tracker.register
+
+    def register(name, rtype):
+        if rtype != "shared_memory":
+            original(name, rtype)
+
+    resource_tracker.register = register
+    try:
+        yield
+    finally:
+        resource_tracker.register = original
+
+
 @dataclass(frozen=True)
 class ArraySpec:
     """Shape/dtype of one shared segment (validated on attach)."""
@@ -85,15 +111,32 @@ class SharedArrayPool:
             for array in self.arrays:
                 data = array._data
                 seg = shared_memory.SharedMemory(create=True, size=data.nbytes)
-                view = np.ndarray(data.shape, dtype=data.dtype, buffer=seg.buf)
-                view[...] = data
                 self._segments.append(seg)
                 self.specs.append(
                     ArraySpec(seg.name, tuple(data.shape), data.dtype.str)
                 )
+            self.refresh()
         except BaseException:
             self.release()
             raise
+
+    def refresh(self) -> None:
+        """Re-copy the arrays' *current* values into the existing segments.
+
+        The persistent pool calls this between executes so a reused plan's
+        workers see the parent's latest array contents without re-creating
+        (or re-attaching) any segment.
+        """
+        for array, seg, spec in zip(self.arrays, self._segments, self.specs):
+            data = array._data
+            if tuple(data.shape) != spec.shape:
+                raise MachineError(
+                    f"array {array!r} storage shape {data.shape} changed "
+                    f"since the segments were created (was {spec.shape}); "
+                    "the cached plan cannot be refreshed"
+                )
+            view = np.ndarray(data.shape, dtype=data.dtype, buffer=seg.buf)
+            view[...] = data
 
     def gather(self) -> None:
         """Copy every segment's contents back into the original arrays."""
@@ -135,7 +178,8 @@ class AttachedArrays:
                         f"array {array!r} storage shape {array._data.shape} "
                         f"!= shared spec {spec.shape}"
                     )
-                seg = shared_memory.SharedMemory(name=spec.name)
+                with _untracked_attach():
+                    seg = shared_memory.SharedMemory(name=spec.name)
                 array._data = np.ndarray(
                     spec.shape, dtype=np.dtype(spec.dtype), buffer=seg.buf
                 )

@@ -63,6 +63,70 @@ def _width(chunk: Region, chunk_dim: int | None) -> int:
     return chunk.extent(chunk_dim) if chunk_dim is not None else 1
 
 
+def pipeline_loop(
+    runnable,
+    chunks: tuple[Region, ...],
+    recv: Connection | None,
+    send: Connection | None,
+    timeout: float,
+    tracer,
+    chunk_dim: int | None,
+    boundary_rows: int,
+) -> float:
+    """The classic pipelined inner loop: recv token → compute block → send.
+
+    Shared by the fork-per-run worker (:func:`run_worker`) and the persistent
+    pool worker (:mod:`repro.parallel.pool`).  Returns the busy seconds from
+    the first token wait to the last send.  ``tracer`` records the standard
+    per-block event schema when enabled (one cached boolean per site keeps
+    the untraced loop at its pre-observability cost) and is threaded into
+    :func:`execute_vectorized` so kernel-compile spans ride home too.
+    """
+    tracing = tracer.enabled
+    start = time.perf_counter()
+    for k, chunk in enumerate(chunks):
+        if recv is not None:
+            if tracing:
+                t = time.perf_counter()
+                recv_token(recv, k, timeout)
+                tracer.add_span(
+                    "recv_wait", "comm", t, time.perf_counter(), block=k
+                )
+                tracer.count("tokens_recv")
+            else:
+                recv_token(recv, k, timeout)
+        if not chunk.is_empty():
+            if tracing:
+                t = time.perf_counter()
+                execute_vectorized(runnable, within=chunk, tracer=tracer)
+                tracer.add_span(
+                    "compute",
+                    "compute",
+                    t,
+                    time.perf_counter(),
+                    block=k,
+                    elements=chunk.size,
+                    width=_width(chunk, chunk_dim),
+                )
+                tracer.count("blocks_executed")
+                tracer.count("elements_computed", chunk.size)
+            else:
+                execute_vectorized(runnable, within=chunk)
+        if send is not None:
+            if tracing:
+                t = time.perf_counter()
+                send_token(send, k)
+                tracer.add_span("send", "comm", t, time.perf_counter(), block=k)
+                tracer.count("tokens_sent")
+                tracer.count(
+                    "bytes_moved",
+                    boundary_rows * _width(chunk, chunk_dim) * ELEMENT_BYTES,
+                )
+            else:
+                send_token(send, k)
+    return time.perf_counter() - start
+
+
 def run_worker(task: WorkerTask, barrier, results) -> None:
     """Process entry point (top-level so every start method can import it)."""
     attached = None
@@ -83,52 +147,16 @@ def run_worker(task: WorkerTask, barrier, results) -> None:
         barrier.wait(timeout=task.timeout)
         if tracing:
             tracer.add_span("barrier", "sync", t_barrier, time.perf_counter())
-        start = time.perf_counter()
-        for k, chunk in enumerate(task.chunks):
-            if task.recv is not None:
-                if tracing:
-                    t = time.perf_counter()
-                    recv_token(task.recv, k, task.timeout)
-                    tracer.add_span(
-                        "recv_wait", "comm", t, time.perf_counter(), block=k
-                    )
-                    tracer.count("tokens_recv")
-                else:
-                    recv_token(task.recv, k, task.timeout)
-            if not chunk.is_empty():
-                if tracing:
-                    t = time.perf_counter()
-                    execute_vectorized(runnable, within=chunk)
-                    tracer.add_span(
-                        "compute",
-                        "compute",
-                        t,
-                        time.perf_counter(),
-                        block=k,
-                        elements=chunk.size,
-                        width=_width(chunk, task.chunk_dim),
-                    )
-                    tracer.count("blocks_executed")
-                    tracer.count("elements_computed", chunk.size)
-                else:
-                    execute_vectorized(runnable, within=chunk)
-            if task.send is not None:
-                if tracing:
-                    t = time.perf_counter()
-                    send_token(task.send, k)
-                    tracer.add_span(
-                        "send", "comm", t, time.perf_counter(), block=k
-                    )
-                    tracer.count("tokens_sent")
-                    tracer.count(
-                        "bytes_moved",
-                        task.boundary_rows
-                        * _width(chunk, task.chunk_dim)
-                        * ELEMENT_BYTES,
-                    )
-                else:
-                    send_token(task.send, k)
-        elapsed = time.perf_counter() - start
+        elapsed = pipeline_loop(
+            runnable,
+            task.chunks,
+            task.recv,
+            task.send,
+            task.timeout,
+            tracer,
+            task.chunk_dim,
+            task.boundary_rows,
+        )
         results.put(
             ("ok", task.rank, {"elapsed": elapsed, "events": tracer.drain()})
         )

@@ -3,8 +3,13 @@
 * :func:`execute_loopnest` — scalar element-at-a-time oracle (slow, obviously
   correct);
 * :func:`execute_vectorized` — the production engine: Python loop over the
-  dependence-carrying dimensions, numpy across the parallel ones;
-* :func:`execute_interpreted` — pure array semantics for non-scan statements;
+  dependence-carrying dimensions, numpy across the parallel ones.  By default
+  it dispatches to ahead-of-time statement kernels (:mod:`repro.runtime.kernels`);
+  ``engine="interp"`` / ``REPRO_KERNELS=0`` select the tree-walking path;
+* :func:`execute_interpreted` — pure array semantics for non-scan statements
+  (same kernel fast path, same escape hatch);
+* :mod:`repro.runtime.kernels` — the AOT kernel layer: plan templates, the
+  region-plan cache, compile-time aliasing analysis, plan fingerprints;
 * :class:`ArraySnapshot` / :func:`run_and_capture` — differential-test helpers.
 """
 
@@ -15,11 +20,29 @@ from repro.runtime.interp import (
     ArraySnapshot,
     run_and_capture,
 )
+from repro.runtime.kernels import (
+    ENGINE_ENV,
+    ENGINES,
+    KERNEL_STATS,
+    default_engine,
+    plan_fingerprint,
+    resolve_engine,
+    statement_needs_copy,
+    try_execute_kernels,
+)
 
 __all__ = [
+    "ENGINE_ENV",
+    "ENGINES",
+    "KERNEL_STATS",
+    "ArraySnapshot",
+    "default_engine",
     "execute_loopnest",
     "execute_vectorized",
     "execute_interpreted",
-    "ArraySnapshot",
+    "plan_fingerprint",
+    "resolve_engine",
     "run_and_capture",
+    "statement_needs_copy",
+    "try_execute_kernels",
 ]

@@ -17,13 +17,24 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.runtime.kernels import resolve_engine, statement_kernel
 from repro.zpl.arrays import ZArray
 from repro.zpl.program import eager_reader
 from repro.zpl.statements import Assign
 
 
-def execute_interpreted(statements: Sequence[Assign]) -> None:
-    """Run plain array statements one at a time, RHS before assignment."""
+def execute_interpreted(
+    statements: Sequence[Assign], *, engine: str | None = None
+) -> None:
+    """Run plain array statements one at a time, RHS before assignment.
+
+    By default each unmasked statement runs through its ahead-of-time kernel
+    (:func:`repro.runtime.kernels.statement_kernel` — cached per statement,
+    one closure call instead of a tree walk); ``engine="interp"`` or
+    ``REPRO_KERNELS=0`` keeps the original tree-walking path.  Statements the
+    kernel layer cannot express fall back statement-by-statement.
+    """
+    kernels = resolve_engine(engine) == "kernel"
     for stmt in statements:
         if stmt.expr.has_prime():
             from repro.errors import ExpressionError
@@ -32,6 +43,11 @@ def execute_interpreted(statements: Sequence[Assign]) -> None:
                 "the prime operator has no array-semantics meaning; compile "
                 "the statements as a scan block instead"
             )
+        if kernels and stmt.mask is None:
+            runner = statement_kernel(stmt)
+            if runner is not None:
+                runner()
+                continue
         values = stmt.expr.evaluate(stmt.region, eager_reader)
         if isinstance(values, np.ndarray) and np.shares_memory(
             values, stmt.target._data

@@ -1,0 +1,579 @@
+"""Ahead-of-time statement kernels: compile the plan once, run slabs cheap.
+
+:func:`~repro.runtime.vectorized.execute_vectorized` is an interpreter: every
+carried iteration re-walks the expression tree, re-builds shifted
+:class:`~repro.zpl.regions.Region` objects, re-derives numpy slices through
+``ZArray._slices`` and re-runs the ``np.shares_memory`` aliasing check.  All
+of that is loop-invariant — the same arrays, shifts and slab geometry flow
+through every iteration — so this module hoists it to *compile time*:
+
+* a :class:`KernelTemplate` is derived once per :class:`CompiledScan`
+  (cached by object identity, evicted with the plan) and holds everything
+  that does not depend on the executed region;
+* ``template.instantiate(region)`` specialises each statement into a
+  closed-over callable with **pre-resolved numpy slice tuples**: parallel
+  dimensions become fixed slices, looped dimensions become one integer add
+  per access.  Storage coverage is validated once, the
+  ``values.copy()``-or-not aliasing question is decided once
+  (:func:`statement_needs_copy`), and mask/contraction plumbing is wired
+  up front;
+* instantiated :class:`KernelPlan` objects are cached per region inside the
+  template (the autotuner, the benchmarks and the pipelined workers execute
+  the same handful of block regions thousands of times) and validated
+  against the arrays' current storage bindings, so rebinding storage — as
+  :class:`~repro.parallel.sharedmem.AttachedArrays` does — transparently
+  recompiles while in-place restores (:class:`~repro.runtime.interp.ArraySnapshot`)
+  keep hitting the cache.
+
+The engine selection contract is shared by every consumer: ``"kernel"``
+(the default) runs plans from here, ``"interp"`` is the escape hatch back
+to the tree-walking engines, and the ``REPRO_KERNELS`` environment variable
+flips the default (``0``/``false``/``off``/``interp`` disable).  Blocks the
+kernel layer cannot express (stray parallel operators) fall back silently —
+behaviour is identical either way, only the constant factor changes.
+
+:func:`plan_fingerprint` names a lowered plan by *structure* (region, loop
+nest, statement trees with arrays numbered in first-occurrence order) so
+that equal work is recognised across process boundaries: a pickled copy of
+a plan fingerprints identically to its original, which is what lets the
+persistent worker pool (:mod:`repro.parallel.pool`) key its per-worker plan
+caches without shipping object identity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import weakref
+from itertools import product
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.compiler.lowering import CompiledScan
+from repro.compiler.wsv import DimClass
+from repro.errors import ArrayError, MachineError
+from repro.obs.trace import NULL_TRACER
+from repro.zpl.arrays import ZArray
+from repro.zpl.expr import BinOp, Const, IndexExpr, Node, Ref, UnOp, Where
+from repro.zpl.regions import Region
+from repro.zpl.statements import Assign
+
+#: Environment escape hatch: set to ``0``/``false``/``off``/``interp`` to run
+#: the tree-walking engines instead of AOT kernels.
+ENGINE_ENV = "REPRO_KERNELS"
+
+#: The engine names every ``engine=`` parameter accepts.
+ENGINES = ("kernel", "interp")
+
+_OFF_VALUES = ("0", "false", "off", "no", "interp")
+
+#: Instantiated plans kept per template (regions are small keys; the workers
+#: cycle through a bounded set of block regions).
+PLAN_CACHE_CAP = 64
+
+
+def default_engine() -> str:
+    """The engine used when no explicit ``engine=`` is given (env-driven)."""
+    value = os.environ.get(ENGINE_ENV, "").strip().lower()
+    return "interp" if value in _OFF_VALUES else "kernel"
+
+
+def resolve_engine(engine: str | None) -> str:
+    """Engine resolution used by every entry point: explicit > env > kernel."""
+    if engine is None:
+        return default_engine()
+    if engine not in ENGINES:
+        raise MachineError(f"unknown engine {engine!r}; pick from {ENGINES}")
+    return engine
+
+
+class KernelStats:
+    """Process-wide cache counters (mirrored into tracers when tracing)."""
+
+    __slots__ = (
+        "template_builds",
+        "plan_builds",
+        "plan_hits",
+        "plan_invalidations",
+        "fallbacks",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.template_builds = 0
+        self.plan_builds = 0
+        self.plan_hits = 0
+        self.plan_invalidations = 0
+        self.fallbacks = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+#: Module-wide counters: tests and benchmarks read (and reset) these.
+KERNEL_STATS = KernelStats()
+
+
+# ---------------------------------------------------------------------------
+# Compile-time aliasing analysis
+# ---------------------------------------------------------------------------
+def statement_needs_copy(stmt: Assign, contracted_ids: frozenset[int] | set[int]) -> bool:
+    """Decide the ``values.copy()`` question once per plan, not once per slab.
+
+    Only a *root-level* :class:`Ref` can evaluate to a view of array storage —
+    every other node allocates a fresh array (ufuncs, ``np.where``, reduction
+    copies).  A masked store never needs the copy either: the ``np.where``
+    blend allocates before anything is written.  Contracted sources are
+    flagged conservatively — their per-iteration buffer is a broadcast view
+    of whatever the defining statement evaluated, which may alias anything.
+    """
+    expr = stmt.expr
+    if not isinstance(expr, Ref):
+        return False
+    if stmt.mask is not None:
+        return False
+    if id(expr.array) in contracted_ids:
+        return True
+    return bool(np.shares_memory(expr.array._data, stmt.target._data))
+
+
+def _supported_expr(node: Node, rank: int) -> bool:
+    """True when the kernel builder can express ``node`` (no parallel ops)."""
+    if isinstance(node, (Const, Ref)):
+        return True
+    if isinstance(node, IndexExpr):
+        return node.dim < rank
+    if isinstance(node, (BinOp, UnOp, Where)):
+        return all(_supported_expr(c, rank) for c in node.children())
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Access compilation: pre-resolved numpy slice tuples
+# ---------------------------------------------------------------------------
+def _make_selector(entries: list) -> Callable[[tuple], tuple]:
+    """``idx -> slice tuple`` from per-dimension entries.
+
+    Each entry is either a fixed :class:`slice` (parallel dimension) or a
+    ``(position, constant)`` pair meaning ``slice(v, v + 1)`` with
+    ``v = idx[position] + constant`` (looped dimension).  The common rank-2
+    single-looped-dimension shapes get dedicated closures so the hot path is
+    one integer add and one tuple build.
+    """
+    variable = [
+        (k, e[0], e[1]) for k, e in enumerate(entries) if not isinstance(e, slice)
+    ]
+    if not variable:
+        fixed = tuple(entries)
+        return lambda idx, fixed=fixed: fixed
+    if len(variable) == 1 and len(entries) == 2:
+        k, p, c = variable[0]
+        if k == 0:
+            s1 = entries[1]
+            def selector(idx, p=p, c=c, s1=s1):
+                v = idx[p] + c
+                return (slice(v, v + 1), s1)
+        else:
+            s0 = entries[0]
+            def selector(idx, p=p, c=c, s0=s0):
+                v = idx[p] + c
+                return (s0, slice(v, v + 1))
+        return selector
+    if len(variable) == 1 and len(entries) == 1:
+        _, p, c = variable[0]
+        def selector(idx, p=p, c=c):
+            v = idx[p] + c
+            return (slice(v, v + 1),)
+        return selector
+    template = tuple(e if isinstance(e, slice) else None for e in entries)
+    var = tuple(variable)
+    def selector(idx, template=template, var=var):
+        out = list(template)
+        for k, p, c in var:
+            v = idx[p] + c
+            out[k] = slice(v, v + 1)
+        return tuple(out)
+    return selector
+
+
+class _PlanBuilder:
+    """Builds the per-statement closures of one :class:`KernelPlan`."""
+
+    def __init__(
+        self,
+        region: Region,
+        pos: dict[int, int],
+        slab_shape: tuple[int, ...],
+        contracted_ids: frozenset[int],
+    ):
+        self.region = region
+        self.pos = pos
+        self.slab_shape = slab_shape
+        self.contracted_ids = contracted_ids
+        self.buffers: dict[int, np.ndarray] = {}
+        self.binding: list[tuple[ZArray, np.ndarray]] = []
+
+    def _bind(self, array: ZArray) -> np.ndarray:
+        if not any(a is array for a, _ in self.binding):
+            self.binding.append((array, array._data))
+        return array._data
+
+    def _entries(self, array: ZArray, offset: Sequence[int]) -> list:
+        offset = tuple(offset)
+        shifted = self.region.shift(offset)
+        if not array._storage_region.covers(shifted):
+            raise ArrayError(
+                f"region {shifted!r} is outside the storage of {array!r} "
+                f"(storage {array._storage_region!r}); declare more fluff or "
+                f"initialise the border first"
+            )
+        base = array._storage_region.lo
+        entries: list = []
+        for d in range(self.region.rank):
+            off = offset[d]
+            p = self.pos.get(d)
+            if p is not None:
+                entries.append((p, off - base[d]))
+            else:
+                lo, hi = self.region.range(d)
+                entries.append(slice(lo + off - base[d], hi + off - base[d] + 1))
+        return entries
+
+    def _read(self, array: ZArray, offset: Sequence[int]) -> Callable:
+        data = self._bind(array)
+        selector = _make_selector(self._entries(array, offset))
+        return lambda idx, data=data, selector=selector: data[selector(idx)]
+
+    # -- expression compilation --------------------------------------------
+    def expr(self, node: Node) -> Callable:
+        if isinstance(node, Const):
+            value = node.value
+            return lambda idx, value=value: value
+        if isinstance(node, Ref):
+            return self._ref(node)
+        if isinstance(node, BinOp):
+            fn = node._fn
+            left = self.expr(node.left)
+            right = self.expr(node.right)
+            return lambda idx, fn=fn, left=left, right=right: fn(
+                left(idx), right(idx)
+            )
+        if isinstance(node, UnOp):
+            fn = node._fn
+            operand = self.expr(node.operand)
+            return lambda idx, fn=fn, operand=operand: fn(operand(idx))
+        if isinstance(node, Where):
+            cond = self.expr(node.cond)
+            if_true = self.expr(node.if_true)
+            if_false = self.expr(node.if_false)
+            return lambda idx, c=cond, t=if_true, f=if_false: np.where(
+                c(idx), t(idx), f(idx)
+            )
+        if isinstance(node, IndexExpr):
+            return self._index(node)
+        raise MachineError(
+            f"kernel builder cannot express {type(node).__name__} nodes"
+        )
+
+    def _ref(self, node: Ref) -> Callable:
+        aid = id(node.array)
+        read = self._read(node.array, node.offset)
+        if aid in self.contracted_ids:
+            buffers = self.buffers
+            def read_contracted(idx, buffers=buffers, aid=aid, read=read):
+                buf = buffers.get(aid)
+                return buf if buf is not None else read(idx)
+            return read_contracted
+        return read
+
+    def _index(self, node: IndexExpr) -> Callable:
+        p = self.pos.get(node.dim)
+        if p is not None:
+            return lambda idx, p=p: float(idx[p])
+        lo, hi = self.region.range(node.dim)
+        coords = np.arange(lo, hi + 1, dtype=float)
+        shape = [1] * self.region.rank
+        shape[node.dim] = coords.size
+        values = np.broadcast_to(coords.reshape(shape), self.slab_shape).copy()
+        return lambda idx, values=values: values
+
+    # -- statement compilation ---------------------------------------------
+    def statement(self, stmt: Assign) -> Callable:
+        expr_fn = self.expr(stmt.expr)
+        zero = (0,) * self.region.rank
+        tid = id(stmt.target)
+        if tid in self.contracted_ids:
+            buffers = self.buffers
+            shape = self.slab_shape
+            def run_contracted(idx, expr_fn=expr_fn, buffers=buffers, tid=tid,
+                               shape=shape):
+                buffers[tid] = np.broadcast_to(
+                    np.asarray(expr_fn(idx), dtype=float), shape
+                )
+            return run_contracted
+        tdata = self._bind(stmt.target)
+        tsel = _make_selector(self._entries(stmt.target, zero))
+        if stmt.mask is not None:
+            mread = self._read(stmt.mask, zero)
+            def run_masked(idx, expr_fn=expr_fn, mread=mread, tdata=tdata,
+                           tsel=tsel):
+                values = expr_fn(idx)
+                keep = mread(idx) != 0
+                sel = tsel(idx)
+                tdata[sel] = np.where(keep, values, tdata[sel])
+            return run_masked
+        if statement_needs_copy(stmt, self.contracted_ids):
+            def run_copy(idx, expr_fn=expr_fn, tdata=tdata, tsel=tsel):
+                values = expr_fn(idx)
+                if isinstance(values, np.ndarray):
+                    values = values.copy()
+                tdata[tsel(idx)] = values
+            return run_copy
+        def run(idx, expr_fn=expr_fn, tdata=tdata, tsel=tsel):
+            tdata[tsel(idx)] = expr_fn(idx)
+        return run
+
+
+class KernelPlan:
+    """One region's compiled statement kernels, plus the bindings they froze."""
+
+    __slots__ = ("looped_ranges", "stmt_fns", "buffers", "binding")
+
+    def __init__(
+        self,
+        looped_ranges: tuple[range, ...],
+        stmt_fns: tuple[Callable, ...],
+        buffers: dict[int, np.ndarray],
+        binding: tuple[tuple[ZArray, np.ndarray], ...],
+    ):
+        self.looped_ranges = looped_ranges
+        self.stmt_fns = stmt_fns
+        self.buffers = buffers
+        self.binding = binding
+
+    def valid(self) -> bool:
+        """True while every closed-over storage buffer is still the array's.
+
+        In-place restores keep plans valid; rebinding ``_data`` (shared-memory
+        attachment, manual replacement) invalidates, forcing a rebuild.
+        """
+        return all(array._data is data for array, data in self.binding)
+
+    def run(self) -> None:
+        buffers = self.buffers
+        stmt_fns = self.stmt_fns
+        for idx in product(*self.looped_ranges):
+            buffers.clear()
+            for fn in stmt_fns:
+                fn(idx)
+
+
+class KernelTemplate:
+    """Per-``CompiledScan`` compile-time state plus the region-plan cache."""
+
+    __slots__ = ("_source", "statements", "loops", "region", "contracted_ids",
+                 "supported", "plans")
+
+    def __init__(self, compiled: CompiledScan):
+        self._source = weakref.ref(compiled)
+        self.statements = compiled.statements
+        self.loops = compiled.loops
+        self.region = compiled.region
+        self.contracted_ids = frozenset(id(a) for a in compiled.contracted)
+        rank = compiled.region.rank
+        self.supported = all(
+            _supported_expr(stmt.expr, rank) for stmt in self.statements
+        )
+        #: region.ranges -> KernelPlan, insertion-ordered (LRU eviction).
+        self.plans: dict[tuple, KernelPlan] = {}
+
+    def instantiate(self, region: Region, tracer=NULL_TRACER) -> KernelPlan:
+        key = region.ranges
+        plan = self.plans.get(key)
+        if plan is not None:
+            if plan.valid():
+                KERNEL_STATS.plan_hits += 1
+                if tracer.enabled:
+                    tracer.count("kernel_plan_hits")
+                self.plans.pop(key)
+                self.plans[key] = plan  # LRU touch
+                return plan
+            KERNEL_STATS.plan_invalidations += 1
+            if tracer.enabled:
+                tracer.count("kernel_plan_invalidations")
+            del self.plans[key]
+        KERNEL_STATS.plan_builds += 1
+        if tracer.enabled:
+            tracer.count("kernel_plan_misses")
+            with tracer.span("kernel_compile", "compile", region=repr(region)):
+                plan = self._build(region)
+        else:
+            plan = self._build(region)
+        self.plans[key] = plan
+        while len(self.plans) > PLAN_CACHE_CAP:
+            del self.plans[next(iter(self.plans))]
+        return plan
+
+    def _build(self, region: Region) -> KernelPlan:
+        loops = self.loops
+        looped_dims = [
+            d for d in loops.order if loops.classes[d] is not DimClass.PARALLEL
+        ]
+        pos = {d: k for k, d in enumerate(looped_dims)}
+        looped_ranges = tuple(loops.indices(region, d) for d in looped_dims)
+        slab_shape = tuple(
+            1 if d in pos else region.extent(d) for d in range(region.rank)
+        )
+        builder = _PlanBuilder(region, pos, slab_shape, self.contracted_ids)
+        stmt_fns = tuple(builder.statement(stmt) for stmt in self.statements)
+        return KernelPlan(
+            looped_ranges, stmt_fns, builder.buffers, tuple(builder.binding)
+        )
+
+
+#: id(CompiledScan) -> template; entries evicted when the plan is collected.
+_TEMPLATES: dict[int, KernelTemplate] = {}
+
+
+def template_for(compiled: CompiledScan) -> KernelTemplate:
+    """The (cached) kernel template of a compiled plan."""
+    key = id(compiled)
+    cached = _TEMPLATES.get(key)
+    if cached is not None and cached._source() is compiled:
+        return cached
+    template = KernelTemplate(compiled)
+    KERNEL_STATS.template_builds += 1
+    _TEMPLATES[key] = template
+    weakref.finalize(compiled, _TEMPLATES.pop, key, None)
+    return template
+
+
+def try_execute_kernels(
+    compiled: CompiledScan, within: Region | None = None, tracer=None
+) -> bool:
+    """Run ``compiled`` through its AOT kernels; False when unsupported.
+
+    Semantically identical to the interpreted
+    :func:`~repro.runtime.vectorized.execute_vectorized` path — same slab
+    order, same mask blending, same contraction buffering — minus the
+    per-iteration interpretation.  A ``False`` return means the caller must
+    fall back to the tree-walking engine (the block contains nodes the
+    builder does not express); nothing has been executed in that case.
+    """
+    obs = tracer if tracer is not None else NULL_TRACER
+    template = template_for(compiled)
+    if not template.supported:
+        KERNEL_STATS.fallbacks += 1
+        if obs.enabled:
+            obs.count("kernel_fallbacks")
+        return False
+    compiled.prepare()
+    region = compiled.region if within is None else compiled.region.intersect(within)
+    if region.is_empty():
+        return True
+    plan = template.instantiate(region, obs)
+    plan.run()
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Single-statement kernels (the interp fast path)
+# ---------------------------------------------------------------------------
+#: id(Assign) -> (weakref to stmt, KernelPlan-backed runner) for eager
+#: array-semantics statements.
+_STMT_KERNELS: dict[int, tuple] = {}
+
+
+def statement_kernel(stmt: Assign) -> Callable[[], None] | None:
+    """An AOT kernel for one eager (array-semantics) statement, or ``None``.
+
+    Pure array semantics means no looped dimensions: the whole region is one
+    slab, so the kernel is a single closure call.  Statements the builder
+    cannot express (parallel operators, primes) return ``None`` and the
+    caller keeps its tree-walking path.  Cached by statement identity,
+    invalidated when the target or operand storage is rebound.
+    """
+    key = id(stmt)
+    cached = _STMT_KERNELS.get(key)
+    if cached is not None:
+        ref, plan, runner = cached
+        if ref() is stmt and plan.valid():
+            KERNEL_STATS.plan_hits += 1
+            return runner
+        del _STMT_KERNELS[key]
+    if stmt.expr.has_prime() or not _supported_expr(stmt.expr, stmt.region.rank):
+        return None
+    builder = _PlanBuilder(
+        stmt.region, {}, stmt.region.shape, frozenset()
+    )
+    fn = builder.statement(stmt)
+    plan = KernelPlan((), (fn,), builder.buffers, tuple(builder.binding))
+    def runner(fn=fn):
+        fn(())
+    KERNEL_STATS.plan_builds += 1
+    _STMT_KERNELS[key] = (weakref.ref(stmt), plan, runner)
+    weakref.finalize(stmt, _STMT_KERNELS.pop, key, None)
+    return runner
+
+
+# ---------------------------------------------------------------------------
+# Plan fingerprints (structural identity across process boundaries)
+# ---------------------------------------------------------------------------
+def plan_fingerprint(compiled: CompiledScan) -> str:
+    """A digest of the lowered plan's *structure*, stable across pickling.
+
+    Arrays are numbered in first-occurrence order over the statements (the
+    same deterministic walk :func:`repro.parallel.sharedmem.collect_arrays`
+    uses for its spec list, minus the hoisted temporaries), so a pickled
+    copy — or the workers' ``hoisted=()`` replica — fingerprints identically
+    to the original while any structural change (region, loop nest, shifts,
+    masks, contraction, storage shapes) changes the digest.
+    """
+    arrays: list[ZArray] = []
+    index: dict[int, int] = {}
+
+    def aidx(array: ZArray) -> int:
+        k = index.get(id(array))
+        if k is None:
+            k = len(arrays)
+            arrays.append(array)
+            index[id(array)] = k
+        return k
+
+    def sig(node: Node) -> str:
+        if isinstance(node, Const):
+            return f"c{node.value!r}"
+        if isinstance(node, Ref):
+            prime = "p" if node.primed else ""
+            return f"r{aidx(node.array)}@{tuple(node.offset)}{prime}"
+        if isinstance(node, BinOp):
+            return f"b{node.op}({sig(node.left)},{sig(node.right)})"
+        if isinstance(node, UnOp):
+            return f"u{node.op}({sig(node.operand)})"
+        if isinstance(node, Where):
+            return (
+                f"w({sig(node.cond)},{sig(node.if_true)},{sig(node.if_false)})"
+            )
+        if isinstance(node, IndexExpr):
+            return f"i{node.dim}"
+        children = ",".join(sig(c) for c in node.children())
+        return f"x{type(node).__name__}({children})"
+
+    loops = compiled.loops
+    parts = [
+        f"R{compiled.region.ranges}",
+        f"L{loops.order}|{loops.signs}|{tuple(c.value for c in loops.classes)}",
+    ]
+    for stmt in compiled.statements:
+        mask = "-" if stmt.mask is None else str(aidx(stmt.mask))
+        parts.append(
+            f"S{aidx(stmt.target)}|{mask}|{stmt.region.ranges}|{sig(stmt.expr)}"
+        )
+    parts.append(f"C{tuple(sorted(aidx(a) for a in compiled.contracted))}")
+    parts.append(
+        f"A{tuple((a.name, tuple(a._data.shape), a.dtype.str) for a in arrays)}"
+    )
+    return hashlib.sha1("\n".join(parts).encode()).hexdigest()

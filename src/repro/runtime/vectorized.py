@@ -18,6 +18,13 @@ make that dimension non-parallel (it would carry a true dependence), so
 vectorising the parallel dimensions can never read a value too early; and
 anti-dependences within the slab are respected because evaluation precedes
 assignment.
+
+By default the per-iteration interpretation is skipped entirely: the block is
+lowered once into ahead-of-time statement kernels (:mod:`repro.runtime.kernels`)
+with pre-resolved slice tuples and a compile-time aliasing decision, and the
+loop below only runs as the fallback/escape-hatch engine (``engine="interp"``
+or ``REPRO_KERNELS=0``).  Both paths are bit-identical by construction and by
+the property tests.
 """
 
 from __future__ import annotations
@@ -28,17 +35,38 @@ import numpy as np
 
 from repro.compiler.lowering import CompiledScan
 from repro.compiler.wsv import DimClass
+from repro.runtime.kernels import (
+    resolve_engine,
+    statement_needs_copy,
+    try_execute_kernels,
+)
 from repro.zpl.arrays import ZArray
 from repro.zpl.regions import Region
 
 
-def execute_vectorized(compiled: CompiledScan, within: Region | None = None) -> None:
+def execute_vectorized(
+    compiled: CompiledScan,
+    within: Region | None = None,
+    *,
+    engine: str | None = None,
+    tracer=None,
+) -> None:
     """Run the compiled group, vectorising the parallel dimensions.
 
     ``within`` restricts execution to a sub-region of the compiled region —
     the distributed executor uses this to run one processor's portion (or one
     pipeline block) with identical code.
+
+    ``engine`` selects the implementation: ``"kernel"`` (the default, also
+    via ``REPRO_KERNELS``) executes ahead-of-time compiled statement kernels;
+    ``"interp"`` walks the expression trees per slab (the original engine).
+    ``tracer`` (a :class:`repro.obs.Tracer`) records kernel-compile spans and
+    plan-cache counters when given.
     """
+    if resolve_engine(engine) == "kernel" and try_execute_kernels(
+        compiled, within, tracer=tracer
+    ):
+        return
     compiled.prepare()
     region = compiled.region if within is None else compiled.region.intersect(within)
     if region.is_empty():
@@ -50,6 +78,11 @@ def execute_vectorized(compiled: CompiledScan, within: Region | None = None) -> 
     looped_ranges = [loops.indices(region, dim) for dim in looped_dims]
     statements = compiled.statements
     contracted_ids = {id(a) for a in compiled.contracted}
+    # The copy-or-not aliasing question is loop-invariant (the same arrays
+    # flow through every slab), so decide it once per call, not per slab.
+    copy_flags = tuple(
+        statement_needs_copy(stmt, contracted_ids) for stmt in statements
+    )
     buffers: dict[int, np.ndarray] = {}
 
     def reader(array: ZArray, shifted: Region, primed: bool) -> np.ndarray:
@@ -64,16 +97,14 @@ def execute_vectorized(compiled: CompiledScan, within: Region | None = None) -> 
         for dim, value in zip(looped_dims, ordered):
             slab = slab.slab(dim, value, value)
         buffers.clear()
-        for stmt in statements:
+        for stmt, needs_copy in zip(statements, copy_flags):
             values = stmt.expr.evaluate(slab, reader)
             if id(stmt.target) in contracted_ids:
                 buffers[id(stmt.target)] = np.broadcast_to(
                     np.asarray(values, dtype=float), slab.shape
                 )
                 continue
-            if isinstance(values, np.ndarray) and np.shares_memory(
-                values, stmt.target._data
-            ):
+            if needs_copy and isinstance(values, np.ndarray):
                 values = values.copy()
             if stmt.mask is not None:
                 keep = stmt.mask.read(slab) != 0
