@@ -35,6 +35,13 @@ from repro.compiler.lowering import (
 )
 from repro.compiler.fusion import can_fuse, fuse_groups
 from repro.compiler.contraction import contract, contractible
+from repro.compiler.skew import (
+    Skew,
+    derive_skew,
+    derive_time_vector,
+    legal_time_vector,
+    looped_dims,
+)
 
 __all__ = [
     "DepKind",
@@ -61,4 +68,9 @@ __all__ = [
     "fuse_groups",
     "contract",
     "contractible",
+    "Skew",
+    "derive_skew",
+    "derive_time_vector",
+    "legal_time_vector",
+    "looped_dims",
 ]

@@ -1,0 +1,139 @@
+"""Hyperplane skewing: derive a legal integer time vector for a loop nest.
+
+The derived loop structure of a multi-dependence wavefront — Needleman-
+Wunsch, Smith-Waterman, any recurrence whose WSV has two or more nonzero
+components — has *no* completely parallel dimension: every dimension either
+carries the wavefront or is serialised, so the slab engines degenerate into
+an O(n·m) pure-Python point loop.  The classic hyperplane (loop-skewing)
+transformation recovers vector parallelism anyway: pick an integer **time
+vector** τ over the looped dimensions and execute all iteration points with
+equal ``τ·i`` — one *hyperplane*, the anti-diagonal for τ = (1, 1) —
+simultaneously, sweeping the hyperplanes in increasing time.
+
+Legality mirrors the classical condition, phrased over the paper's
+unconstrained distance vectors (which live in array-dimension space, so no
+loop-nest normalisation is needed):
+
+* every nonzero **true** dependence vector ``v`` must satisfy ``τ·v > 0``
+  (the producing iteration lies on a strictly earlier hyperplane);
+* every **anti**/**output** vector must satisfy ``τ·v ≥ 0`` — a tie is fine
+  because execution keeps array semantics within a hyperplane: each
+  statement gathers its whole right-hand side (fancy indexing copies)
+  before scattering, and statements run in lexical order;
+* components over completely *parallel* dimensions are ignored (those
+  dimensions stay vectorised inside each hyperplane, exactly as in the flat
+  engines; true dependences have zero components there by construction of
+  :func:`repro.compiler.wsv.classify`).
+
+The search is tiny by design: candidate components are the loop structure's
+traversal signs scaled by 1..3, smallest |τ| first, so the common DP
+wavefronts get the canonical anti-diagonal ``τ = (1, 1)`` (or ``(-1, -1)``
+for descending traversals) and pathological vectors like ``(-1, 2)`` are
+still covered.  When no candidate is legal — or when fewer than two
+dimensions are looped, where the flat engines already vectorise everything
+that can be vectorised — :func:`derive_skew` returns ``None`` and the
+kernel engine keeps its flat point loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Sequence
+
+from repro.compiler.loopstruct import LoopStructure
+from repro.compiler.udv import Dependence, DepKind
+from repro.compiler.wsv import DimClass
+
+#: Largest |τ component| the search will try (per looped dimension).
+MAX_COEFF = 3
+
+#: Looped-dimension counts the skewed plan family supports.  Beyond four
+#: dimensions the candidate search and the index tables stop paying off.
+MAX_SKEW_RANK = 4
+
+
+@dataclass(frozen=True)
+class Skew:
+    """A legal hyperplane schedule for one compiled scan block.
+
+    ``dims`` are the looped (non-parallel) dimensions in loop order,
+    ``tau`` the integer time coefficient per entry of ``dims``: iteration
+    point ``i`` executes at time ``sum(tau[k] * i[dims[k]])``.
+    """
+
+    dims: tuple[int, ...]
+    tau: tuple[int, ...]
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+    def time(self, index: Sequence[int]) -> int:
+        """The hyperplane (execution time) of one iteration point."""
+        return sum(t * index[d] for t, d in zip(self.tau, self.dims))
+
+    def __repr__(self) -> str:
+        terms = "+".join(
+            f"{t}*i{d}" if t != 1 else f"i{d}" for t, d in zip(self.tau, self.dims)
+        )
+        return f"Skew(t={terms})"
+
+
+def looped_dims(loops: LoopStructure) -> tuple[int, ...]:
+    """The non-parallel dimensions, outermost first (the skewable subspace)."""
+    return tuple(
+        d for d in loops.order if loops.classes[d] is not DimClass.PARALLEL
+    )
+
+
+def legal_time_vector(
+    tau: Sequence[int],
+    dims: Sequence[int],
+    dependences: Sequence[Dependence],
+) -> bool:
+    """The hyperplane legality rule over unconstrained distance vectors."""
+    for dep in dependences:
+        restricted = tuple(dep.vector[d] for d in dims)
+        dot = sum(t * c for t, c in zip(tau, restricted))
+        if dep.kind is DepKind.TRUE:
+            if any(restricted) and dot <= 0:
+                return False
+        elif dot < 0:  # anti/output: write must not overtake the read
+            return False
+    return True
+
+
+def derive_time_vector(
+    loops: LoopStructure, dependences: Sequence[Dependence]
+) -> Skew | None:
+    """Find a legal τ over the looped dimensions, or ``None``.
+
+    Only worth doing when at least two dimensions are looped (otherwise the
+    flat plans already vectorise the whole parallel subspace).  Candidates
+    are the traversal signs scaled by 1..:data:`MAX_COEFF`, enumerated
+    smallest total |τ| first so the canonical anti-diagonal wins whenever
+    it is legal.
+    """
+    dims = looped_dims(loops)
+    if not 2 <= len(dims) <= MAX_SKEW_RANK:
+        return None
+    scales = sorted(
+        product(range(1, MAX_COEFF + 1), repeat=len(dims)),
+        key=lambda cs: (sum(cs), cs),
+    )
+    signs = tuple(loops.signs[d] for d in dims)
+    for coeffs in scales:
+        tau = tuple(s * c for s, c in zip(signs, coeffs))
+        if legal_time_vector(tau, dims, dependences):
+            return Skew(dims, tau)
+    return None
+
+
+def derive_skew(compiled) -> Skew | None:
+    """The skew of a :class:`~repro.compiler.lowering.CompiledScan`, if legal.
+
+    Accepts any object carrying ``loops`` and ``dependences`` (duck-typed so
+    the kernel layer can call it without importing lowering).
+    """
+    return derive_time_vector(compiled.loops, compiled.dependences)

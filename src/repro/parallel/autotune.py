@@ -35,6 +35,7 @@ from repro.models.pipeline_model import model2
 from repro.models.tuning import Probe, TuningResult, select_dynamic
 from repro.parallel.sharedmem import collect_arrays
 from repro.runtime.interp import ArraySnapshot
+from repro.runtime.kernels import plan_fingerprint, plan_kind
 from repro.runtime.vectorized import execute_vectorized
 
 #: Bytes per element everywhere in this library (float64 storage).
@@ -276,12 +277,17 @@ class AutotuneResult:
     effective_params: MachineParams
     block_size: int
     n_procs: int
+    #: The plan family the measured engine executed (``skewed``/``flat``/
+    #: ``interp``).  Skewed plans have a very different per-element cost and
+    #: per-block dispatch cost than flat point loops, so Eq. (1) must not mix
+    #: measurements across kinds.
+    plan_kind: str = "flat"
 
     def __repr__(self) -> str:
         return (
             f"AutotuneResult(alpha={self.params.alpha:.1f}, "
             f"beta={self.params.beta:.3f}, b*={self.block_size}, "
-            f"p={self.n_procs})"
+            f"p={self.n_procs}, plan={self.plan_kind})"
         )
 
 
@@ -330,9 +336,12 @@ def autotune(
 
     Pass ``comm``/``compute_seconds``/``dispatch_seconds`` to reuse earlier
     measurements (the benchmarks measure once and tune for every processor
-    count).
+    count) — but only measurements taken under the same plan kind: the
+    result records :func:`repro.runtime.kernels.plan_kind` so callers can
+    tell which engine family the constants describe.
     """
     plan = plan_wavefront(compiled)
+    kind = plan_kind(compiled)
     if comm is None:
         comm = measure_comm(start_method=start_method)
     if compute_seconds is None:
@@ -343,7 +352,8 @@ def autotune(
     effective = effective_params(comm, compute_seconds, dispatch_seconds, n_procs)
     block = optimal_block_size(plan, effective, n_procs)
     return AutotuneResult(
-        comm, compute_seconds, dispatch_seconds, params, effective, block, n_procs
+        comm, compute_seconds, dispatch_seconds, params, effective, block,
+        n_procs, kind,
     )
 
 
@@ -383,17 +393,36 @@ def host_comm(start_method: str | None = None) -> CommParams:
     return _HOST_COMM
 
 
+#: (plan fingerprint, plan kind) -> (compute s/elt, dispatch s/block).
+#: Skewed and flat plans of the same block have wildly different constants
+#: (one fused kernel per hyperplane vs one dispatch per point), so the memo
+#: is keyed per kind: flipping ``REPRO_SKEW``/``REPRO_ENGINE`` re-measures
+#: instead of reusing the other family's α.
+_BLOCK_COSTS: dict[tuple[str, str], tuple[float, float]] = {}
+
+
 def tuned_block_size(
     compiled: CompiledScan,
     n_procs: int,
     plan: WavefrontPlan | None = None,
 ) -> int:
-    """The executor's default block size: cached host α/β into Eq. (1)."""
+    """The executor's default block size: cached host α/β into Eq. (1).
+
+    Compute and dispatch costs are memoised per (plan fingerprint, plan
+    kind), so structurally equal blocks tune once per engine family.
+    """
     if plan is None:
         plan = plan_wavefront(compiled)
     comm = host_comm()
-    compute = measure_compute_cost(compiled, repeats=1)
-    dispatch = measure_block_overhead(compiled, repeats=1)
+    key = (plan_fingerprint(compiled), plan_kind(compiled))
+    costs = _BLOCK_COSTS.get(key)
+    if costs is None:
+        costs = (
+            measure_compute_cost(compiled, repeats=1),
+            measure_block_overhead(compiled, repeats=1),
+        )
+        _BLOCK_COSTS[key] = costs
+    compute, dispatch = costs
     return optimal_block_size(
         plan, effective_params(comm, compute, dispatch, n_procs), n_procs
     )

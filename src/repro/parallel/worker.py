@@ -32,6 +32,7 @@ from multiprocessing.connection import Connection
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.parallel.channels import recv_token, send_token
 from repro.parallel.sharedmem import ArraySpec, AttachedArrays
+from repro.runtime.kernels import plan_kind
 from repro.runtime.vectorized import execute_vectorized
 from repro.zpl.regions import Region
 
@@ -83,6 +84,9 @@ def pipeline_loop(
     :func:`execute_vectorized` so kernel-compile spans ride home too.
     """
     tracing = tracer.enabled
+    # The plan family is loop-invariant: resolve it once so every compute
+    # span carries its kind (skewed/flat/interp) for the phase analytics.
+    kind = plan_kind(runnable) if tracing else None
     start = time.perf_counter()
     for k, chunk in enumerate(chunks):
         if recv is not None:
@@ -107,6 +111,7 @@ def pipeline_loop(
                     block=k,
                     elements=chunk.size,
                     width=_width(chunk, chunk_dim),
+                    plan=kind,
                 )
                 tracer.count("blocks_executed")
                 tracer.count("elements_computed", chunk.size)

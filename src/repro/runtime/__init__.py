@@ -4,8 +4,10 @@
   correct);
 * :func:`execute_vectorized` — the production engine: Python loop over the
   dependence-carrying dimensions, numpy across the parallel ones.  By default
-  it dispatches to ahead-of-time statement kernels (:mod:`repro.runtime.kernels`);
-  ``engine="interp"`` / ``REPRO_KERNELS=0`` select the tree-walking path;
+  it dispatches to ahead-of-time statement kernels (:mod:`repro.runtime.kernels`),
+  hyperplane-skewed for multi-dependence wavefronts; ``engine="flat"`` disables
+  skewing, ``engine="interp"`` / ``REPRO_ENGINE=interp`` select the
+  tree-walking path;
 * :func:`execute_interpreted` — pure array semantics for non-scan statements
   (same kernel fast path, same escape hatch);
 * :mod:`repro.runtime.kernels` — the AOT kernel layer: plan templates, the
@@ -24,9 +26,13 @@ from repro.runtime.kernels import (
     ENGINE_ENV,
     ENGINES,
     KERNEL_STATS,
+    LEGACY_ENGINE_ENV,
+    SKEW_ENV,
     default_engine,
     plan_fingerprint,
+    plan_kind,
     resolve_engine,
+    skew_enabled,
     statement_needs_copy,
     try_execute_kernels,
 )
@@ -35,14 +41,18 @@ __all__ = [
     "ENGINE_ENV",
     "ENGINES",
     "KERNEL_STATS",
+    "LEGACY_ENGINE_ENV",
+    "SKEW_ENV",
     "ArraySnapshot",
     "default_engine",
     "execute_loopnest",
     "execute_vectorized",
     "execute_interpreted",
     "plan_fingerprint",
+    "plan_kind",
     "resolve_engine",
     "run_and_capture",
+    "skew_enabled",
     "statement_needs_copy",
     "try_execute_kernels",
 ]

@@ -31,10 +31,10 @@ def execute_interpreted(
     By default each unmasked statement runs through its ahead-of-time kernel
     (:func:`repro.runtime.kernels.statement_kernel` — cached per statement,
     one closure call instead of a tree walk); ``engine="interp"`` or
-    ``REPRO_KERNELS=0`` keeps the original tree-walking path.  Statements the
-    kernel layer cannot express fall back statement-by-statement.
+    ``REPRO_ENGINE=interp`` keeps the original tree-walking path.  Statements
+    the kernel layer cannot express fall back statement-by-statement.
     """
-    kernels = resolve_engine(engine) == "kernel"
+    kernels = resolve_engine(engine) != "interp"
     for stmt in statements:
         if stmt.expr.has_prime():
             from repro.errors import ExpressionError

@@ -25,11 +25,24 @@ through every iteration — so this module hoists it to *compile time*:
   recompiles while in-place restores (:class:`~repro.runtime.interp.ArraySnapshot`)
   keep hitting the cache.
 
+Multi-dependence wavefronts get a second plan family: when two or more
+looped dimensions are non-parallel (Needleman-Wunsch, Smith-Waterman,
+multi-direction recurrences) the flat plans above degenerate into an
+O(n·m) point loop, so the template additionally derives a hyperplane
+schedule (:mod:`repro.compiler.skew`) and, when one is legal, instantiates
+a :class:`SkewedPlan`: per covering region it precomputes the
+gather/scatter index tables of every hyperplane (anti-diagonal for
+τ = (1, 1)) and executes one fused numpy kernel per hyperplane per
+statement — O(n+m) interpreter iterations instead of O(n·m), with masks
+and contraction routed through the same tables.
+
 The engine selection contract is shared by every consumer: ``"kernel"``
-(the default) runs plans from here, ``"interp"`` is the escape hatch back
-to the tree-walking engines, and the ``REPRO_KERNELS`` environment variable
-flips the default (``0``/``false``/``off``/``interp`` disable).  Blocks the
-kernel layer cannot express (stray parallel operators) fall back silently —
+(the default) runs plans from here, auto-selecting the skewed family when
+legal; ``"flat"`` keeps the kernel plans but never skews; ``"interp"`` is
+the escape hatch back to the tree-walking engines.  ``REPRO_ENGINE``
+flips the default (``REPRO_KERNELS`` is its deprecated alias, warned
+once), ``REPRO_SKEW=0`` disables skewing globally.  Blocks the kernel
+layer cannot express (stray parallel operators) fall back silently —
 behaviour is identical either way, only the constant factor changes.
 
 :func:`plan_fingerprint` names a lowered plan by *structure* (region, loop
@@ -44,6 +57,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import warnings
 import weakref
 from itertools import product
 from typing import Callable, Sequence
@@ -51,6 +65,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.compiler.lowering import CompiledScan
+from repro.compiler.skew import derive_skew
 from repro.compiler.wsv import DimClass
 from repro.errors import ArrayError, MachineError
 from repro.obs.trace import NULL_TRACER
@@ -59,12 +74,20 @@ from repro.zpl.expr import BinOp, Const, IndexExpr, Node, Ref, UnOp, Where
 from repro.zpl.regions import Region
 from repro.zpl.statements import Assign
 
-#: Environment escape hatch: set to ``0``/``false``/``off``/``interp`` to run
-#: the tree-walking engines instead of AOT kernels.
-ENGINE_ENV = "REPRO_KERNELS"
+#: The one engine knob: ``kernel`` (default; skewed plans auto-selected),
+#: ``flat`` (kernel plans, no skewing) or ``interp`` (tree-walking engines).
+ENGINE_ENV = "REPRO_ENGINE"
+
+#: Deprecated alias of :data:`ENGINE_ENV` (pre-skew spelling); honoured with
+#: a one-time :class:`DeprecationWarning` when ``REPRO_ENGINE`` is unset.
+LEGACY_ENGINE_ENV = "REPRO_KERNELS"
+
+#: Hyperplane-skewing kill switch: ``0``/``false``/``off`` turn every
+#: ``kernel`` selection (explicit or default) into ``flat``.
+SKEW_ENV = "REPRO_SKEW"
 
 #: The engine names every ``engine=`` parameter accepts.
-ENGINES = ("kernel", "interp")
+ENGINES = ("kernel", "flat", "interp")
 
 _OFF_VALUES = ("0", "false", "off", "no", "interp")
 
@@ -72,19 +95,62 @@ _OFF_VALUES = ("0", "false", "off", "no", "interp")
 #: cycle through a bounded set of block regions).
 PLAN_CACHE_CAP = 64
 
+_legacy_env_warned = False
+
+
+def _env_engine() -> str | None:
+    """The engine named by the environment, or ``None`` when unset."""
+    global _legacy_env_warned
+    value = os.environ.get(ENGINE_ENV)
+    if value is None:
+        value = os.environ.get(LEGACY_ENGINE_ENV)
+        if value is None:
+            return None
+        if not _legacy_env_warned:
+            _legacy_env_warned = True
+            warnings.warn(
+                f"{LEGACY_ENGINE_ENV} is deprecated; set "
+                f"{ENGINE_ENV}={{kernel,flat,interp}} instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+    value = value.strip().lower()
+    if value in _OFF_VALUES:
+        return "interp"
+    if value in ENGINES:
+        return value
+    return "kernel"
+
+
+def skew_enabled() -> bool:
+    """True unless ``REPRO_SKEW`` turns hyperplane skewing off."""
+    return os.environ.get(SKEW_ENV, "").strip().lower() not in _OFF_VALUES[:4]
+
 
 def default_engine() -> str:
     """The engine used when no explicit ``engine=`` is given (env-driven)."""
-    value = os.environ.get(ENGINE_ENV, "").strip().lower()
-    return "interp" if value in _OFF_VALUES else "kernel"
+    engine = _env_engine()
+    if engine is None:
+        engine = "kernel"
+    if engine == "kernel" and not skew_enabled():
+        return "flat"
+    return engine
 
 
 def resolve_engine(engine: str | None) -> str:
-    """Engine resolution used by every entry point: explicit > env > kernel."""
+    """Engine resolution used by every entry point: explicit > env > kernel.
+
+    ``"kernel"`` means *best available* — it downgrades to ``"flat"`` when
+    ``REPRO_SKEW`` disables skewing, so the kill switch works even against
+    explicit ``engine="kernel"`` callers; ``"flat"`` and ``"interp"`` are
+    always honoured verbatim.
+    """
     if engine is None:
         return default_engine()
     if engine not in ENGINES:
         raise MachineError(f"unknown engine {engine!r}; pick from {ENGINES}")
+    if engine == "kernel" and not skew_enabled():
+        return "flat"
     return engine
 
 
@@ -97,6 +163,9 @@ class KernelStats:
         "plan_hits",
         "plan_invalidations",
         "fallbacks",
+        "skew_plan_builds",
+        "skew_plan_hits",
+        "hyperplanes",
     )
 
     def __init__(self) -> None:
@@ -108,6 +177,9 @@ class KernelStats:
         self.plan_hits = 0
         self.plan_invalidations = 0
         self.fallbacks = 0
+        self.skew_plan_builds = 0
+        self.skew_plan_hits = 0
+        self.hyperplanes = 0
 
     def snapshot(self) -> dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}
@@ -371,11 +443,253 @@ class KernelPlan:
                 fn(idx)
 
 
+# ---------------------------------------------------------------------------
+# Hyperplane-skewed plans (multi-dependence wavefronts)
+# ---------------------------------------------------------------------------
+def hyperplane_tables(
+    region: Region, loops, skew
+) -> tuple[tuple[tuple[np.ndarray, ...], ...], np.ndarray]:
+    """Partition a region's looped subspace into hyperplanes of equal τ·i.
+
+    Returns ``(planes, times)``: ``planes[p]`` is one tuple of coordinate
+    arrays — entry ``k`` holds the ``skew.dims[k]`` coordinate of every
+    iteration point on plane ``p`` — and ``times[p]`` is the plane's τ·i
+    value, strictly increasing.  Built fully vectorised: one meshgrid, one
+    stable argsort on the time key, one split at the time boundaries; the
+    per-plane arrays are views of the sorted buffers, so total index-table
+    storage is ``rank × n_points`` integers regardless of plane count.
+    """
+    axes = [
+        np.asarray(loops.indices(region, d), dtype=np.intp) for d in skew.dims
+    ]
+    mesh = np.meshgrid(*axes, indexing="ij")
+    coords = [m.ravel() for m in mesh]
+    t = sum(tau * c for tau, c in zip(skew.tau, coords))
+    order = np.argsort(t, kind="stable")
+    t_sorted = t[order]
+    sorted_coords = [c[order] for c in coords]
+    bounds = np.flatnonzero(np.diff(t_sorted)) + 1
+    starts = np.concatenate(([0], bounds))
+    stops = np.concatenate((bounds, [t_sorted.size]))
+    planes = tuple(
+        tuple(c[a:b] for c in sorted_coords)
+        for a, b in zip(starts, stops)
+    )
+    return planes, t_sorted[starts]
+
+
+class _SkewedPlanBuilder:
+    """Builds the per-statement plane closures of one :class:`SkewedPlan`.
+
+    Mirrors :class:`_PlanBuilder` with the iteration index replaced by a
+    *plane number*: each access gathers (or scatters) every point of the
+    plane at once through a fancy-index tuple — the shared per-plane
+    coordinate tables plus one constant offset add per looped dimension,
+    then fixed slices over the parallel dimensions.  Execution works on a
+    transposed **view** of each array's storage (looped dimensions first, in
+    skew order), which keeps the advanced indices adjacent and leading so
+    the gathered value has shape ``(plane_len, *parallel_extents)`` and the
+    scatter writes straight through to base storage.
+    """
+
+    def __init__(
+        self,
+        region: Region,
+        skew,
+        loops,
+        contracted_ids: frozenset[int],
+    ):
+        self.region = region
+        self.skew = skew
+        self.dims = skew.dims
+        self.par_dims = tuple(
+            d for d in range(region.rank) if d not in skew.dims
+        )
+        self.perm = self.dims + self.par_dims
+        self.par_shape = tuple(region.extent(d) for d in self.par_dims)
+        self.contracted_ids = contracted_ids
+        self.planes, _ = hyperplane_tables(region, loops, skew)
+        self.plane_sizes = tuple(p[0].size for p in self.planes)
+        self.buffers: dict[int, np.ndarray] = {}
+        self.binding: list[tuple[ZArray, np.ndarray]] = []
+
+    def _bind(self, array: ZArray) -> np.ndarray:
+        if not any(a is array for a, _ in self.binding):
+            self.binding.append((array, array._data))
+        return array._data
+
+    def _tables(self, array: ZArray, offset: Sequence[int]):
+        """``(view, looped_consts, par_slices)`` for one shifted access."""
+        offset = tuple(offset)
+        shifted = self.region.shift(offset)
+        if not array._storage_region.covers(shifted):
+            raise ArrayError(
+                f"region {shifted!r} is outside the storage of {array!r} "
+                f"(storage {array._storage_region!r}); declare more fluff or "
+                f"initialise the border first"
+            )
+        base = array._storage_region.lo
+        view = self._bind(array).transpose(self.perm)
+        consts = tuple(offset[d] - base[d] for d in self.dims)
+        par_sel = tuple(
+            slice(
+                self.region.range(d)[0] + offset[d] - base[d],
+                self.region.range(d)[1] + offset[d] - base[d] + 1,
+            )
+            for d in self.par_dims
+        )
+        return view, consts, par_sel
+
+    def _selector(self, consts: tuple[int, ...], par_sel: tuple):
+        """``plane -> fancy-index tuple``: table views plus constant adds."""
+        planes = self.planes
+        if not any(consts):
+            return lambda p, planes=planes, s=par_sel: planes[p] + s
+        def select(p, planes=planes, consts=consts, s=par_sel):
+            return tuple(
+                c + off if off else c for c, off in zip(planes[p], consts)
+            ) + s
+        return select
+
+    def _read(self, array: ZArray, offset: Sequence[int]) -> Callable:
+        view, consts, par_sel = self._tables(array, offset)
+        select = self._selector(consts, par_sel)
+        return lambda p, view=view, select=select: view[select(p)]
+
+    # -- expression compilation --------------------------------------------
+    def expr(self, node: Node) -> Callable:
+        if isinstance(node, Const):
+            value = node.value
+            return lambda p, value=value: value
+        if isinstance(node, Ref):
+            return self._ref(node)
+        if isinstance(node, BinOp):
+            fn = node._fn
+            left = self.expr(node.left)
+            right = self.expr(node.right)
+            return lambda p, fn=fn, left=left, right=right: fn(
+                left(p), right(p)
+            )
+        if isinstance(node, UnOp):
+            fn = node._fn
+            operand = self.expr(node.operand)
+            return lambda p, fn=fn, operand=operand: fn(operand(p))
+        if isinstance(node, Where):
+            cond = self.expr(node.cond)
+            if_true = self.expr(node.if_true)
+            if_false = self.expr(node.if_false)
+            return lambda p, c=cond, t=if_true, f=if_false: np.where(
+                c(p), t(p), f(p)
+            )
+        if isinstance(node, IndexExpr):
+            return self._index(node)
+        raise MachineError(
+            f"kernel builder cannot express {type(node).__name__} nodes"
+        )
+
+    def _ref(self, node: Ref) -> Callable:
+        aid = id(node.array)
+        read = self._read(node.array, node.offset)
+        if aid in self.contracted_ids:
+            buffers = self.buffers
+            def read_contracted(p, buffers=buffers, aid=aid, read=read):
+                buf = buffers.get(aid)
+                return buf if buf is not None else read(p)
+            return read_contracted
+        return read
+
+    def _index(self, node: IndexExpr) -> Callable:
+        tail = (1,) * len(self.par_dims)
+        if node.dim in self.dims:
+            k = self.dims.index(node.dim)
+            planes = self.planes
+            def looped_index(p, planes=planes, k=k, tail=tail):
+                return planes[p][k].astype(float).reshape((-1,) + tail)
+            return looped_index
+        q = self.par_dims.index(node.dim)
+        lo, hi = self.region.range(node.dim)
+        shape = [1] * (1 + len(self.par_dims))
+        shape[1 + q] = hi - lo + 1
+        values = np.arange(lo, hi + 1, dtype=float).reshape(shape)
+        return lambda p, values=values: values
+
+    # -- statement compilation ---------------------------------------------
+    def statement(self, stmt: Assign) -> Callable:
+        expr_fn = self.expr(stmt.expr)
+        zero = (0,) * self.region.rank
+        tid = id(stmt.target)
+        if tid in self.contracted_ids:
+            buffers = self.buffers
+            sizes = self.plane_sizes
+            par_shape = self.par_shape
+            def run_contracted(p, expr_fn=expr_fn, buffers=buffers, tid=tid,
+                               sizes=sizes, par_shape=par_shape):
+                buffers[tid] = np.broadcast_to(
+                    np.asarray(expr_fn(p), dtype=float),
+                    (sizes[p],) + par_shape,
+                )
+            return run_contracted
+        view, consts, par_sel = self._tables(stmt.target, zero)
+        select = self._selector(consts, par_sel)
+        if stmt.mask is not None:
+            mread = self._read(stmt.mask, zero)
+            def run_masked(p, expr_fn=expr_fn, mread=mread, view=view,
+                           select=select):
+                values = expr_fn(p)
+                keep = mread(p) != 0
+                sel = select(p)
+                view[sel] = np.where(keep, values, view[sel])
+            return run_masked
+        if statement_needs_copy(stmt, self.contracted_ids):
+            # A fancy-index gather already copies, so only the contracted-
+            # source case (broadcast view over the defining statement's
+            # value) can still alias the target — keep the defensive copy.
+            def run_copy(p, expr_fn=expr_fn, view=view, select=select):
+                values = expr_fn(p)
+                if isinstance(values, np.ndarray):
+                    values = np.ascontiguousarray(values)
+                view[select(p)] = values
+            return run_copy
+        def run(p, expr_fn=expr_fn, view=view, select=select):
+            view[select(p)] = expr_fn(p)
+        return run
+
+
+class SkewedPlan:
+    """One region's hyperplane schedule: fused kernels plane by plane."""
+
+    __slots__ = ("n_planes", "stmt_fns", "buffers", "binding")
+
+    def __init__(
+        self,
+        n_planes: int,
+        stmt_fns: tuple[Callable, ...],
+        buffers: dict[int, np.ndarray],
+        binding: tuple[tuple[ZArray, np.ndarray], ...],
+    ):
+        self.n_planes = n_planes
+        self.stmt_fns = stmt_fns
+        self.buffers = buffers
+        self.binding = binding
+
+    def valid(self) -> bool:
+        """Same storage-binding contract as :meth:`KernelPlan.valid`."""
+        return all(array._data is data for array, data in self.binding)
+
+    def run(self) -> None:
+        buffers = self.buffers
+        stmt_fns = self.stmt_fns
+        for p in range(self.n_planes):
+            buffers.clear()
+            for fn in stmt_fns:
+                fn(p)
+
+
 class KernelTemplate:
     """Per-``CompiledScan`` compile-time state plus the region-plan cache."""
 
     __slots__ = ("_source", "statements", "loops", "region", "contracted_ids",
-                 "supported", "plans")
+                 "supported", "skew", "plans")
 
     def __init__(self, compiled: CompiledScan):
         self._source = weakref.ref(compiled)
@@ -387,17 +701,26 @@ class KernelTemplate:
         self.supported = all(
             _supported_expr(stmt.expr, rank) for stmt in self.statements
         )
-        #: region.ranges -> KernelPlan, insertion-ordered (LRU eviction).
-        self.plans: dict[tuple, KernelPlan] = {}
+        #: Legal hyperplane schedule, or None (one looped dim, no legal τ,
+        #: or unsupported expressions).  Derived once per template.
+        self.skew = derive_skew(compiled) if self.supported else None
+        #: (region.ranges, skewed) -> plan, insertion-ordered (LRU eviction).
+        self.plans: dict[tuple, KernelPlan | SkewedPlan] = {}
 
-    def instantiate(self, region: Region, tracer=NULL_TRACER) -> KernelPlan:
-        key = region.ranges
+    def instantiate(
+        self, region: Region, tracer=NULL_TRACER, skewed: bool = False
+    ) -> KernelPlan | SkewedPlan:
+        key = (region.ranges, skewed)
         plan = self.plans.get(key)
         if plan is not None:
             if plan.valid():
                 KERNEL_STATS.plan_hits += 1
+                if skewed:
+                    KERNEL_STATS.skew_plan_hits += 1
                 if tracer.enabled:
                     tracer.count("kernel_plan_hits")
+                    if skewed:
+                        tracer.count("skew_plan_hits")
                 self.plans.pop(key)
                 self.plans[key] = plan  # LRU touch
                 return plan
@@ -406,19 +729,33 @@ class KernelTemplate:
                 tracer.count("kernel_plan_invalidations")
             del self.plans[key]
         KERNEL_STATS.plan_builds += 1
+        if skewed:
+            KERNEL_STATS.skew_plan_builds += 1
         if tracer.enabled:
             tracer.count("kernel_plan_misses")
-            with tracer.span("kernel_compile", "compile", region=repr(region)):
-                plan = self._build(region)
+            with tracer.span("kernel_compile", "compile", region=repr(region),
+                             skewed=skewed):
+                plan = self._build(region, skewed)
         else:
-            plan = self._build(region)
+            plan = self._build(region, skewed)
         self.plans[key] = plan
         while len(self.plans) > PLAN_CACHE_CAP:
             del self.plans[next(iter(self.plans))]
         return plan
 
-    def _build(self, region: Region) -> KernelPlan:
+    def _build(self, region: Region, skewed: bool = False):
         loops = self.loops
+        if skewed:
+            builder = _SkewedPlanBuilder(
+                region, self.skew, loops, self.contracted_ids
+            )
+            stmt_fns = tuple(
+                builder.statement(stmt) for stmt in self.statements
+            )
+            return SkewedPlan(
+                len(builder.planes), stmt_fns, builder.buffers,
+                tuple(builder.binding),
+            )
         looped_dims = [
             d for d in loops.order if loops.classes[d] is not DimClass.PARALLEL
         ]
@@ -452,31 +789,65 @@ def template_for(compiled: CompiledScan) -> KernelTemplate:
 
 
 def try_execute_kernels(
-    compiled: CompiledScan, within: Region | None = None, tracer=None
+    compiled: CompiledScan,
+    within: Region | None = None,
+    tracer=None,
+    engine: str | None = None,
 ) -> bool:
     """Run ``compiled`` through its AOT kernels; False when unsupported.
 
     Semantically identical to the interpreted
-    :func:`~repro.runtime.vectorized.execute_vectorized` path — same slab
-    order, same mask blending, same contraction buffering — minus the
-    per-iteration interpretation.  A ``False`` return means the caller must
-    fall back to the tree-walking engine (the block contains nodes the
-    builder does not express); nothing has been executed in that case.
+    :func:`~repro.runtime.vectorized.execute_vectorized` path — same
+    traversal order (hyperplane sweeps respect it via the legality rule),
+    same mask blending, same contraction buffering — minus the per-iteration
+    interpretation.  ``engine`` picks the plan family: ``"kernel"`` (the
+    default) auto-selects the skewed plan whenever the template derived a
+    legal hyperplane schedule, ``"flat"`` forces the point-loop plans.  A
+    ``False`` return means the caller must fall back to the tree-walking
+    engine (the block contains nodes the builder does not express, or the
+    resolved engine is ``"interp"``); nothing has been executed in that
+    case.
     """
     obs = tracer if tracer is not None else NULL_TRACER
+    mode = engine if engine in ("kernel", "flat") else resolve_engine(engine)
+    if mode == "interp":
+        return False
     template = template_for(compiled)
     if not template.supported:
         KERNEL_STATS.fallbacks += 1
         if obs.enabled:
             obs.count("kernel_fallbacks")
         return False
+    use_skew = mode == "kernel" and template.skew is not None
     compiled.prepare()
     region = compiled.region if within is None else compiled.region.intersect(within)
     if region.is_empty():
         return True
-    plan = template.instantiate(region, obs)
+    plan = template.instantiate(region, obs, skewed=use_skew)
     plan.run()
+    if use_skew:
+        KERNEL_STATS.hyperplanes += plan.n_planes
+        if obs.enabled:
+            obs.count("hyperplanes", plan.n_planes)
     return True
+
+
+def plan_kind(compiled: CompiledScan, engine: str | None = None) -> str:
+    """The plan family ``compiled`` would execute under: skewed/flat/interp.
+
+    Pure query — no plan is instantiated (the template is, which is cheap
+    and cached).  The parallel workers use this to tag ``compute`` spans and
+    the autotuner to key its per-kind cost memo.
+    """
+    mode = resolve_engine(engine)
+    if mode == "interp":
+        return "interp"
+    template = template_for(compiled)
+    if not template.supported:
+        return "interp"
+    if mode == "kernel" and template.skew is not None:
+        return "skewed"
+    return "flat"
 
 
 # ---------------------------------------------------------------------------

@@ -58,13 +58,16 @@ def execute_vectorized(
     pipeline block) with identical code.
 
     ``engine`` selects the implementation: ``"kernel"`` (the default, also
-    via ``REPRO_KERNELS``) executes ahead-of-time compiled statement kernels;
-    ``"interp"`` walks the expression trees per slab (the original engine).
-    ``tracer`` (a :class:`repro.obs.Tracer`) records kernel-compile spans and
+    via ``REPRO_ENGINE``) executes ahead-of-time compiled statement kernels,
+    auto-selecting the hyperplane-skewed plan family for multi-dependence
+    wavefronts; ``"flat"`` keeps the kernels but never skews; ``"interp"``
+    walks the expression trees per slab (the original engine).  ``tracer``
+    (a :class:`repro.obs.Tracer`) records kernel-compile spans and
     plan-cache counters when given.
     """
-    if resolve_engine(engine) == "kernel" and try_execute_kernels(
-        compiled, within, tracer=tracer
+    mode = resolve_engine(engine)
+    if mode != "interp" and try_execute_kernels(
+        compiled, within, tracer=tracer, engine=mode
     ):
         return
     compiled.prepare()

@@ -89,3 +89,33 @@ def test_autotune_end_to_end():
     assert result.compute_seconds > 0
     assert result.params.alpha > 0
     assert result.effective_params.alpha >= result.params.alpha
+    assert result.plan_kind == "flat"  # one looped dim: nothing to skew
+
+
+def test_autotune_records_skewed_plan_kind():
+    from repro.apps.alignment import build_score_block
+
+    compiled, _ = build_score_block("GATTACAGG" * 3, "GCATGCUTA" * 3)
+    comm = measure_comm(sizes=(1, 512), repeats=3)
+    result = autotune(compiled, 2, comm=comm)
+    assert result.plan_kind == "skewed"
+
+
+def test_tuned_block_size_memoises_per_plan_kind(monkeypatch):
+    import sys
+
+    mod = sys.modules["repro.parallel.autotune"]
+    compiled = _compiled()
+    mod._BLOCK_COSTS.clear()
+    mod.tuned_block_size(compiled, 2)
+    assert len(mod._BLOCK_COSTS) == 1
+    ((_, kind),) = mod._BLOCK_COSTS
+    assert kind == "flat"
+    # Same block, same kind: measured once.
+    mod.tuned_block_size(compiled, 2)
+    assert len(mod._BLOCK_COSTS) == 1
+    # Forcing interp changes the plan kind: a separate measurement.
+    monkeypatch.setenv("REPRO_ENGINE", "interp")
+    mod.tuned_block_size(compiled, 2)
+    assert len(mod._BLOCK_COSTS) == 2
+    assert {k for _, k in mod._BLOCK_COSTS} == {"flat", "interp"}

@@ -65,6 +65,27 @@ class TestRank1Counters:
         ]
         assert sum(widths) == trace.meta["cols"]
 
+    def test_compute_spans_tagged_with_plan_kind(self):
+        # Tomcatv has one looped dim: the workers run flat kernel plans,
+        # and every compute span says so.
+        _, trace = _traced_run(grid=2, schedule="pipelined", block=4)
+        plans = {s.args["plan"] for s in trace.worker_spans("compute")}
+        assert plans == {"flat"}
+
+    def test_skewed_blocks_tagged_skewed(self):
+        # The alignment DP carries both dims: workers auto-select the
+        # skewed plans inside their chunks and tag the spans accordingly.
+        from repro.apps.alignment import build_score_block, nw_score_oracle
+
+        a, b = "GATTACAGGTCC" * 6, "GCATGCUTACGG" * 6
+        compiled, h = build_score_block(a, b)
+        run = execute(
+            compiled, grid=2, schedule="pipelined", block=18, tracer=Tracer()
+        )
+        plans = {s.args["plan"] for s in run.trace.worker_spans("compute")}
+        assert plans == {"skewed"}
+        assert h.to_numpy()[-1, -1] == nw_score_oracle(a, b)
+
     def test_phase_report_and_residuals_from_real_trace(self):
         _, trace = _traced_run(grid=2, schedule="pipelined", block=4)
         report = analyze_phases(trace)

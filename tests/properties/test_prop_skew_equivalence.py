@@ -1,0 +1,172 @@
+"""Property: the skewed plan family is bit-identical to every other engine.
+
+Random legal scan blocks whose wavefront carries **two or three** dependent
+dimensions — the multi-dependence shapes the hyperplane-skewed plans were
+built for — must produce *bit-identical* storage under ``engine="kernel"``
+(skewed whenever a legal τ exists), ``engine="flat"`` (point-loop kernels)
+and ``engine="interp"`` (tree walker), and agree with the scalar loop-nest
+oracle to float tolerance.  The strategy draws per-dimension traversal
+signs, so descending (negative-stride) wavefronts — where τ components go
+negative — are exercised alongside the canonical ascending anti-diagonal,
+plus masks, contraction and index expressions.  Blocks whose anti
+dependences admit no legal τ simply fall back to flat inside the kernel
+engine; the property holds either way.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import zpl
+from repro.compiler import compile_scan, contract, contractible
+from repro.runtime import execute_loopnest, execute_vectorized, run_and_capture
+
+
+def _scaled(direction, signs):
+    return tuple(c * s for c, s in zip(direction, signs))
+
+
+#: Primed-direction bases per rank, before per-dimension sign scaling.
+#: ``forced`` guarantees every drawn block carries all dims (multi-dependence
+#: wavefront); ``extra`` adds optional spice.
+DIR_BASES = {
+    2: {
+        "forced": ((-1, -1),),
+        "extra": ((-1, 0), (0, -1), (-2, -1), (-1, -2), (-2, 0), (0, -2)),
+    },
+    3: {
+        "forced": ((-1, -1, 0), (0, -1, -1)),
+        "extra": ((-1, 0, 0), (0, -1, 0), (0, 0, -1), (-1, -1, -1)),
+    },
+}
+#: Read-only reference offset bases per rank (sign-scaled like the primes).
+RO_BASES = {
+    2: ((-1, 0), (1, 0), (0, -1), (0, 1), (1, 1), (0, 0)),
+    3: ((-1, 0, 0), (0, 1, 0), (0, 0, -1), (1, 1, 0), (0, 0, 0)),
+}
+
+
+@st.composite
+def skew_programs(draw):
+    """A random multi-dependence wavefront block plus its arrays."""
+    rank = draw(st.sampled_from((2, 2, 3)))  # rank-2 weighted: the hot shape
+    n = draw(st.integers(6, 9)) if rank == 2 else draw(st.integers(5, 7))
+    signs = tuple(draw(st.sampled_from((1, -1))) for _ in range(rank))
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    base = zpl.Region.of(*(((1, n),) * rank))
+    region = zpl.Region.of(*(((3, n - 1),) * rank))
+    feature = draw(st.sampled_from(("plain", "mask", "contract", "index")))
+
+    n_targets = draw(st.integers(1, 2))
+    targets = []
+    for k in range(n_targets):
+        arr = zpl.ZArray(base, name=f"t{k}", fluff=2)
+        arr._data[...] = rng.uniform(0.5, 1.5, size=arr._data.shape)
+        targets.append(arr)
+    readonly = zpl.ZArray(base, name="ro", fluff=2)
+    readonly._data[...] = rng.uniform(0.5, 1.5, size=readonly._data.shape)
+    arrays = targets + [readonly]
+
+    temp = None
+    if feature == "contract":
+        temp = zpl.ZArray(base, name="tmp", fluff=2)
+        temp._data[...] = rng.uniform(0.5, 1.5, size=temp._data.shape)
+        arrays.append(temp)
+    mask = None
+    if feature == "mask":
+        mask = zpl.ZArray(base, name="m", fluff=2)
+        mask._data[...] = 0.0
+        mask.load((rng.uniform(size=base.shape) < 0.6).astype(float))
+        arrays.append(mask)
+
+    forced = [_scaled(d, signs) for d in DIR_BASES[rank]["forced"]]
+    extra = [_scaled(d, signs) for d in DIR_BASES[rank]["extra"]]
+    ro_dirs = [_scaled(d, signs) for d in RO_BASES[rank]]
+
+    def one_expr(k, force_wavefront):
+        expr = zpl.as_node(draw(st.floats(0.05, 0.5)))
+        if force_wavefront:
+            # The dims-covering primed reads that make this a true
+            # multi-dependence wavefront.
+            for direction in forced:
+                coeff = draw(st.floats(0.1, 0.4))
+                other = targets[draw(st.integers(0, n_targets - 1))]
+                expr = expr + coeff * (other.p @ direction)
+        for _ in range(draw(st.integers(0, 2))):
+            kind = draw(st.sampled_from(("primed", "readonly", "self", "temp")))
+            coeff = draw(st.floats(0.1, 0.3))
+            if kind == "primed":
+                other = targets[draw(st.integers(0, n_targets - 1))]
+                direction = draw(st.sampled_from(forced + extra))
+                expr = expr + coeff * (other.p @ direction)
+            elif kind == "readonly":
+                direction = draw(st.sampled_from(ro_dirs))
+                expr = expr + coeff * (readonly @ direction)
+            elif kind == "temp" and temp is not None:
+                expr = expr + coeff * temp.ref
+            else:
+                expr = expr + coeff * targets[k].ref
+        if feature == "index":
+            dim = draw(st.integers(0, rank - 1))
+            expr = expr + 0.01 * zpl.index(dim)
+        return expr
+
+    contexts = [zpl.covering(region)]
+    if mask is not None:
+        contexts.append(zpl.masked(mask))
+    with contexts[0]:
+        if mask is not None:
+            contexts[1].__enter__()
+        try:
+            with zpl.scan(execute=False) as block:
+                if temp is not None:
+                    temp[...] = one_expr(0, force_wavefront=True)
+                for k in range(n_targets):
+                    targets[k][...] = one_expr(k, force_wavefront=(k == 0))
+        finally:
+            if mask is not None:
+                contexts[1].__exit__(None, None, None)
+
+    compiled = compile_scan(block)
+    if temp is not None and contractible(compiled, temp):
+        compiled = contract(compiled, [temp])
+    return compiled, arrays
+
+
+@given(skew_programs())
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_skewed_engine_matches_flat_interp_and_oracle(program):
+    compiled, arrays = program
+
+    oracle = run_and_capture(execute_loopnest, compiled, arrays)
+    results = {
+        engine: run_and_capture(
+            lambda c, e=engine: execute_vectorized(c, engine=e),
+            compiled,
+            arrays,
+        )
+        for engine in ("kernel", "flat", "interp")
+    }
+
+    contracted_ids = {id(a) for a in compiled.contracted}
+    for k, array in enumerate(arrays):
+        # all three slab engines share slab semantics: bit-identical,
+        # contracted storage included (none of them touches it).
+        np.testing.assert_array_equal(
+            results["kernel"][k], results["flat"][k],
+            err_msg=f"array {array.name}: skewed != flat",
+        )
+        np.testing.assert_array_equal(
+            results["kernel"][k], results["interp"][k],
+            err_msg=f"array {array.name}: skewed != interp",
+        )
+        if id(array) not in contracted_ids:
+            np.testing.assert_allclose(
+                results["kernel"][k], oracle[k], rtol=1e-12, atol=1e-12,
+                err_msg=f"array {array.name}: slab engines != oracle",
+            )

@@ -38,9 +38,14 @@ def kernel_vs_interp(compiled, arrays):
     return interp
 
 
+# The legacy REPRO_KERNELS spelling warns once per process; these tests
+# exercise it deliberately (test_skew_kernels.py asserts the warning).
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 class TestEngineSelection:
     def test_default_is_kernel(self, monkeypatch):
         monkeypatch.delenv("REPRO_KERNELS", raising=False)
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        monkeypatch.delenv("REPRO_SKEW", raising=False)
         assert default_engine() == "kernel"
         assert resolve_engine(None) == "kernel"
 
