@@ -1,0 +1,7 @@
+# Gauss-Seidel relaxation under a mask: primed north/west reads take the
+# new values the wave already produced, south/east reads take old values.
+#! arrays: u[1..63, 1..63] = 0.5, f[1..63, 1..63] = 0.1, wet[1..63, 1..63] = 1
+#! constants: n = 62
+[2..n, 2..n with wet] scan
+  u := 0.25 * (u'@north + u'@west + u@south + u@east - f);
+end;

@@ -1,0 +1,7 @@
+# The minimal wavefront: one array flowing northward (the paper's Fig. 3(d)).
+# Pragma lines declare the array environment the linter parses against.
+#! arrays: a[1..512, 1..512] = 0.5
+#! constants: n = 512
+[2..n, 1..n] scan
+  a := 0.9 * a'@north + 0.1;
+end;

@@ -1,0 +1,12 @@
+# The paper's Fig. 2(b) tridiagonal forward elimination (tomcatv fragment).
+#! arrays: aa[1..64, 1..64] = 0.4, d[1..64, 1..64] = 0.6, dd[1..64, 1..64] = 4
+#! arrays: rx[1..64, 1..64] = 0.3, ry[1..64, 1..64] = 0.7, r[1..64, 1..64]
+#! constants: n = 64
+direction north = (-1, 0);
+region R = [2..n-2, 2..n-1];
+[R] scan
+  r  := aa * d'@north;
+  d  := 1.0 / (dd - aa@north * r);
+  rx := rx - rx'@north * r;
+  ry := ry - ry'@north * r;
+end;

@@ -1,0 +1,68 @@
+"""Static diagnostics for scan blocks, plus the dynamic race sanitizer.
+
+Three layers:
+
+* :mod:`repro.analyze.diagnostics` — :class:`Diagnostic` objects with stable
+  codes, source spans, evidence chains, and a rust-style renderer.
+* :mod:`repro.analyze.passes` — the lint-pass registry: the Section 2.2
+  legality conditions as diagnostic-producing passes, plus unused-name,
+  redundant-prime, dead-mask/dead-store, fusion/skew explanation, and the
+  α+β pipeline-hazard advisor.  Linting never executes a program.
+* :mod:`repro.analyze.sanitizer` — vector-clock shadow execution for the
+  multiprocess backend (``REPRO_SANITIZE=1``).
+
+Run ``python -m repro.analyze --help`` for the CLI.
+
+This ``__init__`` stays import-light on purpose:
+:mod:`repro.compiler.legality` imports the diagnostics module at check time,
+so pulling the pass registry (which imports the whole compiler) in here
+would create a cycle.  Submodules load lazily via ``__getattr__``.
+"""
+
+from __future__ import annotations
+
+from repro.analyze.diagnostics import (
+    CODES,
+    SCHEMA,
+    Because,
+    Diagnostic,
+    Label,
+    Severity,
+    make_report,
+    render,
+    render_all,
+    validate_report,
+)
+
+__all__ = [
+    "CODES",
+    "SCHEMA",
+    "Because",
+    "Diagnostic",
+    "Label",
+    "Severity",
+    "make_report",
+    "render",
+    "render_all",
+    "validate_report",
+    "lint_program",
+    "lint_block",
+    "explain_block",
+    "PASSES",
+]
+
+_LAZY = {
+    "lint_program": "repro.analyze.passes",
+    "lint_block": "repro.analyze.passes",
+    "explain_block": "repro.analyze.passes",
+    "PASSES": "repro.analyze.passes",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        module = importlib.import_module(_LAZY[name])
+        return getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,285 @@
+"""Dynamic wavefront race sanitizer for the multiprocess backend.
+
+``REPRO_SANITIZE=1`` turns every real parallel run into a shadow execution:
+alongside the data arrays, the parent allocates one shared *stamp plane*
+over the plan's region, every worker keeps a **vector clock** over the
+processor grid, and the pipeline tokens carry the sender's clock.  The
+invariant checked is exactly the paper's pipelined-schedule correctness
+condition: a primed read of cell ``c`` during block ``k`` is legal only
+when the block that *writes* ``c`` is happens-before-ordered ahead of the
+read via the token protocol (or by the reader's own program order).
+
+Protocol
+--------
+* Every cell of the plan's region has a static **owner** (the grid rank
+  whose local region contains it) and a static **block index** (which of
+  the owner's pipeline blocks writes it).  The parent precomputes both
+  planes from the same :class:`~repro.machine.distribution.BlockMap` and
+  chunk lists the workers run — so the sanitizer validates the actual
+  schedule, not a re-derivation of it.
+* A worker completing block ``k`` stamps the block's cells with ``k + 1``
+  in the shared stamp plane, then increments its own clock entry, then
+  sends the token ``(k, clocks)`` downstream.
+* On receive, the worker joins the incoming clock into its own
+  (element-wise max), which is transitive along the chain.
+* Before computing block ``k``, the worker takes every primed reference's
+  read region (the block shifted by the reference's direction, clipped to
+  the plan region) and verifies per cell: either the cell is outside the
+  region (boundary values, never written by the block), or the reader
+  itself owns it in an earlier-or-current block (program order / in-block
+  loop order), or the joined clock proves the owner completed the cell's
+  block **and** the stamp is present.
+
+A protocol regression — the deliberate one below, or a real scheduler bug
+— makes the clock test fail *deterministically*: an early-released token
+carries a clock that does not yet cover the block, no matter how the
+processes interleave afterwards.  Plain stamp-checking would only catch
+the race when the timing happened to expose it.
+
+Fault injection
+---------------
+``REPRO_SANITIZE_INJECT=early-release:<rank>:<block>`` makes the worker at
+``rank`` send its token for ``block`` *before* computing it (with its
+honest, un-incremented clock) — the canonical token-protocol violation the
+acceptance test uses.  The injection only exists when the sanitizer is on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.analyze.diagnostics import Because, Diagnostic
+from repro.errors import SanitizerError
+from repro.parallel.sharedmem import _untracked_attach
+from repro.zpl.regions import Region
+
+#: Environment knobs.
+SANITIZE_ENV = "REPRO_SANITIZE"
+INJECT_ENV = "REPRO_SANITIZE_INJECT"
+
+
+def parse_inject(value: str | None) -> tuple[str, int, int] | None:
+    """Parse ``REPRO_SANITIZE_INJECT`` (``kind:rank:block``), or ``None``."""
+    if not value:
+        return None
+    parts = value.split(":")
+    if len(parts) != 3 or parts[0] != "early-release":
+        raise SanitizerError(
+            f"bad {INJECT_ENV}={value!r}; expected 'early-release:RANK:BLOCK'"
+        )
+    try:
+        return (parts[0], int(parts[1]), int(parts[2]))
+    except ValueError:
+        raise SanitizerError(
+            f"bad {INJECT_ENV}={value!r}; rank and block must be integers"
+        ) from None
+
+
+@dataclass(frozen=True)
+class SanitizerSpec:
+    """Everything a worker needs to run shadow checks (pickled per worker).
+
+    The owner/block planes are small read-only int arrays over the plan
+    region; only the stamp plane lives in shared memory (workers write it).
+    """
+
+    stamp_segment: str
+    ranges: tuple[tuple[int, int], ...]  # the plan region's bounds
+    owner: np.ndarray  # int32, rank owning each cell (-1: never written)
+    block_index: np.ndarray  # int32, owner's block writing each cell (-1 id.)
+    n_procs: int
+    #: Distinct primed reads: (array name, shift vector).
+    primed: tuple[tuple[str, tuple[int, ...]], ...]
+    inject: tuple[str, int, int] | None = None
+
+
+class ShadowPool:
+    """Parent-side owner of the shared stamp plane + the static planes."""
+
+    def __init__(
+        self,
+        plan,
+        grid,
+        chunks_by_rank: dict[int, tuple[Region, ...]],
+        inject: tuple[str, int, int] | None = None,
+    ):
+        region = plan.region
+        base = region.lo
+        owner = np.full(region.shape, -1, dtype=np.int32)
+        block_index = np.full(region.shape, -1, dtype=np.int32)
+        for rank, chunks in chunks_by_rank.items():
+            for k, chunk in enumerate(chunks):
+                if chunk.is_empty():
+                    continue
+                sl = chunk.to_local(base)
+                owner[sl] = rank
+                block_index[sl] = k
+        stamps = np.zeros(region.shape, dtype=np.int64)
+        self._segment = shared_memory.SharedMemory(
+            create=True, size=max(1, stamps.nbytes)
+        )
+        view = np.ndarray(
+            stamps.shape, dtype=stamps.dtype, buffer=self._segment.buf
+        )
+        view[...] = 0
+        primed = sorted(
+            {
+                (ref.array.name or "<array>", tuple(ref.offset))
+                for stmt in plan.compiled.statements
+                for ref in stmt.expr.refs()
+                if ref.primed
+            }
+        )
+        self.spec = SanitizerSpec(
+            stamp_segment=self._segment.name,
+            ranges=region.ranges,
+            owner=owner,
+            block_index=block_index,
+            n_procs=grid.size,
+            primed=tuple(primed),
+            inject=inject,
+        )
+
+    def release(self) -> None:
+        """Close and unlink the stamp segment (idempotent)."""
+        if self._segment is not None:
+            try:
+                self._segment.close()
+                self._segment.unlink()
+            except FileNotFoundError:
+                pass
+            self._segment = None
+
+
+class SanitizerState:
+    """Worker-side shadow state: attached stamp plane + the vector clock."""
+
+    def __init__(self, spec: SanitizerSpec, rank: int):
+        self.spec = spec
+        self.rank = rank
+        self.region = Region(spec.ranges)
+        self.base = self.region.lo
+        self.clocks = np.zeros(spec.n_procs, dtype=np.int64)
+        with _untracked_attach():
+            self._segment = shared_memory.SharedMemory(name=spec.stamp_segment)
+        self.stamps = np.ndarray(
+            self.region.shape, dtype=np.int64, buffer=self._segment.buf
+        )
+        #: Checks run / cells verified, for the obs counters.
+        self.checks = 0
+        self.cells = 0
+
+    # -- the protocol hooks --------------------------------------------------
+    def join(self, clocks) -> None:
+        """Fold a received token's clock into ours (element-wise max)."""
+        np.maximum(self.clocks, np.asarray(clocks, dtype=np.int64), out=self.clocks)
+
+    def token(self) -> tuple[int, ...]:
+        """The clock to ride on an outgoing token."""
+        return tuple(int(c) for c in self.clocks)
+
+    def check(self, chunk: Region, k: int) -> None:
+        """Verify every primed read of block ``k`` is happens-before ordered.
+
+        Raises :class:`~repro.errors.SanitizerError` (diagnostic ``E100``
+        attached) on the first violating read region.
+        """
+        if chunk.is_empty():
+            return
+        for name, offset in self.spec.primed:
+            read = chunk.shift(offset).intersect(self.region)
+            if read.is_empty():
+                continue
+            sl = read.to_local(self.base)
+            owner = self.spec.owner[sl]
+            block = self.spec.block_index[sl]
+            stamp = self.stamps[sl]
+            outside = block < 0
+            mine = (owner == self.rank) & (block <= k)
+            known = np.where(outside, 0, owner)
+            ordered = (self.clocks[known] > block) & (stamp > block)
+            violation = ~(outside | mine | ordered)
+            self.checks += 1
+            self.cells += int(violation.size)
+            if not violation.any():
+                continue
+            local = np.argwhere(violation)[0]
+            cell = tuple(int(c) + lo for c, lo in zip(local, read.lo))
+            cell_owner = int(owner[tuple(local)])
+            cell_block = int(block[tuple(local)])
+            raise self._violation(
+                name, offset, k, cell, cell_owner, cell_block,
+                int(stamp[tuple(local)]),
+            )
+
+    def complete(self, chunk: Region, k: int) -> None:
+        """Record block ``k`` computed: stamp its cells, advance the clock."""
+        if not chunk.is_empty():
+            self.stamps[chunk.to_local(self.base)] = k + 1
+        self.clocks[self.rank] = k + 1
+
+    def detach(self) -> None:
+        """Drop the stamp view and close the segment handle."""
+        self.stamps = None
+        try:
+            self._segment.close()
+        except BufferError:
+            pass
+
+    # -- reporting -----------------------------------------------------------
+    def _violation(
+        self,
+        array: str,
+        offset: tuple[int, ...],
+        k: int,
+        cell: tuple[int, ...],
+        owner: int,
+        block: int,
+        stamp: int,
+    ) -> SanitizerError:
+        message = (
+            f"wavefront race: processor {self.rank} reads {array}'@{offset} "
+            f"at cell {cell} during block {k}, but the owning write "
+            f"(processor {owner}, block {block}) is not ordered before it"
+        )
+        diagnostic = Diagnostic(
+            "E100",
+            message,
+            because=(
+                Because(
+                    "token",
+                    f"reader's joined vector clock knows {int(self.clocks[owner])} "
+                    f"completed block(s) of processor {owner}; the read needs "
+                    f"{block + 1}",
+                ),
+                Because(
+                    "note",
+                    f"shadow stamp at {cell} is {stamp} (0 = never written; "
+                    f"the owning block would stamp {block + 1})",
+                ),
+                Because(
+                    "note",
+                    "a token released before its block completed (or a "
+                    "mis-derived schedule) produces exactly this state",
+                ),
+            ),
+            hint="inspect the pipelined schedule: tokens must be sent only "
+            "after the block's stores are complete",
+            data={
+                "reader": self.rank,
+                "block": k,
+                "array": array,
+                "offset": list(offset),
+                "cell": list(cell),
+                "owner": owner,
+                "owner_block": block,
+                "clock": int(self.clocks[owner]),
+                "stamp": stamp,
+            },
+        )
+        error = SanitizerError(message)
+        error.diagnostic = diagnostic
+        return error

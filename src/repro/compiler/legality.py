@@ -3,89 +3,272 @@
 The paper lists five checks; they map onto this module as follows.
 
 (i)   Primed arrays in a scan block must also be defined in the block
-      (:class:`PrimedOperandError`).
+      (code ``E001``, :class:`UndefinedPrimeError`).
 (ii)  The directions on primed references may not over-constrain the
       wavefront — checked constructively by the loop-structure search
-      (:class:`OverconstrainedScanError` from
+      (code ``E002``, :class:`OverconstrainedScanError` from
       :func:`repro.compiler.loopstruct.derive_loop_structure`).
 (iii) All statements in a scan block must have the same rank
-      (:class:`RankMismatchError`).
+      (code ``E003``, :class:`RankMismatchError`).
 (iv)  All statements must be covered by the same region
-      (:class:`RegionMismatchError`).
+      (code ``E004``, :class:`RegionMismatchError`).
 (v)   Parallel operators' operands (other than shift) may not be primed
-      (:class:`PrimedOperandError`) — essential because the compiler pulls
-      those operators out of the scan block.
+      (code ``E005``, :class:`ParallelPrimeError`) — essential because the
+      compiler pulls those operators out of the scan block.
 
-Two additional checks follow from the implementation strategy and are
+Three additional checks follow from the implementation strategy and are
 documented here rather than in the paper: a primed reference must carry a
-nonzero shift (an unshifted prime would name a value written *later in the
-same iteration*), and a hoisted parallel operator may not read an array the
-block writes (hoisting would then change its value).
+nonzero shift (``E006`` — an unshifted prime would name a value written
+*later in the same iteration*), a scan block may not write its own mask
+(``E007``), and a hoisted parallel operator may not read an array the block
+writes (``E008`` — hoisting would then change its value).  ``E009`` rejects
+empty blocks.
+
+Every check exists in two forms.  :func:`legality_diagnostics` collects
+*all* violations as :class:`~repro.analyze.diagnostics.Diagnostic` objects
+(with source spans when the block came from the textual parser) and never
+raises — this is what ``python -m repro.analyze lint`` runs.
+:func:`check_scan_block` keeps the historical contract: it raises the
+exception for the *first* violation, with the structured diagnostic attached
+as ``exc.diagnostic``.
 """
 
 from __future__ import annotations
 
+from repro.analyze.diagnostics import Because, Diagnostic
 from repro.errors import (
     LegalityError,
+    ParallelPrimeError,
     PrimedOperandError,
     RankMismatchError,
     RegionMismatchError,
+    UndefinedPrimeError,
 )
 from repro.zpl.scan import ScanBlock
+from repro.zpl.span import span_of
+
+#: Diagnostic code -> the exception :func:`check_scan_block` raises for it.
+_EXCEPTIONS: dict[str, type[LegalityError]] = {
+    "E001": UndefinedPrimeError,
+    "E003": RankMismatchError,
+    "E004": RegionMismatchError,
+    "E005": ParallelPrimeError,
+    "E006": PrimedOperandError,
+    "E007": LegalityError,
+    "E008": ParallelPrimeError,
+    "E009": LegalityError,
+}
 
 
-def check_scan_block(block: ScanBlock) -> None:
-    """Run every static legality check except over-constraint (see (ii))."""
+def legality_diagnostics(block: ScanBlock) -> list[Diagnostic]:
+    """Every statically detectable legality violation, as diagnostics.
+
+    Collects in check order (the first entry is what
+    :func:`check_scan_block` raises); never executes the block and never
+    raises.  Condition (ii) is *not* covered here — it needs the dependence
+    extractor and loop-structure search (see
+    :func:`repro.compiler.loopstruct.derive_loop_structure` and the
+    ``overconstrained`` lint pass).
+    """
+    diagnostics: list[Diagnostic] = []
+
     if len(block) == 0:
-        raise LegalityError("scan block contains no statements")
+        diagnostics.append(
+            Diagnostic(
+                "E009",
+                "scan block contains no statements",
+                hint="add at least one assignment, or delete the block",
+            )
+        )
+        return diagnostics
 
     first = block.statements[0]
     for j, stmt in enumerate(block.statements):
         if stmt.rank != first.rank:  # condition (iii)
-            raise RankMismatchError(
-                f"statement {j} has rank {stmt.rank}, statement 0 has rank "
-                f"{first.rank}: all statements in a scan block must be "
-                f"implemented by a loop nest of the same depth"
+            diagnostics.append(
+                Diagnostic(
+                    "E003",
+                    f"statement {j} has rank {stmt.rank}, statement 0 has "
+                    f"rank {first.rank}: all statements in a scan block must "
+                    f"be implemented by a loop nest of the same depth",
+                    span=span_of(stmt),
+                    because=(
+                        Because(
+                            "note",
+                            f"statement 0 covers {first.region!r} "
+                            f"(rank {first.rank})",
+                        ),
+                        Because(
+                            "note",
+                            f"statement {j} covers {stmt.region!r} "
+                            f"(rank {stmt.rank})",
+                        ),
+                    ),
+                    hint="split the block into one scan block per rank",
+                    data={"statement": j},
+                )
             )
-        if stmt.region != first.region:  # condition (iv)
-            raise RegionMismatchError(
-                f"statement {j} is covered by {stmt.region!r}, statement 0 by "
-                f"{first.region!r}: all statements in a scan block must be "
-                f"covered by the same region"
+        elif stmt.region != first.region:  # condition (iv)
+            diagnostics.append(
+                Diagnostic(
+                    "E004",
+                    f"statement {j} is covered by {stmt.region!r}, "
+                    f"statement 0 by {first.region!r}: all statements in a "
+                    f"scan block must be covered by the same region",
+                    span=span_of(stmt),
+                    because=(
+                        Because(
+                            "note",
+                            f"a scan block compiles to one loop nest over "
+                            f"one region",
+                        ),
+                    ),
+                    hint="use one covering region for the whole block, or "
+                    "split it into per-region blocks",
+                    data={"statement": j},
+                )
             )
 
     written = {id(a) for a in block.written_arrays()}
+    written_names = sorted(
+        a.name or "<array>" for a in block.written_arrays()
+    )
     for j, stmt in enumerate(block.statements):
         if stmt.mask is not None and id(stmt.mask) in written:
-            raise LegalityError(
-                f"statement {j}: mask {stmt.mask.name!r} is written by the "
-                f"scan block; masks must be loop-invariant"
+            diagnostics.append(
+                Diagnostic(
+                    "E007",
+                    f"statement {j}: mask {stmt.mask.name!r} is written by "
+                    f"the scan block; masks must be loop-invariant",
+                    span=span_of(stmt),
+                    because=(
+                        Because(
+                            "note",
+                            f"the wavefront would read partially updated "
+                            f"mask values",
+                        ),
+                    ),
+                    hint="compute the mask into a separate array before "
+                    "the scan block",
+                    data={"statement": j, "mask": stmt.mask.name},
+                )
             )
         for ref in stmt.expr.refs():
             if not ref.primed:
                 continue
             name = ref.array.name or "<array>"
             if id(ref.array) not in written:  # condition (i)
-                raise PrimedOperandError(
-                    f"statement {j} primes {name!r}, but the scan block never "
-                    f"defines it: primed arrays must be assigned in the block"
+                diagnostics.append(
+                    Diagnostic(
+                        "E001",
+                        f"statement {j} primes {name!r}, but the scan block "
+                        f"never defines it: primed arrays must be assigned "
+                        f"in the block",
+                        span=span_of(ref) or span_of(stmt),
+                        because=(
+                            Because(
+                                "ref",
+                                f"primed reference {ref!r} in statement {j}",
+                            ),
+                            Because(
+                                "note",
+                                f"the block defines only: "
+                                f"{', '.join(written_names)}",
+                            ),
+                        ),
+                        hint=f"drop the prime to read {name!r}'s old values, "
+                        f"or assign {name!r} inside the block",
+                        data={"statement": j, "array": name},
+                    )
                 )
-            if ref.offset.is_zero():
-                raise PrimedOperandError(
-                    f"statement {j} primes {name!r} without a shift: an "
-                    f"unshifted primed reference would name a value of the "
-                    f"current iteration"
+            elif ref.offset.is_zero():
+                diagnostics.append(
+                    Diagnostic(
+                        "E006",
+                        f"statement {j} primes {name!r} without a shift: an "
+                        f"unshifted primed reference would name a value of "
+                        f"the current iteration",
+                        span=span_of(ref) or span_of(stmt),
+                        because=(
+                            Because(
+                                "ref",
+                                f"primed reference {ref!r} has the zero "
+                                f"offset",
+                            ),
+                        ),
+                        hint=f"shift the reference (e.g. {name}'@north) so "
+                        f"it names a previously computed value",
+                        data={"statement": j, "array": name},
+                    )
                 )
         for op in stmt.expr.parallel_ops():  # condition (v)
             for ref in op.refs():
                 if ref.primed:
-                    raise PrimedOperandError(
-                        f"statement {j}: parallel operator {op!r} has a primed "
-                        f"operand; only the shift operator may be primed"
+                    diagnostics.append(
+                        Diagnostic(
+                            "E005",
+                            f"statement {j}: parallel operator {op!r} has a "
+                            f"primed operand; only the shift operator may be "
+                            f"primed",
+                            span=span_of(ref) or span_of(stmt),
+                            because=(
+                                Because(
+                                    "ref",
+                                    f"primed reference {ref!r} inside "
+                                    f"{op!r}",
+                                ),
+                                Because(
+                                    "note",
+                                    "parallel operators are hoisted out of "
+                                    "the block and evaluated once, before "
+                                    "any wavefront value exists",
+                                ),
+                            ),
+                            hint="drop the prime, or move the operator's "
+                            "result into a temporary computed before the "
+                            "block",
+                            data={"statement": j},
+                        )
                     )
-                if id(ref.array) in written:
-                    raise PrimedOperandError(
-                        f"statement {j}: parallel operator {op!r} reads "
-                        f"{ref.array.name!r}, which the scan block writes; it "
-                        f"cannot be hoisted out of the block"
+                elif id(ref.array) in written:
+                    diagnostics.append(
+                        Diagnostic(
+                            "E008",
+                            f"statement {j}: parallel operator {op!r} reads "
+                            f"{ref.array.name!r}, which the scan block "
+                            f"writes; it cannot be hoisted out of the block",
+                            span=span_of(ref) or span_of(stmt),
+                            because=(
+                                Because(
+                                    "note",
+                                    f"hoisting evaluates {op!r} before the "
+                                    f"block, but "
+                                    f"{ref.array.name or '<array>'!r} "
+                                    f"changes during it",
+                                ),
+                            ),
+                            hint="read a copy of the array taken before the "
+                            "block, or compute the operator after it",
+                            data={
+                                "statement": j,
+                                "array": ref.array.name,
+                            },
+                        )
                     )
+    return diagnostics
+
+
+def check_scan_block(block: ScanBlock) -> None:
+    """Run every static legality check except over-constraint (see (ii)).
+
+    Raises the matching :class:`~repro.errors.LegalityError` subclass for
+    the first violation, with the structured diagnostic attached as
+    ``exc.diagnostic``.
+    """
+    diagnostics = legality_diagnostics(block)
+    if not diagnostics:
+        return
+    first = diagnostics[0]
+    exc = _EXCEPTIONS[first.code](first.message)
+    exc.diagnostic = first
+    raise exc

@@ -138,10 +138,26 @@ def derive_loop_structure(
         signs = _required_signs(order, constraints, rank)
         if signs is not None:
             return LoopStructure(tuple(order), signs, tuple(classes))
-    raise OverconstrainedScanError(
+    from repro.analyze.diagnostics import Because, Diagnostic
+
+    message = (
         f"no loop nest can respect the dependences {constraints}: the scan "
         f"block is over-constrained (e.g. primed @north with primed @south)"
     )
+    exc = OverconstrainedScanError(message)
+    exc.diagnostic = Diagnostic(
+        "E002",
+        message,
+        because=tuple(
+            Because("udv", f"dependence vector {v} must stay "
+                    f"lexicographically positive")
+            for v in constraints
+        ),
+        hint="remove one of the conflicting primed shifts, or split the "
+        "block so each part admits a traversal order",
+        data={"constraints": [list(v) for v in constraints]},
+    )
+    raise exc
 
 
 def legal_structures(

@@ -125,7 +125,13 @@ def _hoist_parallel_ops(
             hoisted.append(HoistedTemp(temp, op, region))
             mapping[op] = Ref(temp)
         lowered.append(
-            Assign(stmt.target, stmt.expr.substitute(mapping), stmt.region, mask=stmt.mask)
+            Assign(
+                stmt.target,
+                stmt.expr.substitute(mapping),
+                stmt.region,
+                mask=stmt.mask,
+                span=stmt.span,
+            )
         )
     return tuple(lowered), tuple(hoisted)
 

@@ -2,24 +2,45 @@
 
 Every error raised by the library derives from :class:`ReproError`, so callers
 can catch one type.  The compiler-facing errors mirror the statically checked
-legality conditions of the paper's Section 2.2:
+legality conditions of the paper's Section 2.2, one exception per condition:
 
 * :class:`LegalityError` — any violation of the five static legality checks.
+* :class:`UndefinedPrimeError` — condition (i): a primed array that is never
+  defined in the block.
 * :class:`OverconstrainedScanError` — condition (ii): the directions on primed
   references admit no loop nest (e.g. primed ``@north`` and ``@south``).
 * :class:`RankMismatchError` — condition (iii): statements of differing rank in
   one scan block.
 * :class:`RegionMismatchError` — condition (iv): statements covered by
   different regions in one scan block.
-* :class:`PrimedOperandError` — conditions (i) and (v): a primed array that is
-  never defined in the block, or a parallel operator with a primed operand.
+* :class:`ParallelPrimeError` — condition (v): a parallel operator (reduction
+  or flood) with a primed operand.
+
+:class:`UndefinedPrimeError` and :class:`ParallelPrimeError` both subclass the
+historical :class:`PrimedOperandError` (which used to cover conditions (i) and
+(v) jointly), so existing ``except PrimedOperandError`` code keeps working.
+
+Legality exceptions raised by :func:`repro.compiler.legality.check_scan_block`
+also carry a structured payload in ``.diagnostic`` — a
+:class:`repro.analyze.diagnostics.Diagnostic` with the stable code, source
+span, "because" chain, and fix-it hint that the pretty renderer consumes.  It
+is ``None`` for errors raised outside the checker.
 """
 
 from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by the ``repro`` library."""
+    """Base class for all errors raised by the ``repro`` library.
+
+    ``diagnostic`` is an optional structured payload (a
+    :class:`repro.analyze.diagnostics.Diagnostic`) attached by the legality
+    checker so tools can render the error with a source span and hint.
+    """
+
+    #: Structured diagnostic payload, when raised by a diagnostic-producing
+    #: pass (:mod:`repro.analyze`); plain ``None`` otherwise.
+    diagnostic = None
 
 
 class RegionError(ReproError):
@@ -55,7 +76,19 @@ class RegionMismatchError(LegalityError):
 
 
 class PrimedOperandError(LegalityError):
-    """Primed reference is illegal here (undefined in block / parallel op)."""
+    """Primed reference is illegal here (base of the two prime conditions)."""
+
+
+class UndefinedPrimeError(PrimedOperandError):
+    """Condition (i): a primed array is never defined in the scan block."""
+
+
+class ParallelPrimeError(PrimedOperandError):
+    """Condition (v): a parallel operator reads a primed operand."""
+
+
+class SanitizerError(ReproError):
+    """The wavefront race sanitizer observed a happens-before violation."""
 
 
 class CompilationError(ReproError):

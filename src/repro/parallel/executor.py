@@ -33,7 +33,7 @@ import time
 from dataclasses import dataclass
 
 from repro.compiler.lowering import CompiledScan
-from repro.errors import DistributionError, MachineError
+from repro.errors import DistributionError, MachineError, SanitizerError
 from repro.machine.distribution import BlockMap
 from repro.machine.grid import ProcessorGrid
 from repro.machine.schedules import WavefrontPlan, _chunk_regions, plan_wavefront
@@ -160,6 +160,7 @@ def execute(
     timeout: float = 120.0,
     tracer=None,
     pool=None,
+    sanitize: bool | None = None,
 ) -> ParallelRun:
     """Run a compiled scan block across real OS processes.
 
@@ -178,7 +179,21 @@ def execute(
     to persistent workers — no fork, no pickle, no segment creation after
     the pool's first sight of the block.  The pool's grid is used; passing
     a conflicting ``grid`` raises.
+
+    ``sanitize`` opts into the wavefront race sanitizer
+    (:mod:`repro.analyze.sanitizer`): tokens carry vector clocks and every
+    primed read is happens-before-checked against the owning block's write.
+    ``None`` honours ``REPRO_SANITIZE``.  A detected violation raises
+    :class:`~repro.errors.SanitizerError`.  Shadow execution forks fresh
+    workers each run, so it cannot be combined with ``pool``.
     """
+    if sanitize is None:
+        sanitize = os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+    if sanitize and pool is not None:
+        raise MachineError(
+            "REPRO_SANITIZE is incompatible with pool=: the sanitizer's "
+            "shadow state is built per run; use the fork-per-run backend"
+        )
     if pool is not None:
         if grid is not None and _as_grid(grid).dims != pool.grid.dims:
             raise MachineError(
@@ -226,6 +241,7 @@ def execute(
     with obs.span("share", "setup"):
         pool = SharedArrayPool(compiled)
     procs: list[mp.process.BaseProcess] = []
+    shadow = None
     try:
         spawn_start = time.perf_counter()
         blob = pickle.dumps(compiled)
@@ -235,6 +251,7 @@ def execute(
         barrier = ctx.Barrier(grid.size + 1)
         results = ctx.Queue()
 
+        chunks_by_rank: dict[int, tuple[Region, ...]] = {}
         n_chunks = 1
         for rank in grid:
             local = dist.local_region(rank)
@@ -245,19 +262,35 @@ def execute(
             )
             per_block = width if block_size is None else block_size
             chunks = _worker_chunks(plan, local, max(1, per_block), reverse_chunks)
+            chunks_by_rank[rank] = chunks
             n_chunks = max(n_chunks, len(chunks))
+        if sanitize:
+            from repro.analyze.sanitizer import (
+                INJECT_ENV,
+                ShadowPool,
+                parse_inject,
+            )
+
+            shadow = ShadowPool(
+                plan,
+                grid,
+                chunks_by_rank,
+                inject=parse_inject(os.environ.get(INJECT_ENV)),
+            )
+        for rank in grid:
             recv, send = links[rank]
             task = WorkerTask(
                 rank=rank,
                 compiled_blob=blob,
                 specs=pool.specs,
-                chunks=chunks,
+                chunks=chunks_by_rank[rank],
                 recv=recv,
                 send=send,
                 timeout=timeout,
                 chunk_dim=plan.chunk_dim,
                 boundary_rows=plan.boundary_rows,
                 trace=obs.enabled,
+                sanitize=shadow.spec if shadow is not None else None,
             )
             proc = ctx.Process(
                 target=run_worker,
@@ -298,6 +331,10 @@ def execute(
                 # on tokens that will never arrive, so waiting out their
                 # timeouts only delays this traceback.  The finally block
                 # terminates the stragglers.
+                if "SanitizerError" in str(payload):
+                    raise SanitizerError(
+                        f"worker {rank} detected a wavefront race:\n{payload}"
+                    )
                 raise MachineError(f"worker {rank} failed:\n{payload}")
             outcomes[rank] = payload["elapsed"]
             obs.absorb(payload["events"])
@@ -310,6 +347,8 @@ def execute(
             if proc.is_alive():
                 proc.terminate()
                 proc.join(timeout=5.0)
+        if shadow is not None:
+            shadow.release()
         pool.release()
 
     worker_times = tuple(outcomes[rank] for rank in grid)
@@ -341,6 +380,7 @@ def execute(
                 "chunk_dim": plan.chunk_dim,
                 "wall_time": max(worker_times),
                 "setup_time": setup_time,
+                "sanitize": bool(sanitize),
             },
         )
     return ParallelRun(

@@ -30,7 +30,12 @@ from dataclasses import dataclass, replace
 from multiprocessing.connection import Connection
 
 from repro.obs.trace import NULL_TRACER, Tracer
-from repro.parallel.channels import recv_token, send_token
+from repro.parallel.channels import (
+    recv_clocked_token,
+    recv_token,
+    send_clocked_token,
+    send_token,
+)
 from repro.parallel.sharedmem import ArraySpec, AttachedArrays
 from repro.runtime.kernels import plan_kind
 from repro.runtime.vectorized import execute_vectorized
@@ -58,10 +63,70 @@ class WorkerTask:
     boundary_rows: int = 0
     #: Record :mod:`repro.obs` spans and counters for this run.
     trace: bool = False
+    #: Race-sanitizer spec (:class:`repro.analyze.sanitizer.SanitizerSpec`)
+    #: when ``REPRO_SANITIZE=1``; kept untyped so the worker module does not
+    #: import the analyzer unless shadow execution was requested.
+    sanitize: object | None = None
 
 
 def _width(chunk: Region, chunk_dim: int | None) -> int:
     return chunk.extent(chunk_dim) if chunk_dim is not None else 1
+
+
+def sanitized_pipeline_loop(
+    runnable,
+    chunks: tuple[Region, ...],
+    recv: Connection | None,
+    send: Connection | None,
+    timeout: float,
+    tracer,
+    state,
+) -> float:
+    """The pipelined loop under shadow execution (``REPRO_SANITIZE=1``).
+
+    Same recv → compute → send skeleton as :func:`pipeline_loop`, with the
+    sanitizer's vector-clock protocol woven in: tokens carry clocks, every
+    primed read of a block is happens-before-checked before the block runs,
+    and completion stamps the shared shadow plane.  ``state`` is a
+    :class:`repro.analyze.sanitizer.SanitizerState`.  The injected
+    early-release fault (``REPRO_SANITIZE_INJECT``) lives here so the stock
+    loop stays byte-for-byte untouched.
+    """
+    inject = state.spec.inject
+    tracing = tracer.enabled
+    start = time.perf_counter()
+    for k, chunk in enumerate(chunks):
+        if recv is not None:
+            state.join(recv_clocked_token(recv, k, timeout))
+            if tracing:
+                tracer.count("tokens_recv")
+        state.check(chunk, k)
+        released_early = (
+            send is not None
+            and inject is not None
+            and inject[0] == "early-release"
+            and inject[1] == state.rank
+            and inject[2] == k
+        )
+        if released_early:
+            # The injected protocol violation: publish block k downstream
+            # before computing it.  The clock is the honest, un-advanced
+            # one, so downstream's happens-before check must trip.
+            send_clocked_token(send, k, state.token())
+        if not chunk.is_empty():
+            execute_vectorized(runnable, within=chunk, tracer=tracer)
+            if tracing:
+                tracer.count("blocks_executed")
+                tracer.count("elements_computed", chunk.size)
+        state.complete(chunk, k)
+        if send is not None and not released_early:
+            send_clocked_token(send, k, state.token())
+            if tracing:
+                tracer.count("tokens_sent")
+    if tracing:
+        tracer.count("sanitize_checks", state.checks)
+        tracer.count("sanitize_cells", state.cells)
+    return time.perf_counter() - start
 
 
 def pipeline_loop(
@@ -135,6 +200,7 @@ def pipeline_loop(
 def run_worker(task: WorkerTask, barrier, results) -> None:
     """Process entry point (top-level so every start method can import it)."""
     attached = None
+    shadow = None
     tracer = Tracer(proc=task.rank) if task.trace else NULL_TRACER
     tracing = tracer.enabled
     try:
@@ -142,6 +208,10 @@ def run_worker(task: WorkerTask, barrier, results) -> None:
         compiled = pickle.loads(task.compiled_blob)
         attached = AttachedArrays(compiled, task.specs)
         runnable = replace(compiled, hoisted=())
+        if task.sanitize is not None:
+            from repro.analyze.sanitizer import SanitizerState
+
+            shadow = SanitizerState(task.sanitize, task.rank)
         if tracing:
             tracer.add_span("startup", "setup", t_entry, time.perf_counter())
         # The inherited (forked) heap is garbage-collector ballast: freeze it
@@ -152,21 +222,34 @@ def run_worker(task: WorkerTask, barrier, results) -> None:
         barrier.wait(timeout=task.timeout)
         if tracing:
             tracer.add_span("barrier", "sync", t_barrier, time.perf_counter())
-        elapsed = pipeline_loop(
-            runnable,
-            task.chunks,
-            task.recv,
-            task.send,
-            task.timeout,
-            tracer,
-            task.chunk_dim,
-            task.boundary_rows,
-        )
+        if shadow is not None:
+            elapsed = sanitized_pipeline_loop(
+                runnable,
+                task.chunks,
+                task.recv,
+                task.send,
+                task.timeout,
+                tracer,
+                shadow,
+            )
+        else:
+            elapsed = pipeline_loop(
+                runnable,
+                task.chunks,
+                task.recv,
+                task.send,
+                task.timeout,
+                tracer,
+                task.chunk_dim,
+                task.boundary_rows,
+            )
         results.put(
             ("ok", task.rank, {"elapsed": elapsed, "events": tracer.drain()})
         )
     except BaseException:
         results.put(("error", task.rank, traceback.format_exc()))
     finally:
+        if shadow is not None:
+            shadow.detach()
         if attached is not None:
             attached.detach()

@@ -95,9 +95,16 @@ def as_node(value: object) -> "Node":
 
 
 class Node:
-    """Base expression node with operator overloading."""
+    """Base expression node with operator overloading.
 
-    __slots__ = ()
+    Every node carries an optional ``span`` slot: the textual front end
+    (:mod:`repro.zpl.parser`) records where the node came from so the
+    diagnostics engine can point at real source.  Nodes built through the
+    embedded DSL leave the slot unset; read it with
+    :func:`repro.zpl.span.span_of` (or ``getattr(node, "span", None)``).
+    """
+
+    __slots__ = ("span",)
 
     # -- structural queries -------------------------------------------------
     def children(self) -> tuple["Node", ...]:
@@ -251,7 +258,7 @@ class Ref(Node):
         d = as_direction(direction, rank=self.array.rank)
         # Preserve the direction's symbolic name for the common single shift.
         combined = d if self.offset.is_zero() else self.offset + d
-        return Ref(self.array, combined, self.primed)
+        return self._derived(Ref(self.array, combined, self.primed))
 
     def at(self, direction: object) -> "Ref":
         """Alias for the ``@`` operator."""
@@ -262,7 +269,14 @@ class Ref(Node):
         """Apply the prime operator to this reference."""
         if self.primed:
             raise ExpressionError("reference is already primed")
-        return Ref(self.array, self.offset, primed=True)
+        return self._derived(Ref(self.array, self.offset, primed=True))
+
+    def _derived(self, ref: "Ref") -> "Ref":
+        """Propagate the source span (if any) onto a shifted/primed copy."""
+        span = getattr(self, "span", None)
+        if span is not None:
+            ref.span = span
+        return ref
 
     # -- evaluation ----------------------------------------------------------
     def evaluate(self, region: Region, reader: Reader) -> np.ndarray:

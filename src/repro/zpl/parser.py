@@ -53,11 +53,20 @@ from repro.zpl.expr import Node, as_node, maximum, minimum, sqrt, exp, log, abso
 from repro.zpl.program import covering, scan
 from repro.zpl.regions import Region
 from repro.zpl.scan import ScanBlock
+from repro.zpl.span import SourceSpan
 from repro.zpl.statements import Assign
 
 
 class ParseError(ReproError):
-    """Syntax or name-resolution error in textual ZPL."""
+    """Syntax or name-resolution error in textual ZPL.
+
+    Carries the error's source location (``span``, when known) so tools can
+    render it like any other diagnostic.
+    """
+
+    def __init__(self, message: str, span: SourceSpan | None = None):
+        super().__init__(message)
+        self.span = span
 
 
 _TOKEN_RE = re.compile(
@@ -88,24 +97,57 @@ class Token:
     kind: str  # "number" | "name" | "op" | "eof"
     text: str
     position: int
+    #: 1-based source location of the token's first character.
+    line: int = 1
+    col: int = 1
+
+    @property
+    def span(self) -> SourceSpan:
+        """The token's extent as a :class:`~repro.zpl.span.SourceSpan`."""
+        return SourceSpan(
+            self.line, self.col, self.line, self.col + max(1, len(self.text)),
+            self.position,
+        )
 
 
 def tokenize(source: str) -> list[Token]:
-    """Split ZPL source into tokens; ``#`` starts a line comment."""
+    """Split ZPL source into tokens; ``#`` starts a line comment.
+
+    Every token carries its 1-based line and column, computed in the same
+    scan that splits the text, so parse errors and downstream diagnostics
+    point at real source positions.
+    """
     tokens: list[Token] = []
     position = 0
+    line = 1
+    line_start = 0
     while position < len(source):
         match = _TOKEN_RE.match(source, position)
         if match is None:
             raise ParseError(
-                f"unexpected character {source[position]!r} at offset {position}"
+                f"unexpected character {source[position]!r} at line {line}, "
+                f"column {position - line_start + 1}",
+                span=SourceSpan(
+                    line, position - line_start + 1,
+                    line, position - line_start + 2, position,
+                ),
             )
+        start = match.start()
         position = match.end()
         kind = match.lastgroup or "op"
         if kind == "ws":
+            text = match.group()
+            newlines = text.count("\n")
+            if newlines:
+                line += newlines
+                line_start = start + text.rindex("\n") + 1
             continue
-        tokens.append(Token(kind, match.group(), match.start()))
-    tokens.append(Token("eof", "", len(source)))
+        tokens.append(
+            Token(kind, match.group(), start, line, start - line_start + 1)
+        )
+    tokens.append(
+        Token("eof", "", len(source), line, len(source) - line_start + 1)
+    )
     return tokens
 
 
@@ -116,11 +158,31 @@ class Program:
     ``items`` holds, in source order, either :class:`Assign` statements or
     :class:`ScanBlock` groups.  ``run`` executes them with the usual
     semantics: eager array statements, compiled-and-executed scan blocks.
+
+    The remaining fields are the static-analysis surface
+    (:mod:`repro.analyze` consumes them): the original source text and file
+    name for diagnostic rendering, the array/constant environment the
+    program was parsed against, where explicit ``direction``/``region``
+    declarations live, and which names the program actually used.
     """
 
     directions: dict[str, Direction] = field(default_factory=dict)
     regions: dict[str, Region] = field(default_factory=dict)
     items: list[Assign | ScanBlock] = field(default_factory=list)
+    #: Original source text (diagnostic excerpts) and its display name.
+    source: str | None = None
+    filename: str | None = None
+    #: The environment the program was parsed against.
+    arrays: dict[str, ZArray] = field(default_factory=dict)
+    constants: dict[str, int] = field(default_factory=dict)
+    #: Source spans of *explicit* declarations (predeclared cardinals and
+    #: builtins are exempt from unused-declaration lints).
+    declared_directions: dict[str, SourceSpan] = field(default_factory=dict)
+    declared_regions: dict[str, SourceSpan] = field(default_factory=dict)
+    #: Names actually referenced somewhere in the program.
+    used_directions: set[str] = field(default_factory=set)
+    used_regions: set[str] = field(default_factory=set)
+    used_arrays: set[str] = field(default_factory=set)
 
     def scan_blocks(self) -> list[ScanBlock]:
         """All scan blocks, in source order."""
@@ -147,12 +209,19 @@ class Parser:
         tokens: list[Token],
         arrays: dict[str, ZArray],
         constants: dict[str, int],
+        source: str | None = None,
+        filename: str | None = None,
     ):
         self._tokens = tokens
         self._pos = 0
         self._arrays = arrays
         self._constants = dict(constants)
-        self._program = Program()
+        self._program = Program(
+            source=source,
+            filename=filename,
+            arrays=dict(arrays),
+            constants=dict(constants),
+        )
         # The standard cardinals are predeclared (the pretty-printer emits
         # their names); explicit declarations may override them.
         from repro.zpl import directions as _dirs
@@ -169,12 +238,19 @@ class Parser:
         self._pos += 1
         return token
 
+    @staticmethod
+    def _error(message: str, token: Token) -> ParseError:
+        """A located parse error: ``message`` plus line/column and span."""
+        return ParseError(
+            f"{message} at line {token.line}, column {token.col}",
+            span=token.span,
+        )
+
     def _expect(self, text: str) -> Token:
         token = self._next()
         if token.text != text:
-            raise ParseError(
-                f"expected {text!r} but found {token.text!r} at offset "
-                f"{token.position}"
+            raise self._error(
+                f"expected {text!r} but found {token.text!r}", token
             )
         return token
 
@@ -212,11 +288,9 @@ class Parser:
             return int(token.text)
         if token.kind == "name":
             if token.text not in self._constants:
-                raise ParseError(
-                    f"unknown constant {token.text!r} at offset {token.position}"
-                )
+                raise self._error(f"unknown constant {token.text!r}", token)
             return int(self._constants[token.text])
-        raise ParseError(f"expected an integer at offset {token.position}")
+        raise self._error("expected an integer", token)
 
     def _vector(self) -> tuple[int, ...]:
         self._expect("(")
@@ -281,9 +355,7 @@ class Parser:
             if token.text in _FUNCTIONS and self._at("("):
                 return self._call(token.text)
             return self._array_ref(token)
-        raise ParseError(
-            f"unexpected token {token.text!r} at offset {token.position}"
-        )
+        raise self._error(f"unexpected token {token.text!r}", token)
 
     def _call(self, name: str) -> Node:
         self._expect("(")
@@ -299,11 +371,12 @@ class Parser:
 
     def _array_ref(self, token: Token) -> Node:
         if token.text in self._constants:
-            return as_node(float(self._constants[token.text]))
+            node = as_node(float(self._constants[token.text]))
+            node.span = token.span
+            return node
         if token.text not in self._arrays:
-            raise ParseError(
-                f"unknown array {token.text!r} at offset {token.position}"
-            )
+            raise self._error(f"unknown array {token.text!r}", token)
+        self._program.used_arrays.add(token.text)
         ref = self._arrays[token.text].ref
         if self._at("'"):
             self._next()
@@ -311,6 +384,8 @@ class Parser:
         if self._at("@"):
             self._next()
             ref = ref @ self._direction_ref()
+        end = self._tokens[self._pos - 1]
+        ref.span = token.span.to(end.span)
         return ref
 
     def _direction_ref(self) -> Direction:
@@ -318,9 +393,8 @@ class Parser:
             return Direction(self._vector())
         token = self._next()
         if token.kind != "name" or token.text not in self._program.directions:
-            raise ParseError(
-                f"unknown direction {token.text!r} at offset {token.position}"
-            )
+            raise self._error(f"unknown direction {token.text!r}", token)
+        self._program.used_directions.add(token.text)
         return self._program.directions[token.text]
 
     # -- statements and items ------------------------------------------------
@@ -331,9 +405,8 @@ class Parser:
         if token.kind == "name" and token.text not in self._constants:
             self._next()
             if token.text not in self._program.regions:
-                raise ParseError(
-                    f"unknown region {token.text!r} at offset {token.position}"
-                )
+                raise self._error(f"unknown region {token.text!r}", token)
+            self._program.used_regions.add(token.text)
             region = self._program.regions[token.text]
         else:
             ranges = [self._range()]
@@ -346,10 +419,10 @@ class Parser:
             self._next()
             mask_token = self._next()
             if mask_token.kind != "name" or mask_token.text not in self._arrays:
-                raise ParseError(
-                    f"unknown mask array {mask_token.text!r} at offset "
-                    f"{mask_token.position}"
+                raise self._error(
+                    f"unknown mask array {mask_token.text!r}", mask_token
                 )
+            self._program.used_arrays.add(mask_token.text)
             mask = self._arrays[mask_token.text]
         self._expect("]")
         return region, mask
@@ -359,19 +432,19 @@ class Parser:
     ) -> Assign:
         token = self._next()
         if token.kind != "name" or token.text not in self._arrays:
-            raise ParseError(
-                f"unknown assignment target {token.text!r} at offset "
-                f"{token.position}"
+            raise self._error(
+                f"unknown assignment target {token.text!r}", token
             )
+        self._program.used_arrays.add(token.text)
         target = self._arrays[token.text]
         self._expect(":=")
         expr = self._expr()
-        self._expect(";")
+        end = self._expect(";")
         if region is None:
-            raise ParseError(
-                f"statement at offset {token.position} has no covering region"
-            )
-        return Assign(target, expr, region, mask=mask)
+            raise self._error("statement has no covering region", token)
+        return Assign(
+            target, expr, region, mask=mask, span=token.span.to(end.span)
+        )
 
     def _scan_block(
         self,
@@ -400,6 +473,7 @@ class Parser:
                 self._program.directions[name.text] = Direction(
                     self._vector(), name.text
                 )
+                self._program.declared_directions[name.text] = name.span
                 self._expect(";")
             elif self._at("region"):
                 self._next()
@@ -408,6 +482,7 @@ class Parser:
                 self._program.regions[name.text] = self._region_literal().named(
                     name.text
                 )
+                self._program.declared_regions[name.text] = name.span
                 self._expect(";")
             else:
                 region, mask = (
@@ -424,6 +499,7 @@ def parse_program(
     source: str,
     arrays: dict[str, ZArray],
     constants: dict[str, int] | None = None,
+    filename: str | None = None,
 ) -> Program:
     """Parse textual ZPL against an array environment."""
     for reserved in _KEYWORDS:
@@ -432,7 +508,10 @@ def parse_program(
                 f"{reserved!r} is a ZPL keyword and cannot name an array "
                 f"or constant"
             )
-    parser = Parser(tokenize(source), arrays, constants or {})
+    parser = Parser(
+        tokenize(source), arrays, constants or {},
+        source=source, filename=filename,
+    )
     return parser.parse()
 
 
@@ -440,9 +519,10 @@ def parse_scan_block(
     source: str,
     arrays: dict[str, ZArray],
     constants: dict[str, int] | None = None,
+    filename: str | None = None,
 ) -> ScanBlock:
     """Parse source containing exactly one scan block and return it."""
-    program = parse_program(source, arrays, constants)
+    program = parse_program(source, arrays, constants, filename=filename)
     blocks = program.scan_blocks()
     if len(blocks) != 1:
         raise ParseError(f"expected exactly one scan block, found {len(blocks)}")

@@ -1,0 +1,61 @@
+"""Source spans: where a construct came from in textual ZPL.
+
+The tokenizer (:func:`repro.zpl.parser.tokenize`) computes a line/column for
+every token; the parser threads those positions onto the statements and
+expression nodes it builds, so downstream tooling — the diagnostics engine
+in :mod:`repro.analyze` above all — can point at real source instead of
+printing bare object reprs.  Programs built through the embedded DSL have no
+source text; their spans are simply ``None`` and every consumer must cope
+(diagnostics render without a source excerpt in that case).
+
+Spans are tiny frozen dataclasses so they pickle with the statements that
+carry them (the multiprocess backend ships compiled blocks to workers) and
+never participate in statement equality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """A half-open range of source text, with 1-based line/column anchors.
+
+    ``line``/``col`` locate the first character, ``end_line``/``end_col`` the
+    column *after* the last character (so ``end_col - col`` is the width for
+    single-line spans — what the caret renderer underlines).
+    """
+
+    line: int
+    col: int
+    end_line: int
+    end_col: int
+    #: Byte offset of the first character in the original source (kept so
+    #: tools that slice the raw text do not have to re-scan for newlines).
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.line < 1 or self.col < 1:
+            raise ValueError(f"spans are 1-based, got {self.line}:{self.col}")
+
+    @property
+    def width(self) -> int:
+        """Caret width for single-line spans (at least 1)."""
+        if self.end_line != self.line:
+            return 1
+        return max(1, self.end_col - self.col)
+
+    def to(self, other: "SourceSpan") -> "SourceSpan":
+        """The smallest span covering ``self`` through ``other``."""
+        return SourceSpan(
+            self.line, self.col, other.end_line, other.end_col, self.offset
+        )
+
+    def __repr__(self) -> str:
+        return f"{self.line}:{self.col}"
+
+
+def span_of(node: object) -> SourceSpan | None:
+    """The node's source span, if the parser recorded one (else ``None``)."""
+    return getattr(node, "span", None)

@@ -7,12 +7,13 @@ eagerly (ordinary array-language semantics) or recorded into a scan block.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import ExpressionError, RegionError
 from repro.zpl.arrays import ZArray
 from repro.zpl.expr import Node
 from repro.zpl.regions import Region
+from repro.zpl.span import SourceSpan
 
 
 @dataclass(frozen=True)
@@ -21,12 +22,18 @@ class Assign:
 
     ``mask`` implements ZPL's ``[R with m]``: the store happens only at
     region points where the mask array is nonzero (reads are unaffected).
+
+    ``span`` is the statement's location in textual ZPL when it came from
+    the parser (``None`` for DSL-built statements); it never participates in
+    equality, so identical statements from different source lines compare
+    equal exactly as before.
     """
 
     target: ZArray
     expr: Node
     region: Region
     mask: ZArray | None = None
+    span: SourceSpan | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.mask is not None and self.mask.rank != self.region.rank:

@@ -1,0 +1,154 @@
+"""The diagnostics data model, renderer and JSON report schema."""
+
+import pytest
+
+from repro.analyze.diagnostics import (
+    CODES,
+    SCHEMA,
+    Because,
+    Diagnostic,
+    Label,
+    Severity,
+    make_report,
+    render,
+    render_all,
+    validate_report,
+)
+from repro.zpl.span import SourceSpan
+
+
+SOURCE = "\n".join(
+    [
+        "direction up = (-1, 0);",
+        "[2..8, 1..8] scan",
+        "  a := a'@up;",
+        "end;",
+    ]
+)
+
+
+def _sample(code="E001", **kwargs):
+    defaults = dict(
+        message="array 'a' is never defined",
+        span=SourceSpan(3, 3, 3, 14),
+        because=(Because("ref", "the primed reference a'@up"),),
+        hint="assign 'a' inside the block",
+    )
+    defaults.update(kwargs)
+    return Diagnostic(code, **defaults)
+
+
+def test_unknown_code_rejected():
+    with pytest.raises(ValueError, match="unknown diagnostic code"):
+        Diagnostic("E999", "nope")
+
+
+def test_severity_and_title_come_from_registry():
+    d = _sample("W104")
+    assert d.severity is Severity.WARNING
+    assert d.title == CODES["W104"][1]
+    assert Severity.ERROR.rank > Severity.WARNING.rank > Severity.INFO.rank
+
+
+def test_every_code_has_severity_prefix_convention():
+    for code, (severity, title) in CODES.items():
+        assert title
+        prefix = code[0]
+        assert {
+            "E": Severity.ERROR, "W": Severity.WARNING, "I": Severity.INFO
+        }[prefix] is severity
+
+
+def test_render_with_source_has_header_arrow_and_carets():
+    text = render(_sample(), source=SOURCE, filename="t.zpl")
+    lines = text.splitlines()
+    assert lines[0] == "error[E001]: array 'a' is never defined"
+    assert lines[1] == "  --> t.zpl:3:3"
+    assert "  a := a'@up;" in text
+    caret_line = next(l for l in lines if "^" in l)
+    assert caret_line.count("^") == SourceSpan(3, 3, 3, 14).width
+    assert "  = because: the primed reference a'@up" in lines
+    assert "  = help: assign 'a' inside the block" in lines
+
+
+def test_render_without_source_omits_excerpt():
+    text = render(_sample())
+    assert "^" not in text  # no source text: location header only, no excerpt
+    assert "  --> <zpl>:3:3" in text
+    assert "= because:" in text and "= help:" in text
+
+
+def test_render_spanless_diagnostic():
+    text = render(_sample(span=None), source=SOURCE, filename="t.zpl")
+    assert "-->" not in text
+    assert text.startswith("error[E001]:")
+
+
+def test_render_color_wraps_header():
+    text = render(_sample(), source=SOURCE, color=True)
+    assert "\x1b[31m" in text and "\x1b[0m" in text
+
+
+def test_render_label_annotates_second_line():
+    d = _sample(
+        "W106",
+        message="dead store",
+        span=SourceSpan(3, 3, 3, 14),
+        labels=(Label(SourceSpan(4, 1, 4, 5), "overwritten here"),),
+    )
+    text = render(d, source=SOURCE, filename="t.zpl")
+    assert "overwritten here" in text
+    assert "end;" in text  # the label's source line is excerpted too
+
+
+def test_render_all_blank_line_separated():
+    text = render_all([_sample(), _sample("W101", message="unused", span=None)])
+    assert "\n\n" in text
+    assert text.count("[E001]") == 1 and text.count("[W101]") == 1
+
+
+def test_report_roundtrip_validates():
+    diagnostics = [
+        _sample(),
+        _sample("W107", message="slow", span=None, because=(), hint=None),
+        _sample("I302", message="flat", span=None),
+    ]
+    report = make_report(diagnostics, "t.zpl")
+    assert report["schema"] == SCHEMA
+    assert report["counts"] == {"error": 1, "warning": 1, "info": 1}
+    validate_report(report)
+
+
+def test_validate_rejects_schema_drift():
+    report = make_report([_sample()], "t.zpl")
+    bad = dict(report, schema="repro-analyze/0")
+    with pytest.raises(ValueError, match="schema"):
+        validate_report(bad)
+
+
+def test_validate_rejects_count_mismatch():
+    report = make_report([_sample()], "t.zpl")
+    report["counts"] = {"error": 0, "warning": 1, "info": 0}
+    with pytest.raises(ValueError, match="counts"):
+        validate_report(report)
+
+
+def test_validate_rejects_unknown_code_and_severity_drift():
+    report = make_report([_sample()], "t.zpl")
+    report["diagnostics"][0]["code"] = "E999"
+    with pytest.raises(ValueError, match="unknown code"):
+        validate_report(report)
+    report = make_report([_sample()], "t.zpl")
+    report["diagnostics"][0]["severity"] = "warning"
+    with pytest.raises(ValueError, match="severity drift"):
+        validate_report(report)
+
+
+def test_to_dict_carries_structured_payload():
+    d = _sample(data={"statement": 2, "array": "a"})
+    entry = d.to_dict()
+    assert entry["span"] == {"line": 3, "col": 3, "end_line": 3, "end_col": 14}
+    assert entry["because"] == [
+        {"kind": "ref", "detail": "the primed reference a'@up"}
+    ]
+    assert entry["data"] == {"statement": 2, "array": "a"}

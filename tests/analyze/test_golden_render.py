@@ -1,0 +1,109 @@
+"""Golden snapshots of the rendered diagnostics.
+
+These pin the user-facing text — header format, arrow line, gutter, caret
+underlines, because/help chain — per code.  A deliberate renderer change
+means updating the goldens; an accidental one fails loudly here.
+"""
+
+import textwrap
+
+from repro.analyze.diagnostics import render_all
+from repro.analyze.passes import lint_program
+from repro.zpl import Region, ZArray
+from repro.zpl.parser import parse_program
+
+
+def _render(source, code):
+    arrays = {
+        name: ZArray(Region.square(1, 16), name=name, fill=0.5)
+        for name in ("a", "b", "c")
+    }
+    program = parse_program(
+        source, arrays, constants={"n": 16}, filename="t.zpl"
+    )
+    found = [d for d in lint_program(program) if d.code == code]
+    assert found, f"expected {code} to fire"
+    return render_all(found, source=source, filename="t.zpl")
+
+
+def golden(text: str) -> str:
+    return textwrap.dedent(text).strip("\n")
+
+
+def test_golden_e001_undefined_prime():
+    assert _render(
+        "[2..n, 1..n] scan\n  a := b'@north;\nend;\n", "E001"
+    ) == golden("""
+        error[E001]: statement 0 primes 'b', but the scan block never defines it: primed arrays must be assigned in the block
+          --> t.zpl:2:8
+          |
+        2 |   a := b'@north;
+          |        ^^^^^^^^
+          = because: primed reference b'@north in statement 0
+          = because: the block defines only: a
+          = help: drop the prime to read 'b''s old values, or assign 'b' inside the block
+    """)
+
+
+def test_golden_e002_overconstrained():
+    assert _render(
+        "[2..n-1, 1..n] scan\n  a := a'@north + a'@south;\nend;\n", "E002"
+    ) == golden("""
+        error[E002]: the directions on primed references over-constrain the scan block: no loop nest can respect every dependence
+          --> t.zpl:2:8
+          |
+        2 |   a := a'@north + a'@south;
+          |        ^^^^^^^^
+          = because: true dependence (1, 0) on 'a' (S0 -> S0)
+          = because: true dependence (-1, 0) on 'a' (S0 -> S0)
+          = help: remove one of the conflicting primed shifts, or split the block so each part admits a traversal order
+    """)
+
+
+def test_golden_e006_unshifted_prime():
+    assert _render(
+        "[2..n, 1..n] scan\n  a := a';\nend;\n", "E006"
+    ) == golden("""
+        error[E006]: statement 0 primes 'a' without a shift: an unshifted primed reference would name a value of the current iteration
+          --> t.zpl:2:8
+          |
+        2 |   a := a';
+          |        ^^
+          = because: primed reference a' has the zero offset
+          = help: shift the reference (e.g. a'@north) so it names a previously computed value
+    """)
+
+
+def test_golden_w104_redundant_prime():
+    assert _render(
+        "[2..n, 1..n] scan\n  a := a'@north;\n  b := a'@north;\nend;\n",
+        "W104",
+    ) == golden("""
+        warning[W104]: statement 1: redundant prime on 'a' — every write of 'a' is lexically earlier, so the unprimed reference names the same wavefront value
+          --> t.zpl:3:8
+          |
+        3 |   b := a'@north;
+          |        ^^^^^^^^
+          = because: primed and unprimed reads of 'a' both extract a true dependence with vector (1, 0)
+          = help: drop the prime
+    """)
+
+
+def test_golden_w106_dead_store_with_label():
+    assert _render(
+        "[1..n, 1..n] a := 1.0;\n"
+        "[1..n, 1..n] a := 2.0;\n"
+        "[1..n, 1..n] b := a;\n"
+        "[1..n, 1..n] c := b;\n",
+        "W106",
+    ) == golden("""
+        warning[W106]: dead store to 'a': a later statement overwrites all of [1..16,1..16] before anything reads it
+          --> t.zpl:1:14
+          |
+        1 | [1..n, 1..n] a := 1.0;
+          |              ^^^^^^^^^
+        2 | [1..n, 1..n] a := 2.0;
+          |              ^^^^^^^^^ overwritten here
+          = because: the overwriting statement covers [1..16,1..16] unmasked
+          = help: delete this statement
+    """)

@@ -1,0 +1,123 @@
+"""The wavefront race sanitizer on the real multiprocess backend.
+
+Clean pipelined and naive runs (rank-1 chain and rank-2 mesh) must pass the
+happens-before checks *and* stay bit-identical to the sequential engine; the
+injected early-release token-protocol violation must be detected
+deterministically.  Worker counts stay at two, matching the rest of the
+parallel suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro import zpl
+from repro.analyze.sanitizer import parse_inject
+from repro.compiler import compile_scan
+from repro.errors import MachineError, SanitizerError
+from repro.parallel import execute
+from repro.runtime import execute_vectorized, run_and_capture
+from repro.zpl import NORTH, Region
+from tests.conftest import record_tomcatv_block
+
+
+def _single_stream(n=32):
+    a = zpl.ZArray(Region.square(1, n), name="a")
+    rng = np.random.default_rng(5)
+    a.load(rng.uniform(0.2, 1.0, size=(n, n)))
+    with zpl.covering(Region.of((2, n), (1, n))):
+        with zpl.scan(execute=False) as block:
+            a[...] = 0.9 * (a.p @ NORTH) + 0.1
+    return compile_scan(block), (a,)
+
+
+def _assert_sanitized_matches(compiled, arrays, **kwargs):
+    oracle = run_and_capture(execute_vectorized, compiled, arrays)
+    runs = []
+
+    def engine(c):
+        runs.append(execute(c, sanitize=True, **kwargs))
+
+    got = run_and_capture(engine, compiled, arrays)
+    for array, want, have in zip(arrays, oracle, got):
+        np.testing.assert_array_equal(
+            have, want, err_msg=f"array {array.name} diverged under sanitizer"
+        )
+    return runs[0]
+
+
+def test_parse_inject():
+    assert parse_inject(None) is None
+    assert parse_inject("") is None
+    assert parse_inject("early-release:1:3") == ("early-release", 1, 3)
+    with pytest.raises(SanitizerError, match="expected"):
+        parse_inject("late-release:1:3")
+    with pytest.raises(SanitizerError, match="integers"):
+        parse_inject("early-release:one:3")
+
+
+def test_clean_pipelined_rank1():
+    compiled, arrays = _single_stream()
+    run = _assert_sanitized_matches(
+        compiled, arrays, grid=2, schedule="pipelined", block=8
+    )
+    assert run.n_procs == 2 and run.n_chunks > 1
+
+
+def test_clean_naive_rank1():
+    compiled, arrays = _single_stream()
+    run = _assert_sanitized_matches(compiled, arrays, grid=2, schedule="naive")
+    assert run.schedule == "naive"
+
+
+def test_clean_pipelined_rank2_mesh():
+    # Rank-2 processor grid: two independent chains over the tomcatv block.
+    block, arrays = record_tomcatv_block(16)
+    run = _assert_sanitized_matches(
+        compile_scan(block), arrays, grid=(1, 2), schedule="pipelined", block=4
+    )
+    assert run.grid_dims == (1, 2)
+
+
+def test_env_knob_enables_sanitizer(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    compiled, arrays = _single_stream(24)
+    oracle = run_and_capture(execute_vectorized, compiled, arrays)
+    got = run_and_capture(
+        lambda c: execute(c, grid=2, schedule="pipelined", block=6),
+        compiled,
+        arrays,
+    )
+    for want, have in zip(oracle, got):
+        np.testing.assert_array_equal(have, want)
+
+
+def test_injected_early_release_detected(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE_INJECT", "early-release:0:0")
+    compiled, _ = _single_stream()
+    with pytest.raises(SanitizerError, match="wavefront race"):
+        execute(compiled, grid=2, schedule="pipelined", block=8, sanitize=True)
+
+
+def test_injected_mid_pipeline_block_detected(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE_INJECT", "early-release:0:2")
+    compiled, _ = _single_stream()
+    with pytest.raises(SanitizerError, match="wavefront race"):
+        execute(compiled, grid=2, schedule="pipelined", block=8, sanitize=True)
+
+
+def test_injection_ignored_without_matching_rank(monkeypatch):
+    # The fault targets a rank that never sends; the run stays clean.
+    monkeypatch.setenv("REPRO_SANITIZE_INJECT", "early-release:7:0")
+    compiled, arrays = _single_stream(24)
+    _assert_sanitized_matches(
+        compiled, arrays, grid=2, schedule="pipelined", block=6
+    )
+
+
+def test_sanitize_incompatible_with_pool():
+    from repro.parallel.pool import WorkerPool
+
+    compiled, _ = _single_stream(16)
+    with WorkerPool(2) as pool:
+        with pytest.raises(MachineError, match="REPRO_SANITIZE"):
+            execute(compiled, pool=pool, sanitize=True)

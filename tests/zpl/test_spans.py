@@ -1,0 +1,114 @@
+"""Source spans threaded from the tokenizer through statements and refs."""
+
+import pytest
+
+from repro.zpl import Region, ZArray
+from repro.zpl.parser import ParseError, parse_program, tokenize
+from repro.zpl.pretty import format_scan_block
+from repro.zpl.span import SourceSpan, span_of
+
+
+SOURCE = "\n".join(
+    [
+        "direction up = (-1, 0);",
+        "region R = [2..n, 1..n];",
+        "[R] scan",
+        "  a := 0.5 * a'@up;",
+        "  b := a'@up;",
+        "end;",
+    ]
+)
+
+
+def _env(n=8):
+    return {
+        name: ZArray(Region.square(1, n), name=name, fill=0.5)
+        for name in ("a", "b")
+    }
+
+
+def _parse(source=SOURCE, n=8):
+    return parse_program(source, _env(n), constants={"n": n}, filename="t.zpl")
+
+
+def test_span_validation_and_geometry():
+    span = SourceSpan(2, 3, 2, 9)
+    assert span.width == 6
+    assert repr(span) == "2:3"
+    merged = span.to(SourceSpan(4, 1, 4, 5))
+    assert (merged.line, merged.col, merged.end_line, merged.end_col) == (
+        2, 3, 4, 5,
+    )
+    with pytest.raises(ValueError):
+        SourceSpan(0, 1, 1, 1)
+
+
+def test_tokens_carry_line_and_col():
+    tokens = tokenize("a := b;\n  c := d;")
+    texts = {(t.text, t.line, t.col) for t in tokens if t.kind == "name"}
+    assert texts == {("a", 1, 1), ("b", 1, 6), ("c", 2, 3), ("d", 2, 8)}
+    semi = [t for t in tokens if t.text == ";"]
+    assert [(t.line, t.col) for t in semi] == [(1, 7), (2, 9)]
+
+
+def test_statement_spans_cover_source_text():
+    program = _parse()
+    block = program.scan_blocks()[0]
+    spans = [span_of(stmt) for stmt in block.statements]
+    assert all(spans)
+    assert (spans[0].line, spans[0].col) == (4, 3)
+    assert spans[0].end_line == 4  # through the terminating ';'
+    assert (spans[1].line, spans[1].col) == (5, 3)
+
+
+def test_ref_spans_point_at_references():
+    program = _parse()
+    stmt = program.scan_blocks()[0].statements[0]
+    ref = next(r for r in stmt.expr.refs() if r.primed)
+    span = span_of(ref)
+    lines = SOURCE.splitlines()
+    text = lines[span.line - 1][span.col - 1 : span.end_col - 1]
+    assert text == "a'@up"
+
+
+def test_declared_spans_recorded():
+    program = _parse()
+    assert program.declared_directions["up"].line == 1
+    assert program.declared_regions["R"].line == 2
+    assert program.used_directions == {"up"}
+    assert program.used_regions == {"R"}
+    assert program.used_arrays == {"a", "b"}
+
+
+def test_parse_errors_carry_location():
+    with pytest.raises(ParseError, match=r"line 2, column 5") as exc:
+        _parse("region R = [2..n, 1..n];\n[R] u := 1.0;")
+    assert exc.value.span is not None
+    assert (exc.value.span.line, exc.value.span.col) == (2, 5)
+
+
+def test_tokenizer_error_located():
+    with pytest.raises(ParseError, match=r"line 2") as exc:
+        tokenize("a := b;\nc ?= d;")
+    assert exc.value.span.line == 2
+
+
+def test_spans_do_not_affect_statement_equality():
+    program_a = _parse()
+    program_b = _parse()
+    stmts_a = program_a.scan_blocks()[0].statements
+    stmts_b = program_b.scan_blocks()[0].statements
+    # Same env objects... use fresh envs: equality must ignore spans, which
+    # differ from None on a pretty-printed round trip below.
+    assert [s.span for s in stmts_a] == [s.span for s in stmts_b]
+
+
+def test_pretty_roundtrip_still_parses():
+    program = _parse()
+    block = program.scan_blocks()[0]
+    printed = format_scan_block(block)
+    reparsed = parse_program(printed, _env(), constants={"n": 8})
+    again = reparsed.scan_blocks()[0]
+    assert format_scan_block(again) == printed
+    # Round-tripped statements carry their own (new) spans.
+    assert all(span_of(s) is not None for s in again.statements)
