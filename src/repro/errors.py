@@ -107,6 +107,17 @@ class CommunicationError(MachineError):
     """Protocol error in the simulated message-passing layer."""
 
 
+class PoolBrokenError(MachineError):
+    """A persistent worker pool lost a worker (or a run left it unusable).
+
+    Raised by :class:`repro.parallel.pool.WorkerPool` when a run fails or a
+    worker process dies: only the in-flight request(s) observe this error —
+    the pool is flagged broken and callers (or
+    :class:`repro.parallel.pool.PoolSupervisor`) respawn it before the next
+    submission instead of poisoning every later caller.
+    """
+
+
 class DeadlockError(CommunicationError):
     """The discrete-event simulation reached a state with no runnable work."""
 

@@ -26,6 +26,8 @@ from repro.obs.phases import (
     analyze_phases,
     format_phase_report,
     format_residuals,
+    format_serve_report,
+    is_serve_trace,
     residual_table,
 )
 from repro.obs.trace import (
@@ -54,6 +56,8 @@ __all__ = [
     "analyze_phases",
     "format_phase_report",
     "format_residuals",
+    "format_serve_report",
+    "is_serve_trace",
     "residual_table",
     "resolve_tracer",
     "to_chrome",

@@ -20,7 +20,13 @@ import sys
 from pathlib import Path
 
 from repro.obs.export import write_chrome
-from repro.obs.phases import analyze_phases, format_phase_report, format_residuals
+from repro.obs.phases import (
+    analyze_phases,
+    format_phase_report,
+    format_residuals,
+    format_serve_report,
+    is_serve_trace,
+)
 from repro.obs.trace import Trace
 
 
@@ -108,8 +114,13 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "summarize":
         for label, trace in _traces(args):
-            report = analyze_phases(trace)
-            print(format_phase_report(report, title=f"== {label} =="))
+            if is_serve_trace(trace):
+                # Serve traces have no worker pipeline to phase-split;
+                # render the per-request latency breakdown instead.
+                print(format_serve_report(trace, title=f"== {label} =="))
+            else:
+                report = analyze_phases(trace)
+                print(format_phase_report(report, title=f"== {label} =="))
             for line in _counter_lines(trace):
                 print(line)
         return 0

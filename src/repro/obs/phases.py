@@ -347,3 +347,73 @@ def _eq1_summary(trace: Trace, model: dict) -> str | None:
         f"predicted total at b: "
         f"{_fmt(pm.predicted_time(block) * unit, trace.clock).strip()}"
     )
+
+
+# ---------------------------------------------------------------------------
+# Serve traces: per-request latency breakdown
+# ---------------------------------------------------------------------------
+
+
+def is_serve_trace(trace: Trace) -> bool:
+    """True for traces recorded by :mod:`repro.serve` (request spans)."""
+    if trace.meta.get("backend") == "serve":
+        return True
+    return any(s.name == "serve_request" for s in trace.spans)
+
+
+def format_serve_report(trace: Trace, title: str | None = None) -> str:
+    """Render a serve trace: one row per request, batches summarised.
+
+    The ``serve_request`` spans carry the request's end-to-end window and
+    its queue/compute split in their args; ``serve_batch`` spans record
+    each fused dispatch.  Together they answer the serving questions the
+    phase report cannot: where did a request's latency go, and how well
+    did the coalescing window pack the batches?
+    """
+    from repro.util.tables import Table
+
+    requests = [s for s in trace.spans if s.name == "serve_request"]
+    batches = [s for s in trace.spans if s.name == "serve_batch"]
+    lines = []
+    if title:
+        lines.append(title)
+    table = Table(
+        title=f"serve requests ({len(requests)})",
+        headers=["id", "kind", "status", "batch", "queue ms", "compute ms",
+                 "e2e ms"],
+    )
+    e2e_ok = []
+    statuses: dict[int, int] = {}
+    for s in sorted(requests, key=lambda s: s.args.get("id", 0)):
+        args = s.args
+        status = int(args.get("status", 0))
+        statuses[status] = statuses.get(status, 0) + 1
+        e2e = s.duration * 1e3
+        if status == 200:
+            e2e_ok.append(e2e)
+        table.add_row(
+            args.get("id", "?"), args.get("kind", "?"), status,
+            args.get("batch", 0), round(args.get("queue_ms", 0.0), 3),
+            round(args.get("compute_ms", 0.0), 3), round(e2e, 3),
+        )
+    lines.append(table.render())
+    from repro.serve.metrics import percentile
+
+    if e2e_ok:
+        lines.append(
+            f"  completed {len(e2e_ok)}: p50 {percentile(e2e_ok, 50):.3f} ms, "
+            f"p99 {percentile(e2e_ok, 99):.3f} ms"
+        )
+    shed = sum(n for code, n in statuses.items() if code != 200)
+    if shed:
+        detail = ", ".join(
+            f"{n}x {code}" for code, n in sorted(statuses.items()) if code != 200
+        )
+        lines.append(f"  non-200: {detail}")
+    if batches:
+        items = [int(b.args.get("items", 0)) for b in batches]
+        lines.append(
+            f"  batches {len(batches)}: {sum(items)} requests fused, "
+            f"mean size {sum(items) / len(batches):.2f}, largest {max(items)}"
+        )
+    return "\n".join(lines)

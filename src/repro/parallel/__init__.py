@@ -46,7 +46,12 @@ from repro.parallel.executor import (
     default_grid,
     execute,
 )
-from repro.parallel.pool import WorkerPool, close_pools, shared_pool
+from repro.parallel.pool import (
+    PoolSupervisor,
+    WorkerPool,
+    close_pools,
+    shared_pool,
+)
 from repro.parallel.sharedmem import SharedArrayPool, collect_arrays
 
 __all__ = [
@@ -56,6 +61,7 @@ __all__ = [
     "ParallelRun",
     "SCHEDULES",
     "SharedArrayPool",
+    "PoolSupervisor",
     "WorkerPool",
     "autotune",
     "close_pools",

@@ -22,10 +22,16 @@ per-token α.  The pool amortises all of it:
   :mod:`repro.runtime.kernels` stay warm too: after the first run a pipeline
   block costs one closure call per statement per slab.
 
-Failure semantics are deliberately blunt: any failed run marks the pool
-*broken* (workers may be mid-pipeline on stale tokens) and every later
-``execute()`` raises — close it and build a new one.  The fork-per-run
-executor remains the robust path; the pool is the fast path.
+Failure semantics: any failed run — including a worker process dying
+mid-request — marks the pool *broken* and raises the typed
+:class:`~repro.errors.PoolBrokenError` for the affected in-flight request
+only; every later ``execute()`` refuses with the same type until the pool
+is replaced.  ``execute()`` is additionally serialised behind an internal
+lock, so concurrent submissions from threads (the serving layer's batches)
+are safe: the fingerprint-keyed plan LRU and the shared-segment
+``refresh``/``gather`` cycle never interleave.  :class:`PoolSupervisor`
+packages the recovery story — serialize, detect broken, respawn — for
+callers that must survive worker death (``repro.serve``).
 
 ``shared_pool()`` hands out one module-level pool per grid shape, closed
 automatically at interpreter exit; explicit pools support ``with``.
@@ -36,13 +42,14 @@ from __future__ import annotations
 import atexit
 import gc
 import pickle
+import threading
 import time
 import traceback
 from dataclasses import dataclass, field, replace
 from multiprocessing.connection import Connection
 
 from repro.compiler.lowering import CompiledScan
-from repro.errors import DistributionError, MachineError
+from repro.errors import DistributionError, MachineError, PoolBrokenError
 from repro.machine.grid import ProcessorGrid
 from repro.machine.schedules import plan_wavefront
 from repro.obs.trace import NULL_TRACER, Trace, Tracer, resolve_tracer
@@ -249,6 +256,10 @@ class WorkerPool:
         self._seq = 0
         self._broken = False
         self._closed = False
+        # One submission at a time: the plan LRU, the barrier and the shared
+        # segments are single-run state.  Re-entrant so error paths that
+        # re-enter helpers under the lock stay deadlock-free.
+        self._submit_lock = threading.RLock()
         self.stats = {
             "executes": 0,
             "plan_hits": 0,
@@ -386,14 +397,55 @@ class WorkerPool:
         Same semantics and return type as
         :func:`repro.parallel.executor.execute`; the difference is purely in
         what is amortised.  The block's arrays are updated in place.
+
+        Thread-safe: submissions serialise behind an internal lock, so
+        concurrent batches (same fingerprint or not) never interleave the
+        plan cache, the segment refresh or the result queue.  A run that
+        fails — or a worker found dead — raises the typed
+        :class:`~repro.errors.PoolBrokenError` and flags the pool broken.
         """
+        with self._submit_lock:
+            return self._execute(
+                compiled,
+                schedule=schedule,
+                block=block,
+                wavefront_dim=wavefront_dim,
+                timeout=timeout,
+                tracer=tracer,
+            )
+
+    def _ensure_workers_alive(self) -> None:
+        """Fail fast when a worker process died (kill -9, OOM, segfault)."""
+        dead = [
+            rank
+            for rank, proc in zip(self.grid, self._procs)
+            if not proc.is_alive()
+        ]
+        if dead:
+            self._broken = True
+            raise PoolBrokenError(
+                f"pool worker(s) {dead} died; the pool is broken — "
+                "respawn it (see PoolSupervisor) before the next request"
+            )
+
+    def _execute(
+        self,
+        compiled: CompiledScan,
+        *,
+        schedule: str,
+        block: int | None,
+        wavefront_dim: int | None,
+        timeout: float | None,
+        tracer,
+    ) -> ParallelRun:
         if self._closed:
             raise MachineError("worker pool is closed")
         if self._broken:
-            raise MachineError(
+            raise PoolBrokenError(
                 "worker pool is broken (a previous run failed); "
                 "close() it and build a new pool"
             )
+        self._ensure_workers_alive()
         if schedule not in SCHEDULES:
             raise MachineError(
                 f"unknown schedule {schedule!r}; pick from {SCHEDULES}"
@@ -470,26 +522,32 @@ class WorkerPool:
         except Exception as exc:
             self._broken = True
             detail = self._first_error(seq)
-            raise MachineError(
+            raise PoolBrokenError(
                 f"pool workers failed to start: {exc}{detail}"
             ) from exc
         setup_time = time.perf_counter() - setup_start
 
         outcomes: dict[int, float] = {}
+        deadline = time.monotonic() + timeout
         while len(outcomes) < grid.size:
+            # Short poll slices instead of one long get(): a worker killed
+            # mid-run is noticed within a slice, not after the full timeout.
             try:
-                status, rank, payload = self._results.get(timeout=timeout)
-            except Exception as exc:
-                self._broken = True
-                raise MachineError(
-                    f"lost contact with {grid.size - len(outcomes)} pool "
-                    f"worker(s) after {timeout:.0f}s"
-                ) from exc
+                status, rank, payload = self._results.get(timeout=0.25)
+            except Exception:
+                self._ensure_workers_alive()
+                if time.monotonic() > deadline:
+                    self._broken = True
+                    raise PoolBrokenError(
+                        f"lost contact with {grid.size - len(outcomes)} pool "
+                        f"worker(s) after {timeout:.0f}s"
+                    ) from None
+                continue
             if payload.get("seq") != seq:
                 continue  # stale report from an earlier failed run
             if status != "ok":
                 self._broken = True
-                raise MachineError(
+                raise PoolBrokenError(
                     f"worker {rank} failed:\n{payload['detail']}"
                 )
             outcomes[rank] = payload["elapsed"]
@@ -548,6 +606,75 @@ class WorkerPool:
                     return f"\nworker {rank}:\n{payload['detail']}"
         except Exception:
             return ""
+
+
+class PoolSupervisor:
+    """Thread-safe pool façade: serialize submissions, respawn broken pools.
+
+    The serving layer's submission path.  ``submit()`` runs a compiled block
+    on the supervised pool; when the pool is (or becomes) broken — a worker
+    died, a run failed — only the in-flight submission observes the
+    :class:`~repro.errors.PoolBrokenError`, and the supervisor replaces the
+    pool before the next submission.  One dead worker therefore costs
+    exactly the requests that were riding it, never every later caller.
+
+    >>> sup = PoolSupervisor(2)
+    >>> sup.submit(compiled, block=4)      # builds the pool lazily
+    >>> sup.close()
+    """
+
+    def __init__(
+        self,
+        grid: ProcessorGrid | int | tuple[int, ...] | None = None,
+        *,
+        start_method: str | None = None,
+        timeout: float = 120.0,
+    ):
+        self.grid = _as_grid(grid)
+        self._start_method = start_method
+        self._timeout = timeout
+        self._pool: WorkerPool | None = None
+        self._lock = threading.Lock()
+        self._closed = False
+        #: Pools built to replace a broken/closed predecessor.
+        self.respawns = 0
+
+    @property
+    def pool(self) -> WorkerPool | None:
+        """The current pool (``None`` before the first submission)."""
+        return self._pool
+
+    def _ensure_pool(self) -> WorkerPool:
+        if self._pool is None or self._pool.closed or self._pool.broken:
+            if self._pool is not None:
+                self._pool.close()
+                self.respawns += 1
+            self._pool = WorkerPool(
+                self.grid,
+                start_method=self._start_method,
+                timeout=self._timeout,
+            )
+        return self._pool
+
+    def submit(self, compiled: CompiledScan, **kwargs) -> ParallelRun:
+        """Run ``compiled`` on the supervised pool (lazily (re)built)."""
+        with self._lock:
+            if self._closed:
+                raise MachineError("pool supervisor is closed")
+            return self._ensure_pool().execute(compiled, **kwargs)
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            if self._pool is not None:
+                self._pool.close()
+                self._pool = None
+
+    def __enter__(self) -> "PoolSupervisor":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
 
 #: Module-level pools, one per (grid dims, start method) — see shared_pool().

@@ -28,6 +28,7 @@ from repro.runtime.kernels import (
     KERNEL_STATS,
     LEGACY_ENGINE_ENV,
     SKEW_ENV,
+    PlanRunner,
     default_engine,
     plan_fingerprint,
     plan_kind,
@@ -44,6 +45,7 @@ __all__ = [
     "LEGACY_ENGINE_ENV",
     "SKEW_ENV",
     "ArraySnapshot",
+    "PlanRunner",
     "default_engine",
     "execute_loopnest",
     "execute_vectorized",

@@ -166,6 +166,8 @@ class KernelStats:
         "skew_plan_builds",
         "skew_plan_hits",
         "hyperplanes",
+        "batch_dispatches",
+        "batch_items",
     )
 
     def __init__(self) -> None:
@@ -180,6 +182,8 @@ class KernelStats:
         self.skew_plan_builds = 0
         self.skew_plan_hits = 0
         self.hyperplanes = 0
+        self.batch_dispatches = 0
+        self.batch_items = 0
 
     def snapshot(self) -> dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}
@@ -830,6 +834,67 @@ def try_execute_kernels(
         if obs.enabled:
             obs.count("hyperplanes", plan.n_planes)
     return True
+
+
+class PlanRunner:
+    """Amortised repeated dispatch of one compiled plan (the serving hot path).
+
+    A server (or any batch driver) that executes the *same* plan thousands of
+    times pays engine resolution, template lookup and support probing on
+    every :func:`try_execute_kernels` call.  ``PlanRunner`` hoists all of it
+    to construction: ``run(items=k)`` executes the cached region plan —
+    re-instantiating only when storage was rebound — and accounts the
+    dispatch as one *batched* kernel dispatch covering ``items`` logical
+    requests (``KERNEL_STATS.batch_dispatches`` / ``batch_items``).
+
+    Blocks the kernel layer cannot express (or an explicit
+    ``engine="interp"``) fall back to the tree-walking engine per run, so
+    the runner is safe to use unconditionally.
+    """
+
+    __slots__ = ("compiled", "engine", "_template", "_use_kernels")
+
+    def __init__(self, compiled: CompiledScan, engine: str | None = None):
+        self.compiled = compiled
+        self.engine = resolve_engine(engine)
+        self._template = (
+            template_for(compiled) if self.engine != "interp" else None
+        )
+        self._use_kernels = (
+            self._template is not None and self._template.supported
+        )
+
+    @property
+    def kind(self) -> str:
+        """The plan family ``run`` executes: ``skewed``/``flat``/``interp``."""
+        if not self._use_kernels:
+            return "interp"
+        if self.engine == "kernel" and self._template.skew is not None:
+            return "skewed"
+        return "flat"
+
+    def run(self, items: int = 1, tracer=None) -> None:
+        """Execute the plan once, covering ``items`` coalesced requests."""
+        obs = tracer if tracer is not None else NULL_TRACER
+        KERNEL_STATS.batch_dispatches += 1
+        KERNEL_STATS.batch_items += items
+        if obs.enabled:
+            obs.count("batch_dispatches")
+            obs.count("batch_items", items)
+        if not self._use_kernels:
+            from repro.runtime.vectorized import execute_vectorized
+
+            execute_vectorized(self.compiled, tracer=tracer, engine="interp")
+            return
+        self.compiled.prepare()
+        use_skew = self.engine == "kernel" and self._template.skew is not None
+        region = self.compiled.region
+        if region.is_empty():
+            return
+        plan = self._template.instantiate(region, obs, skewed=use_skew)
+        plan.run()
+        if use_skew:
+            KERNEL_STATS.hyperplanes += plan.n_planes
 
 
 def plan_kind(compiled: CompiledScan, engine: str | None = None) -> str:

@@ -1,0 +1,206 @@
+"""A stdlib asyncio HTTP/1.1 client and the load generators the bench uses.
+
+:class:`ServeClient` speaks exactly the dialect :mod:`repro.serve.server`
+emits — JSON bodies, ``Content-Length`` framing, keep-alive — over one
+persistent connection, reconnecting transparently if the server closed it.
+
+Two measurement harnesses sit on top:
+
+* :func:`run_open_loop` — requests fire on a fixed schedule (``qps``)
+  regardless of completions; the honest way to measure latency under a
+  given *offered* load, and the shape of the bench's stepped-QPS curve.
+* :func:`run_closed_loop` — ``clients`` concurrent callers issue
+  back-to-back requests for ``duration`` seconds; the honest way to
+  measure *sustained throughput* at saturation, and the harness behind
+  the batching-speedup gate in ``benchmarks/test_bench_serve.py``.
+
+Both return a list of :class:`Sample` (status, end-to-end latency) which
+:func:`summarize` folds into the p50/p99/throughput/rejection-rate record
+the bench writes to ``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass
+
+from repro.serve.metrics import percentile
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One request as the load generator saw it."""
+
+    status: int
+    latency: float  # seconds, send-to-parsed-response
+    body: dict | None = None
+
+
+class ServeClient:
+    """One keep-alive connection to a serve endpoint."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def _connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._reader = self._writer = None
+
+    async def request(
+        self, method: str, path: str, payload: object = None
+    ) -> tuple[int, dict, dict]:
+        """Issue one request; returns ``(status, headers, body)``."""
+        body = b"" if payload is None else json.dumps(payload).encode()
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Content-Type: application/json\r\n\r\n"
+        ).encode()
+        for attempt in (0, 1):  # one transparent reconnect on a stale socket
+            if self._writer is None:
+                await self._connect()
+            try:
+                self._writer.write(head + body)
+                await self._writer.drain()
+                return await self._read_response()
+            except (
+                ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError,
+            ):
+                await self.close()
+                if attempt:
+                    raise
+        raise ConnectionError("unreachable")
+
+    async def _read_response(self) -> tuple[int, dict, dict]:
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise asyncio.IncompleteReadError(b"", None)
+        status = int(status_line.split()[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        raw = await self._reader.readexactly(length) if length else b""
+        parsed = json.loads(raw) if raw else {}
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        return status, headers, parsed
+
+    async def post(self, path: str, payload: object) -> tuple[int, dict, dict]:
+        return await self.request("POST", path, payload)
+
+    async def get(self, path: str) -> tuple[int, dict, dict]:
+        return await self.request("GET", path)
+
+    async def __aenter__(self) -> "ServeClient":
+        return self
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.close()
+
+
+async def _timed_post(client: ServeClient, path: str, payload: dict) -> Sample:
+    start = time.perf_counter()
+    status, _headers, body = await client.post(path, payload)
+    return Sample(status, time.perf_counter() - start, body)
+
+
+async def run_open_loop(
+    host: str,
+    port: int,
+    make_payload,
+    *,
+    qps: float,
+    duration: float,
+    path: str = "/v1/align",
+) -> list[Sample]:
+    """Fire ``qps`` requests/second for ``duration`` seconds, open loop.
+
+    Each request rides its own connection task, so a slow response never
+    delays the next send — the offered load stays fixed, as an outside
+    client population would.
+    """
+    interval = 1.0 / qps
+    total = max(int(duration * qps), 1)
+    samples: list[Sample] = []
+
+    async def one(i: int) -> None:
+        async with ServeClient(host, port) as client:
+            samples.append(await _timed_post(client, path, make_payload(i)))
+
+    start = time.perf_counter()
+    tasks = []
+    for i in range(total):
+        due = start + i * interval
+        delay = due - time.perf_counter()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tasks.append(asyncio.ensure_future(one(i)))
+    await asyncio.gather(*tasks)
+    return samples
+
+
+async def run_closed_loop(
+    host: str,
+    port: int,
+    make_payload,
+    *,
+    clients: int,
+    duration: float,
+    path: str = "/v1/align",
+) -> tuple[list[Sample], float]:
+    """``clients`` callers issue back-to-back requests for ``duration`` s.
+
+    Returns the samples and the measured wall time — sustained throughput
+    is ``completed / wall``.
+    """
+    samples: list[Sample] = []
+    deadline = time.perf_counter() + duration
+
+    async def caller(i: int) -> None:
+        async with ServeClient(host, port) as client:
+            n = 0
+            while time.perf_counter() < deadline:
+                samples.append(await _timed_post(client, path, make_payload(i, n)))
+                n += 1
+
+    start = time.perf_counter()
+    await asyncio.gather(*(caller(i) for i in range(clients)))
+    wall = time.perf_counter() - start
+    return samples, wall
+
+
+def summarize(samples: list[Sample], wall: float) -> dict:
+    """Fold samples into the record shape ``BENCH_serve.json`` stores."""
+    ok = [s.latency for s in samples if s.status == 200]
+    rejected = sum(1 for s in samples if s.status == 429)
+    return {
+        "offered": len(samples),
+        "completed": len(ok),
+        "rejected": rejected,
+        "rejection_rate": rejected / len(samples) if samples else 0.0,
+        "throughput_rps": len(ok) / wall if wall > 0 else 0.0,
+        "p50_ms": percentile(ok, 50) * 1e3,
+        "p99_ms": percentile(ok, 99) * 1e3,
+        "mean_ms": (sum(ok) / len(ok) * 1e3) if ok else 0.0,
+    }

@@ -1,0 +1,136 @@
+"""Per-request metrics and the ``/metrics`` snapshot for :mod:`repro.serve`.
+
+The server is single-event-loop, so plain counters suffice; the only
+cross-thread writer is the dispatcher's compute future resolution, which
+also runs on the loop.  Latency reservoirs are bounded deques — a
+long-running server reports recent behaviour, not its whole life.
+
+Alongside the counters the server records :mod:`repro.obs` spans:
+
+* ``serve_request`` (cat ``"serve"``) — one per request, end-to-end,
+  with ``id``/``kind``/``status``/``batch``/``queue_ms``/``compute_ms``;
+* ``serve_batch`` (cat ``"compute"``) — one per dispatched batch with
+  ``batch``/``items``/``kind``.
+
+``python -m repro.obs summarize`` renders these into the per-request
+latency-breakdown table (see :func:`repro.obs.phases.format_serve_report`).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Linear-interpolated percentile of an unsorted sample (q in [0, 100])."""
+    if not values:
+        return 0.0
+    data = sorted(values)
+    if len(data) == 1:
+        return data[0]
+    rank = (q / 100.0) * (len(data) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(data) - 1)
+    frac = rank - lo
+    return data[lo] * (1.0 - frac) + data[hi] * frac
+
+
+class ServeMetrics:
+    """Counters + bounded latency reservoirs, snapshotted by ``/metrics``."""
+
+    RESERVOIR = 8192
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        self.started = clock()
+        self.received = 0
+        self.completed = 0
+        self.rejected = 0
+        self.timeouts = 0
+        self.bad_requests = 0
+        self.failed = 0
+        self.batches = 0
+        self.batched_items = 0
+        self.queue_depth = 0
+        self.queue_peak = 0
+        #: batch size -> number of dispatches of that size
+        self.batch_sizes: dict[int, int] = {}
+        self._e2e = deque(maxlen=self.RESERVOIR)
+        self._queue_wait = deque(maxlen=self.RESERVOIR)
+        self._compute = deque(maxlen=self.RESERVOIR)
+
+    # -- event hooks ---------------------------------------------------------
+    def on_received(self) -> None:
+        self.received += 1
+
+    def on_enqueued(self, depth: int) -> None:
+        self.queue_depth = depth
+        self.queue_peak = max(self.queue_peak, depth)
+
+    def on_dequeued(self, depth: int) -> None:
+        self.queue_depth = depth
+
+    def on_rejected(self) -> None:
+        self.rejected += 1
+
+    def on_bad_request(self) -> None:
+        self.bad_requests += 1
+
+    def on_timeout(self) -> None:
+        self.timeouts += 1
+
+    def on_failed(self) -> None:
+        self.failed += 1
+
+    def on_batch(self, size: int) -> None:
+        self.batches += 1
+        self.batched_items += size
+        self.batch_sizes[size] = self.batch_sizes.get(size, 0) + 1
+
+    def on_completed(self, e2e: float, queue_wait: float, compute: float) -> None:
+        self.completed += 1
+        self._e2e.append(e2e)
+        self._queue_wait.append(queue_wait)
+        self._compute.append(compute)
+
+    # -- snapshot ------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """The ``/metrics`` document (JSON-ready, milliseconds for latency)."""
+        uptime = max(self._clock() - self.started, 1e-9)
+        e2e = list(self._e2e)
+        attempted = self.received - self.bad_requests
+        return {
+            "uptime_seconds": uptime,
+            "requests": {
+                "received": self.received,
+                "completed": self.completed,
+                "rejected": self.rejected,
+                "timeouts": self.timeouts,
+                "bad_requests": self.bad_requests,
+                "failed": self.failed,
+            },
+            "throughput_rps": self.completed / uptime,
+            "rejection_rate": self.rejected / attempted if attempted else 0.0,
+            "latency_ms": {
+                "p50": percentile(e2e, 50) * 1e3,
+                "p95": percentile(e2e, 95) * 1e3,
+                "p99": percentile(e2e, 99) * 1e3,
+                "mean": (sum(e2e) / len(e2e) * 1e3) if e2e else 0.0,
+            },
+            "queue_wait_ms": {
+                "p50": percentile(list(self._queue_wait), 50) * 1e3,
+                "p99": percentile(list(self._queue_wait), 99) * 1e3,
+            },
+            "compute_ms": {
+                "p50": percentile(list(self._compute), 50) * 1e3,
+                "p99": percentile(list(self._compute), 99) * 1e3,
+            },
+            "queue": {"depth": self.queue_depth, "peak": self.queue_peak},
+            "batches": {
+                "dispatched": self.batches,
+                "items": self.batched_items,
+                "mean_size": self.batched_items / self.batches if self.batches else 0.0,
+                "histogram": {str(k): v for k, v in sorted(self.batch_sizes.items())},
+            },
+        }

@@ -1,0 +1,285 @@
+"""Request schema, validation and the typed error surface of :mod:`repro.serve`.
+
+Two request families share one envelope (a JSON object body):
+
+* ``POST /v1/align`` — an alignment *scoring* request::
+
+      {"kind": "nw" | "sw", "a": "ACGT...", "b": "AGT...",
+       "match": 2.0, "mismatch": -1.0, "gap": 1.0}
+
+  ``nw`` is the global (Needleman–Wunsch) score, ``sw`` the local
+  (Smith–Waterman) score.  Requests with the same *coalescing key* —
+  mode, sequence lengths and scoring parameters — can be fused into one
+  rank-3 stacked kernel dispatch (:func:`repro.apps.alignment.batch_tables`).
+
+* ``POST /v1/zpl`` — a generic compiled-scan request::
+
+      {"source": "...zpl program...",
+       "arrays": {"H": {"lo": [0, 0], "hi": [8, 8], "data": [[...]], "fluff": 1}}}
+
+  The coalescing key is the SHA-1 of the source plus the array
+  geometry, which is exactly what makes two requests share a compiled
+  plan (and the pool's fingerprint-keyed caches downstream).
+
+Validation failures raise :class:`BadRequest`; the admission controller
+and backend raise the other :class:`ServeError` subclasses.  Every error
+maps onto one HTTP status and a machine-readable ``code`` so clients can
+branch without parsing prose.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field
+
+#: Longest accepted sequence per side.  A single pair at the cap is
+#: ``MAX_SEQ_LEN**2`` DP cells — within the batch planner's element
+#: budget, so even worst-case requests coalesce (capacity 1).
+MAX_SEQ_LEN = 2048
+
+#: Caps for the generic endpoint: program text and per-array volume.
+MAX_ZPL_SOURCE = 64 * 1024
+MAX_ZPL_ELEMENTS = 1 << 20
+MAX_ZPL_ARRAYS = 8
+
+#: Largest accepted HTTP body (the transport enforces this before JSON).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class ServeError(Exception):
+    """Base of the typed error surface: HTTP status + stable code."""
+
+    status = 500
+    code = "internal"
+
+    def __init__(self, message: str, retry_after: float | None = None):
+        super().__init__(message)
+        self.message = message
+        #: Seconds the client should back off (429 responses only).
+        self.retry_after = retry_after
+
+    def payload(self) -> dict:
+        return {"error": self.code, "message": self.message}
+
+
+class BadRequest(ServeError):
+    """The payload is malformed; retrying it verbatim cannot succeed."""
+
+    status = 400
+    code = "bad_request"
+
+
+class PayloadTooLarge(BadRequest):
+    status = 413
+    code = "payload_too_large"
+
+
+class QueueFull(ServeError):
+    """Admission control shed this request; retry after ``retry_after``."""
+
+    status = 429
+    code = "queue_full"
+
+
+class RequestTimeout(ServeError):
+    """The per-request deadline elapsed before a batch produced a result."""
+
+    status = 504
+    code = "timeout"
+
+
+class BackendBroken(ServeError):
+    """The compute backend (worker pool) is unusable for this request."""
+
+    status = 503
+    code = "pool_broken"
+
+
+class ShuttingDown(ServeError):
+    status = 503
+    code = "shutting_down"
+
+
+@dataclass(frozen=True)
+class AlignRequest:
+    """A validated alignment scoring request."""
+
+    kind: str  # "nw" | "sw"
+    a: str
+    b: str
+    match: float = 2.0
+    mismatch: float = -1.0
+    gap: float = 1.0
+
+    @property
+    def local(self) -> bool:
+        return self.kind == "sw"
+
+    @property
+    def batch_key(self) -> tuple:
+        """Requests sharing this key fuse into one stacked dispatch."""
+        return (
+            "align", self.local, len(self.a), len(self.b),
+            self.match, self.mismatch, self.gap,
+        )
+
+    @property
+    def cells(self) -> int:
+        """DP matrix volume — the unit the cost model scales with."""
+        return len(self.a) * len(self.b)
+
+
+@dataclass(frozen=True)
+class ZplRequest:
+    """A validated generic program request (source + input arrays)."""
+
+    source: str
+    arrays: dict = field(hash=False)
+
+    @property
+    def batch_key(self) -> tuple:
+        digest = hashlib.sha1(self.source.encode()).hexdigest()[:16]
+        shapes = tuple(
+            (name, tuple(spec["lo"]), tuple(spec["hi"]))
+            for name, spec in sorted(self.arrays.items())
+        )
+        return ("zpl", digest, shapes)
+
+    @property
+    def cells(self) -> int:
+        total = 0
+        for spec in self.arrays.values():
+            n = 1
+            for lo, hi in zip(spec["lo"], spec["hi"]):
+                n *= hi - lo + 1
+            total += n
+        return max(total, 1)
+
+
+def _require(payload: dict, key: str, kind: type, what: str):
+    if key not in payload:
+        raise BadRequest(f"{what} is missing required field {key!r}")
+    value = payload[key]
+    if kind is float:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise BadRequest(f"field {key!r} must be a number, got {value!r}")
+        value = float(value)
+        if not math.isfinite(value):
+            raise BadRequest(f"field {key!r} must be finite, got {value!r}")
+        return value
+    if not isinstance(value, kind):
+        raise BadRequest(
+            f"field {key!r} must be {kind.__name__}, got {type(value).__name__}"
+        )
+    return value
+
+
+def _check_sequence(name: str, seq: str) -> str:
+    if not seq:
+        raise BadRequest(f"sequence {name!r} is empty")
+    if len(seq) > MAX_SEQ_LEN:
+        raise PayloadTooLarge(
+            f"sequence {name!r} has {len(seq)} characters (cap {MAX_SEQ_LEN})"
+        )
+    if not seq.isascii():
+        raise BadRequest(f"sequence {name!r} must be ASCII")
+    return seq
+
+
+def parse_align(payload: object) -> AlignRequest:
+    if not isinstance(payload, dict):
+        raise BadRequest("align request body must be a JSON object")
+    kind = _require(payload, "kind", str, "align request")
+    if kind not in ("nw", "sw"):
+        raise BadRequest(f"kind must be 'nw' or 'sw', got {kind!r}")
+    a = _check_sequence("a", _require(payload, "a", str, "align request"))
+    b = _check_sequence("b", _require(payload, "b", str, "align request"))
+    scores = {}
+    for key, default in (("match", 2.0), ("mismatch", -1.0), ("gap", 1.0)):
+        scores[key] = (
+            _require(payload, key, float, "align request")
+            if key in payload else default
+        )
+    unknown = set(payload) - {"kind", "a", "b", "match", "mismatch", "gap"}
+    if unknown:
+        raise BadRequest(f"unknown align request field(s): {sorted(unknown)}")
+    return AlignRequest(kind=kind, a=a, b=b, **scores)
+
+
+def _check_array_spec(name: str, spec: object) -> dict:
+    if not isinstance(spec, dict):
+        raise BadRequest(f"array {name!r} spec must be an object")
+    for key in ("lo", "hi"):
+        if key not in spec or not isinstance(spec[key], list) or not spec[key]:
+            raise BadRequest(f"array {name!r} needs a non-empty {key!r} list")
+        if not all(isinstance(v, int) and not isinstance(v, bool) for v in spec[key]):
+            raise BadRequest(f"array {name!r} {key!r} must be integers")
+    lo, hi = spec["lo"], spec["hi"]
+    if len(lo) != len(hi):
+        raise BadRequest(f"array {name!r} lo/hi ranks differ ({len(lo)} vs {len(hi)})")
+    elements = 1
+    for l, h in zip(lo, hi):
+        if h < l:
+            raise BadRequest(f"array {name!r} has empty range [{l}, {h}]")
+        elements *= h - l + 1
+    if elements > MAX_ZPL_ELEMENTS:
+        raise PayloadTooLarge(
+            f"array {name!r} has {elements} elements (cap {MAX_ZPL_ELEMENTS})"
+        )
+    fluff = spec.get("fluff", 1)
+    if not isinstance(fluff, int) or isinstance(fluff, bool) or fluff < 0:
+        raise BadRequest(f"array {name!r} fluff must be a non-negative integer")
+    out = {"lo": list(lo), "hi": list(hi), "fluff": fluff}
+    if "data" in spec:
+        out["data"] = spec["data"]  # shape-checked against lo/hi at build time
+    if "fill" in spec:
+        fill = spec["fill"]
+        if isinstance(fill, bool) or not isinstance(fill, (int, float)):
+            raise BadRequest(f"array {name!r} fill must be a number")
+        out["fill"] = float(fill)
+    return out
+
+
+def parse_zpl(payload: object) -> ZplRequest:
+    if not isinstance(payload, dict):
+        raise BadRequest("zpl request body must be a JSON object")
+    source = _require(payload, "source", str, "zpl request")
+    if not source.strip():
+        raise BadRequest("zpl source is empty")
+    if len(source) > MAX_ZPL_SOURCE:
+        raise PayloadTooLarge(
+            f"zpl source is {len(source)} characters (cap {MAX_ZPL_SOURCE})"
+        )
+    arrays = _require(payload, "arrays", dict, "zpl request")
+    if not arrays:
+        raise BadRequest("zpl request declares no arrays")
+    if len(arrays) > MAX_ZPL_ARRAYS:
+        raise PayloadTooLarge(
+            f"zpl request declares {len(arrays)} arrays (cap {MAX_ZPL_ARRAYS})"
+        )
+    checked = {}
+    for name, spec in arrays.items():
+        if not isinstance(name, str) or not name.isidentifier():
+            raise BadRequest(f"array name {name!r} is not an identifier")
+        checked[name] = _check_array_spec(name, spec)
+    unknown = set(payload) - {"source", "arrays"}
+    if unknown:
+        raise BadRequest(f"unknown zpl request field(s): {sorted(unknown)}")
+    return ZplRequest(source=source, arrays=checked)
+
+
+#: Route table used by the server: path suffix -> parser.
+PARSERS = {
+    "/v1/align": parse_align,
+    "/v1/zpl": parse_zpl,
+}
+
+
+def parse_request(path: str, payload: object):
+    """Validate ``payload`` for ``path``; raises :class:`BadRequest`."""
+    try:
+        parser = PARSERS[path]
+    except KeyError:
+        raise BadRequest(f"no such endpoint: {path}") from None
+    return parser(payload)

@@ -1,0 +1,117 @@
+"""The batch alignment API: one compiled plan per shape, many pairs.
+
+:func:`repro.apps.alignment.batch_tables` stacks same-shape pairs on a
+parallel leading dimension and fills every DP table with **one** kernel
+dispatch per anti-diagonal; :func:`~repro.apps.alignment.score_many`
+groups arbitrary pairs by shape on top of it.  The single-pair entry
+points delegate here, so these tests also pin the serving layer's
+correctness anchor.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.apps.alignment import (
+    batch_tables,
+    needleman_wunsch,
+    nw_score_oracle,
+    score_many,
+    smith_waterman_score,
+)
+from repro.runtime import KERNEL_STATS
+
+
+def _random_pairs(rng, count, la, lb):
+    alphabet = np.array(list("ACGT"))
+    return [
+        ("".join(rng.choice(alphabet, la)), "".join(rng.choice(alphabet, lb)))
+        for _ in range(count)
+    ]
+
+
+class TestBatchTables:
+    def test_tables_match_oracle_scores(self):
+        rng = np.random.default_rng(7)
+        pairs = _random_pairs(rng, 5, 9, 7)
+        tables = batch_tables(pairs, match=2.0, mismatch=-1.0, gap=1.0)
+        assert tables.shape == (5, 10, 8)
+        for table, (a, b) in zip(tables, pairs):
+            assert table[len(a), len(b)] == pytest.approx(
+                nw_score_oracle(a, b, 2.0, -1.0, 1.0)
+            )
+
+    def test_mixed_shapes_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            batch_tables([("ACGT", "ACG"), ("ACGTT", "ACG")])
+
+    def test_empty_pair_rejected(self):
+        with pytest.raises(ValueError):
+            batch_tables([("", "ACG")])
+
+    def test_waves_beyond_plan_capacity(self):
+        # More pairs than one plan holds: processed in capacity-sized
+        # waves on the same cached plan, every score still exact.
+        rng = np.random.default_rng(11)
+        pairs = _random_pairs(rng, 40, 6, 6)
+        tables = batch_tables(pairs)
+        for table, (a, b) in zip(tables, pairs):
+            assert table[6, 6] == pytest.approx(
+                nw_score_oracle(a, b, 2.0, -1.0, 1.0)
+            )
+
+    def test_batch_dispatch_counted(self):
+        KERNEL_STATS.reset()
+        batch_tables([("ACGTAC", "TACGTA")] * 4)
+        assert KERNEL_STATS.batch_dispatches >= 1
+        assert KERNEL_STATS.batch_items >= KERNEL_STATS.batch_dispatches
+
+
+class TestScoreMany:
+    def test_mixed_shapes_group_by_key(self):
+        rng = np.random.default_rng(3)
+        pairs = (
+            _random_pairs(rng, 3, 8, 8)
+            + _random_pairs(rng, 2, 5, 12)
+            + _random_pairs(rng, 3, 8, 8)
+        )
+        scores = score_many(pairs)
+        assert scores == pytest.approx(
+            [nw_score_oracle(a, b, 2.0, -1.0, 1.0) for a, b in pairs]
+        )
+
+    def test_local_mode_matches_single_pair_entry_point(self):
+        pairs = [("GGTTGACTA", "TGTTACGG"), ("ACGTACGTA", "TTACGGAA")]
+        scores = score_many(pairs, local=True)
+        for (a, b), score in zip(pairs, scores):
+            assert score == pytest.approx(smith_waterman_score(a, b))
+            assert score >= 0.0
+
+    def test_single_pair_functions_delegate(self):
+        a, b = "GATTACA", "GCATGCU"
+        result = needleman_wunsch(a, b)
+        assert result.score == pytest.approx(score_many([(a, b)])[0])
+
+    def test_concurrent_same_shape_scoring(self):
+        # The serving layer calls from a worker thread while tests (or a
+        # second server) may score on another: the per-plan lock must keep
+        # concurrent waves of the same shape exact.
+        rng = np.random.default_rng(5)
+        pairs = _random_pairs(rng, 6, 7, 7)
+        want = [nw_score_oracle(a, b, 2.0, -1.0, 1.0) for a, b in pairs]
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(5):
+                    assert score_many(pairs) == pytest.approx(want)
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors, errors

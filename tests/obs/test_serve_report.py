@@ -1,0 +1,90 @@
+"""Serve-trace rendering: request/batch spans become a latency table."""
+
+import asyncio
+
+import pytest
+
+from repro.obs import Trace, Tracer, format_serve_report, is_serve_trace
+from repro.obs.__main__ import main
+
+
+def _synthetic_serve_trace() -> Trace:
+    tracer = Tracer()
+    tracer.add_span("serve_batch", "compute", 0.010, 0.018,
+                    batch=1, items=2, kind="align")
+    tracer.add_span("serve_request", "serve", 0.001, 0.019,
+                    id=1, kind="nw", status=200, batch=2,
+                    queue_ms=9.0, compute_ms=8.0)
+    tracer.add_span("serve_request", "serve", 0.002, 0.019,
+                    id=2, kind="sw", status=200, batch=2,
+                    queue_ms=8.0, compute_ms=8.0)
+    tracer.add_span("serve_request", "serve", 0.004, 0.005,
+                    id=3, kind="nw", status=429, batch=0,
+                    queue_ms=0.0, compute_ms=0.0)
+    return Trace.from_tracer(tracer, clock="wall", meta={"backend": "serve"})
+
+
+class TestDetection:
+    def test_meta_marks_serve_traces(self):
+        assert is_serve_trace(_synthetic_serve_trace())
+
+    def test_request_spans_mark_serve_traces_without_meta(self):
+        trace = _synthetic_serve_trace()
+        trace.meta = {}
+        assert is_serve_trace(trace)
+
+    def test_pipeline_traces_are_not_serve_traces(self):
+        tracer = Tracer()
+        tracer.add_span("compute", "compute", 0.0, 1.0, proc=0, block=1)
+        trace = Trace.from_tracer(tracer, clock="wall", meta={})
+        assert not is_serve_trace(trace)
+
+
+class TestReport:
+    def test_table_rows_and_summaries(self):
+        out = format_serve_report(_synthetic_serve_trace())
+        assert "serve requests (3)" in out
+        assert "queue ms" in out and "compute ms" in out
+        assert "completed 2" in out
+        assert "p50" in out and "p99" in out
+        assert "1x 429" in out
+        assert "batches 1: 2 requests fused" in out
+
+    def test_cli_summarize_renders_serve_traces(self, tmp_path, capsys):
+        path = _synthetic_serve_trace().save(tmp_path / "serve.json")
+        assert main(["summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "serve requests (3)" in out
+        # The pipeline phase report (which needs worker spans) is not used.
+        assert "phase coverage" not in out
+
+
+class TestRealTrace:
+    def test_report_from_a_live_server(self, tmp_path, capsys):
+        from repro.serve import ServeApp, ServeConfig
+        from repro.serve.client import ServeClient
+
+        async def scenario():
+            app = ServeApp(ServeConfig(port=0, tracer=Tracer()))
+            await app.start()
+
+            async def one():
+                async with ServeClient("127.0.0.1", app.port) as client:
+                    status, _, _ = await client.post(
+                        "/v1/align",
+                        {"kind": "nw", "a": "GATTACA", "b": "GCATGCU"},
+                    )
+                    assert status == 200
+
+            try:
+                await asyncio.gather(*(one() for _ in range(4)))
+            finally:
+                await app.stop()
+            return app.trace()
+
+        trace = asyncio.run(scenario())
+        path = trace.save(tmp_path / "live.json")
+        assert main(["summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "serve requests (4)" in out
+        assert "requests fused" in out

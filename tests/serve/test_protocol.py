@@ -1,0 +1,122 @@
+"""Request validation and the typed error surface."""
+
+import pytest
+
+from repro.serve import (
+    BadRequest,
+    PayloadTooLarge,
+    QueueFull,
+    RequestTimeout,
+    ServeError,
+    parse_align,
+    parse_request,
+    parse_zpl,
+)
+from repro.serve.protocol import MAX_SEQ_LEN, MAX_ZPL_ELEMENTS
+
+
+class TestErrorTypes:
+    def test_statuses_and_codes(self):
+        assert BadRequest.status == 400 and BadRequest.code == "bad_request"
+        assert QueueFull.status == 429 and QueueFull.code == "queue_full"
+        assert RequestTimeout.status == 504
+        assert PayloadTooLarge.status == 413
+        assert issubclass(PayloadTooLarge, BadRequest)
+        assert issubclass(QueueFull, ServeError)
+
+    def test_payload_shape(self):
+        err = QueueFull("full", retry_after=0.25)
+        assert err.payload() == {"error": "queue_full", "message": "full"}
+        assert err.retry_after == 0.25
+
+
+class TestParseAlign:
+    def test_valid_with_defaults(self):
+        req = parse_align({"kind": "nw", "a": "ACGT", "b": "AGT"})
+        assert (req.kind, req.a, req.b) == ("nw", "ACGT", "AGT")
+        assert (req.match, req.mismatch, req.gap) == (2.0, -1.0, 1.0)
+        assert not req.local and req.cells == 12
+
+    def test_batch_key_coalesces_same_shape_and_params(self):
+        one = parse_align({"kind": "sw", "a": "ACGT", "b": "AGTT"})
+        two = parse_align({"kind": "sw", "a": "TTTT", "b": "CCCC"})
+        assert one.batch_key == two.batch_key
+
+    def test_batch_key_splits_on_shape_mode_and_scores(self):
+        base = parse_align({"kind": "nw", "a": "ACGT", "b": "AGTT"})
+        for other in (
+            {"kind": "sw", "a": "ACGT", "b": "AGTT"},
+            {"kind": "nw", "a": "ACGTA", "b": "AGTT"},
+            {"kind": "nw", "a": "ACGT", "b": "AGTT", "gap": 2.0},
+        ):
+            assert parse_align(other).batch_key != base.batch_key
+
+    @pytest.mark.parametrize("payload", [
+        "not an object",
+        {"kind": "needleman", "a": "A", "b": "C"},
+        {"kind": "nw", "b": "C"},
+        {"kind": "nw", "a": "", "b": "C"},
+        {"kind": "nw", "a": "Aé", "b": "C"},
+        {"kind": "nw", "a": "A", "b": "C", "gap": "one"},
+        {"kind": "nw", "a": "A", "b": "C", "gap": float("nan")},
+        {"kind": "nw", "a": "A", "b": "C", "bogus": 1},
+    ])
+    def test_malformed_rejected(self, payload):
+        with pytest.raises(BadRequest):
+            parse_align(payload)
+
+    def test_oversized_sequence_is_413(self):
+        with pytest.raises(PayloadTooLarge):
+            parse_align({"kind": "nw", "a": "A" * (MAX_SEQ_LEN + 1), "b": "C"})
+
+
+class TestParseZpl:
+    SPEC = {"source": "[1..4, 1..4] a := a + 1.0;",
+            "arrays": {"a": {"lo": [1, 1], "hi": [4, 4]}}}
+
+    def test_valid(self):
+        req = parse_zpl(self.SPEC)
+        assert req.source == self.SPEC["source"]
+        assert req.arrays["a"]["fluff"] == 1
+        assert req.cells == 16
+
+    def test_batch_key_tracks_source_and_geometry(self):
+        base = parse_zpl(self.SPEC)
+        same = parse_zpl({**self.SPEC})
+        assert base.batch_key == same.batch_key
+        other_source = parse_zpl({**self.SPEC,
+                                  "source": "[1..4, 1..4] a := a + 2.0;"})
+        assert other_source.batch_key != base.batch_key
+        other_shape = parse_zpl({
+            **self.SPEC, "arrays": {"a": {"lo": [1, 1], "hi": [5, 4]}},
+        })
+        assert other_shape.batch_key != base.batch_key
+
+    @pytest.mark.parametrize("payload", [
+        {"source": "", "arrays": {"a": {"lo": [1], "hi": [4]}}},
+        {"source": "x := 1;"},
+        {"source": "x := 1;", "arrays": {}},
+        {"source": "x := 1;", "arrays": {"not an id!": {"lo": [1], "hi": [2]}}},
+        {"source": "x := 1;", "arrays": {"a": {"lo": [1]}}},
+        {"source": "x := 1;", "arrays": {"a": {"lo": [1, 1], "hi": [2]}}},
+        {"source": "x := 1;", "arrays": {"a": {"lo": [3], "hi": [1]}}},
+        {"source": "x := 1;", "arrays": {"a": {"lo": [1], "hi": [2],
+                                               "fluff": -1}}},
+    ])
+    def test_malformed_rejected(self, payload):
+        with pytest.raises(BadRequest):
+            parse_zpl(payload)
+
+    def test_oversized_array_is_413(self):
+        side = int(MAX_ZPL_ELEMENTS ** 0.5) + 2
+        with pytest.raises(PayloadTooLarge):
+            parse_zpl({"source": "x := 1;",
+                       "arrays": {"a": {"lo": [1, 1], "hi": [side, side]}}})
+
+
+class TestParseRequest:
+    def test_routes(self):
+        req = parse_request("/v1/align", {"kind": "nw", "a": "A", "b": "C"})
+        assert req.batch_key[0] == "align"
+        with pytest.raises(BadRequest, match="no such endpoint"):
+            parse_request("/v1/unknown", {})

@@ -1,0 +1,74 @@
+"""Scheduling policies and the Model-2 cost seam."""
+
+import pytest
+
+from repro.machine.params import CRAY_T3E
+from repro.serve.scheduler import (
+    Candidate,
+    FIFOPolicy,
+    SJFPolicy,
+    estimate_cost,
+    make_policy,
+)
+
+
+def _align_key(la, lb, local=False):
+    return ("align", local, la, lb, 2.0, -1.0, 1.0)
+
+
+class TestEstimateCost:
+    def test_inprocess_cost_is_dp_volume(self):
+        assert estimate_cost(_align_key(10, 20), items=1) == 200.0
+        assert estimate_cost(_align_key(10, 20), items=4) == 800.0
+
+    def test_cost_monotone_in_items_and_shape(self):
+        small = estimate_cost(_align_key(16, 16), items=1)
+        more_items = estimate_cost(_align_key(16, 16), items=8)
+        bigger = estimate_cost(_align_key(64, 64), items=1)
+        assert small < more_items and small < bigger
+
+    def test_pool_mode_uses_model2(self):
+        volume = estimate_cost(_align_key(64, 64), items=4)
+        modeled = estimate_cost(_align_key(64, 64), items=4,
+                                params=CRAY_T3E, p=4)
+        assert modeled > 0
+        # Model 2 predicts seconds, not element updates.
+        assert modeled != volume
+        # Still monotone: more work costs more predicted time.
+        assert modeled < estimate_cost(_align_key(256, 256), items=4,
+                                       params=CRAY_T3E, p=4)
+
+    def test_zpl_key_geometry(self):
+        key = ("zpl", "abc123", (("a", (1, 1), (8, 16)),))
+        assert estimate_cost(key, items=1) == 8 * 16
+        assert estimate_cost(key, items=3) == 8 * 16 * 3
+
+
+class TestPolicies:
+    def _candidates(self):
+        return [
+            Candidate(key=_align_key(64, 64), items=4, arrival=1.0,
+                      cost=64 * 64 * 4),
+            Candidate(key=_align_key(8, 8), items=2, arrival=2.0,
+                      cost=8 * 8 * 2),
+        ]
+
+    def test_fifo_picks_oldest(self):
+        old, _new = self._candidates()
+        assert make_policy("fifo").select(self._candidates()).key == old.key
+
+    def test_sjf_picks_cheapest(self):
+        _old, cheap = self._candidates()
+        assert make_policy("sjf").select(self._candidates()).key == cheap.key
+
+    def test_sjf_ties_break_by_arrival(self):
+        a = Candidate(key=_align_key(8, 8), items=1, arrival=5.0, cost=64)
+        b = Candidate(key=_align_key(8, 8, local=True), items=1, arrival=3.0,
+                      cost=64)
+        assert SJFPolicy().select([a, b]) is b
+
+    def test_make_policy(self):
+        assert isinstance(make_policy("fifo"), FIFOPolicy)
+        assert isinstance(make_policy("sjf"), SJFPolicy)
+        with pytest.raises(ValueError, match="unknown scheduling policy"):
+            make_policy("lifo")
