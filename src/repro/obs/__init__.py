@@ -10,7 +10,12 @@
   per-block measured-vs-Eq.(1) residual tables;
 * :mod:`repro.obs.capture` — one-call traced runs of suite kernels on
   either backend (imported lazily: it pulls in the executors);
-* ``python -m repro.obs``  — ``summarize`` / ``export`` / ``residuals``.
+* :mod:`repro.obs.live`    — the *always-on* tier: bounded flight
+  recorder, streaming metrics registry, request-context propagation with
+  critical-path extraction, the online α/β drift monitor, and Prometheus
+  text exposition (no ``REPRO_TRACE`` needed; ``REPRO_FLIGHT=0`` opts out);
+* ``python -m repro.obs``  — ``summarize`` / ``export`` / ``residuals`` /
+  ``top`` (live dashboard of a running ``repro.serve`` instance).
 
 Producers: :func:`repro.parallel.execute` (wall clock, per-worker spans
 flushed over the result channel), the :mod:`repro.machine` schedules

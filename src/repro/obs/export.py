@@ -7,6 +7,13 @@ per-processor pipeline picture.  Wall-clock traces are rebased to the
 earliest span (epoch differences between OS processes cancel out);
 virtual-clock traces use one "microsecond" per element-compute unit, so
 the numbers Perfetto shows *are* the paper's model units.
+
+Serve traces additionally get **flow events** (``"s"``/``"t"``/``"f"``):
+for every ``serve_request`` span whose request id reappears on downstream
+spans (``serve_batch``, pool ``dispatch``, per-block worker ``compute`` —
+the ``rids`` tag written by request-context propagation), one flow arrow
+chain links them, so Perfetto renders the causal path of a request across
+the server and the worker processes instead of disconnected tracks.
 """
 
 from __future__ import annotations
@@ -87,6 +94,7 @@ def to_chrome(trace: Trace) -> dict:
                 "args": {f"P{proc}": value},
             }
         )
+    events.extend(_flow_events(trace, t0, scale))
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -96,6 +104,51 @@ def to_chrome(trace: Trace) -> dict:
             **{k: v for k, v in trace.meta.items() if not isinstance(v, dict)},
         },
     }
+
+
+def _flow_events(trace: Trace, t0: float, scale: float) -> list[dict]:
+    """Flow arrows linking each request's spans across processes.
+
+    Chrome binds a flow step to the slice whose start matches the step's
+    ``ts`` on that thread, so every step is emitted at its span's start:
+    ``"s"`` on the ``serve_request`` slice, ``"t"`` on each intermediate
+    slice carrying the same request id, and a binding-enclosed ``"f"``
+    on the last one.
+    """
+    requests = [
+        s for s in trace.spans
+        if s.name == "serve_request" and "id" in s.args
+    ]
+    if not requests:
+        return []
+    events: list[dict] = []
+    for req in requests:
+        rid = req.args["id"]
+        chain = [req]
+        for s in trace.spans:
+            if s is req:
+                continue
+            rids = s.args.get("rids")
+            if rids and rid in rids:
+                chain.append(s)
+        if len(chain) < 2:
+            continue  # the id never left the serve loop; nothing to link
+        chain.sort(key=lambda s: (s.start, s.end))
+        last = len(chain) - 1
+        for i, s in enumerate(chain):
+            event = {
+                "ph": "s" if i == 0 else ("f" if i == last else "t"),
+                "cat": "flow",
+                "name": "request",
+                "id": rid,
+                "ts": (s.start - t0) * scale,
+                "pid": 0,
+                "tid": s.proc - PARENT_PROC,
+            }
+            if i == last:
+                event["bp"] = "e"
+            events.append(event)
+    return events
 
 
 def write_chrome(trace: Trace, path: str | Path) -> Path:

@@ -1,0 +1,77 @@
+"""Always-on, streaming observability: the live tier of :mod:`repro.obs`.
+
+Where :mod:`repro.obs.trace` is the opt-in, full-fidelity recorder
+(every span, unbounded, ``REPRO_TRACE=1``), this package is the tier
+that is *always* running:
+
+* :mod:`~repro.obs.live.flight` — a bounded ring buffer of recent events
+  with exact drop accounting, for post-mortem on failure;
+* :mod:`~repro.obs.live.metrics` — counters/gauges/log-bucketed
+  histograms with an incremental flush/absorb protocol, so pool workers
+  stream deltas home over the existing result channel;
+* :mod:`~repro.obs.live.context` — request-id propagation from
+  :mod:`repro.serve` down to per-block kernel spans, plus critical-path
+  extraction over a request's blocks;
+* :mod:`~repro.obs.live.monitor` — the streaming α/β re-fit and drift
+  detector (ROADMAP 5(b)'s sensor);
+* :mod:`~repro.obs.live.prometheus` — text exposition for ``/metrics``;
+* :mod:`~repro.obs.live.top` — the ``python -m repro.obs top`` dashboard.
+"""
+
+from repro.obs.live.context import (
+    RequestContext,
+    block_spans,
+    critical_path,
+    current_context,
+    current_tags,
+    path_duration,
+    request_context,
+    request_slice,
+    run_with_context,
+    span_rids,
+)
+from repro.obs.live.flight import (
+    FLIGHT,
+    FlightRecorder,
+    flight_enabled,
+    format_flight_tail,
+)
+from repro.obs.live.metrics import (
+    LIVE,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    worker_table,
+)
+from repro.obs.live.monitor import MONITOR, ModelMonitor, StreamingFit
+from repro.obs.live.prometheus import CONTENT_TYPE, prometheus_text, wants_text
+
+__all__ = [
+    "CONTENT_TYPE",
+    "Counter",
+    "FLIGHT",
+    "FlightRecorder",
+    "Gauge",
+    "Histogram",
+    "LIVE",
+    "MONITOR",
+    "MetricsRegistry",
+    "ModelMonitor",
+    "RequestContext",
+    "StreamingFit",
+    "block_spans",
+    "critical_path",
+    "current_context",
+    "current_tags",
+    "flight_enabled",
+    "format_flight_tail",
+    "path_duration",
+    "prometheus_text",
+    "request_context",
+    "request_slice",
+    "run_with_context",
+    "span_rids",
+    "wants_text",
+    "worker_table",
+]

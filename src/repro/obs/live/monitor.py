@@ -1,0 +1,205 @@
+"""Online model monitor: streaming α/β re-fit and drift detection.
+
+The sensor half of ROADMAP item 5(b).  :mod:`repro.parallel.autotune`
+measures the host once, up front: α is the intercept and β the slope of a
+least-squares line over (message size, one-way seconds) samples, and the
+per-element compute cost is the unit everything is normalised by.  This
+module runs *the same fit* continuously, over the live steady-state
+samples the pool workers flush after every job:
+
+* each job contributes an instantaneous **unit cost** (busy seconds per
+  element), tracked as an EWMA;
+* each job's token waits contribute one (boundary elements per token,
+  wait seconds per token) sample to an exponentially-decayed least
+  squares — the streaming form of ``measure_comm``'s fit, with the same
+  intercept/slope/clamping conventions.
+
+A **baseline** unit cost is frozen once ``min_samples`` jobs have been
+seen (or seeded explicitly from an autotune result).  When the EWMA
+departs from the baseline by more than ``threshold``× in either
+direction, the monitor flips its drift flag and records a ``model_drift``
+event in the flight recorder — the signal that Eq. (1)'s block size was
+tuned for a machine that no longer exists and a re-plan is warranted.
+The EWMA decay (default 0.5) is chosen so a sustained 3× cost change
+flips the flag within a single flush interval.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.live.flight import FLIGHT, FlightRecorder
+
+
+class StreamingFit:
+    """Exponentially-decayed least squares for ``y = alpha + beta * x``.
+
+    The online counterpart of the batch fit in
+    :func:`repro.parallel.autotune.measure_comm`: identical estimator
+    (β = cov/var, α = mean residual) and identical clamping (both
+    non-negative; a degenerate x-variance collapses to β = 0 with α the
+    weighted mean of y).
+    """
+
+    __slots__ = ("decay", "sw", "sx", "sy", "sxx", "sxy", "n")
+
+    def __init__(self, decay: float = 0.97):
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        self.decay = decay
+        self.sw = 0.0
+        self.sx = 0.0
+        self.sy = 0.0
+        self.sxx = 0.0
+        self.sxy = 0.0
+        self.n = 0
+
+    def observe(self, x: float, y: float, weight: float = 1.0) -> None:
+        d = self.decay
+        self.sw = self.sw * d + weight
+        self.sx = self.sx * d + weight * x
+        self.sy = self.sy * d + weight * y
+        self.sxx = self.sxx * d + weight * x * x
+        self.sxy = self.sxy * d + weight * x * y
+        self.n += 1
+
+    def _solve(self) -> tuple[float, float]:
+        if self.sw <= 0.0:
+            return 0.0, 0.0
+        mean_x = self.sx / self.sw
+        mean_y = self.sy / self.sw
+        var = self.sxx / self.sw - mean_x * mean_x
+        if var <= 1e-18:
+            return max(0.0, mean_y), 0.0
+        cov = self.sxy / self.sw - mean_x * mean_y
+        beta = max(0.0, cov / var)
+        alpha = max(0.0, mean_y - beta * mean_x)
+        return alpha, beta
+
+    @property
+    def alpha(self) -> float:
+        return self._solve()[0]
+
+    @property
+    def beta(self) -> float:
+        return self._solve()[1]
+
+
+class ModelMonitor:
+    """Continuously compare live job profiles with the tuned model.
+
+    ``observe_job`` is the flush hook: the pool parent calls it once per
+    completed job with the aggregate steady-state numbers its workers
+    shipped back.  ``snapshot`` is the readout ``/metrics`` renders.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 1.5,
+        min_samples: int = 5,
+        unit_decay: float = 0.5,
+        fit_decay: float = 0.97,
+        flight: FlightRecorder | None = None,
+    ):
+        if threshold <= 1.0:
+            raise ValueError(f"threshold must be > 1, got {threshold}")
+        self.threshold = threshold
+        self.min_samples = min_samples
+        self.unit_decay = unit_decay
+        self.fit = StreamingFit(fit_decay)
+        self.unit_seconds = 0.0
+        self.baseline_unit: float | None = None
+        self.samples = 0
+        self.drift = False
+        self.drift_events = 0
+        self._flight = FLIGHT if flight is None else flight
+        self._lock = threading.Lock()
+
+    def seed(self, unit_seconds: float) -> None:
+        """Freeze the baseline from an external tuning (e.g. autotune)."""
+        with self._lock:
+            if unit_seconds > 0:
+                self.baseline_unit = unit_seconds
+                if self.unit_seconds == 0.0:
+                    self.unit_seconds = unit_seconds
+
+    def observe_job(
+        self,
+        busy: float,
+        elements: float,
+        wait: float = 0.0,
+        tokens: float = 0,
+        boundary_elements: float = 0.0,
+    ) -> bool:
+        """Fold one completed job in; returns the current drift flag.
+
+        ``busy``/``elements`` refresh the unit-cost EWMA; ``wait`` over
+        ``tokens`` messages of ``boundary_elements`` each feeds the α/β
+        fit (per-token wait is the live analogue of autotune's one-way
+        ping-pong latency at that payload size).
+        """
+        if elements <= 0 or busy <= 0:
+            return self.drift
+        unit = busy / elements
+        with self._lock:
+            if self.samples == 0:
+                self.unit_seconds = unit
+            else:
+                d = self.unit_decay
+                self.unit_seconds = d * self.unit_seconds + (1.0 - d) * unit
+            if tokens > 0 and wait >= 0.0:
+                self.fit.observe(boundary_elements, wait / tokens)
+            self.samples += 1
+            if self.baseline_unit is None:
+                if self.samples >= self.min_samples:
+                    self.baseline_unit = self.unit_seconds
+                return self.drift
+            ratio = self.unit_seconds / self.baseline_unit
+            drifted = ratio > self.threshold or ratio < 1.0 / self.threshold
+            if drifted != self.drift:
+                self.drift = drifted
+                self.drift_events += 1
+                self._flight.event(
+                    "model_drift",
+                    drift=drifted,
+                    ratio=round(ratio, 4),
+                    unit_seconds=self.unit_seconds,
+                    baseline_unit_seconds=self.baseline_unit,
+                    samples=self.samples,
+                )
+            return self.drift
+
+    def snapshot(self) -> dict:
+        """JSON-ready state: live α/β (seconds and units), drift status."""
+        with self._lock:
+            alpha_s, beta_s = self.fit._solve()
+            unit = self.unit_seconds
+            baseline = self.baseline_unit
+            return {
+                "alpha_seconds": alpha_s,
+                "beta_seconds_per_element": beta_s,
+                # Element-compute units — directly comparable with
+                # MachineParams / the CRAY_T3E-style presets.
+                "alpha": (alpha_s / unit) if unit > 0 else 0.0,
+                "beta": (beta_s / unit) if unit > 0 else 0.0,
+                "unit_seconds": unit,
+                "baseline_unit_seconds": 0.0 if baseline is None else baseline,
+                "ratio": (unit / baseline) if baseline else 1.0,
+                "drift": self.drift,
+                "drift_events": self.drift_events,
+                "samples": self.samples,
+                "fit_samples": self.fit.n,
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self.fit = StreamingFit(self.fit.decay)
+            self.unit_seconds = 0.0
+            self.baseline_unit = None
+            self.samples = 0
+            self.drift = False
+            self.drift_events = 0
+
+
+#: The per-process monitor the pool feeds and ``/metrics`` reads.
+MONITOR = ModelMonitor()

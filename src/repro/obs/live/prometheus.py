@@ -1,0 +1,216 @@
+"""Prometheus text exposition (format 0.0.4) for the live telemetry.
+
+``GET /metrics`` on :mod:`repro.serve` is content-negotiated: clients
+asking for ``text/plain`` (or OpenMetrics) get this rendering; everything
+else keeps the original JSON snapshot.  The exposition stitches together
+the four live sources:
+
+* the serve loop's own :class:`repro.serve.metrics.ServeMetrics` snapshot
+  (request counts, queue depth, latency quantiles, batch shape);
+* the :data:`repro.obs.live.metrics.LIVE` registry (per-worker busy
+  seconds, blocks, elements, tokens flushed up from the pool);
+* the :data:`repro.obs.live.monitor.MONITOR` model state — the live
+  α/β estimates and the drift flag (ROADMAP 5(b)'s sensor);
+* the :data:`repro.obs.live.flight.FLIGHT` recorder's drop accounting.
+
+Rendering is pure string assembly over snapshots — no locks held while
+formatting, no state mutated.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.live.flight import FlightRecorder
+from repro.obs.live.metrics import Histogram, MetricsRegistry
+
+#: The content type Prometheus scrapers send in ``Accept`` and expect back.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_BAD = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def wants_text(accept: str | None) -> bool:
+    """True when an ``Accept`` header asks for the text exposition."""
+    if not accept:
+        return False
+    accept = accept.lower()
+    return "text/plain" in accept or "openmetrics" in accept
+
+
+def _name(name: str) -> str:
+    return _NAME_BAD.sub("_", name)
+
+
+def _labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{_LABEL_BAD.sub("_", str(k))}="{_escape(v)}"'
+        for k, v in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def _escape(value) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _num(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _metric(lines: list, name: str, kind: str, help_text: str) -> None:
+    lines.append(f"# HELP {name} {help_text}")
+    lines.append(f"# TYPE {name} {kind}")
+
+
+def render_serve(snapshot: dict) -> list[str]:
+    """Render a :meth:`repro.serve.metrics.ServeMetrics.snapshot` doc."""
+    lines: list[str] = []
+    requests = snapshot.get("requests", {})
+    _metric(lines, "repro_serve_requests_total", "counter",
+            "Requests by outcome (received/completed/failed/shed/timeout).")
+    for outcome, value in sorted(requests.items()):
+        lines.append(
+            f"repro_serve_requests_total{_labels({'outcome': outcome})}"
+            f" {_num(value)}"
+        )
+    queue = snapshot.get("queue", {})
+    _metric(lines, "repro_serve_queue_depth", "gauge",
+            "Requests currently coalescing or awaiting dispatch.")
+    lines.append(f"repro_serve_queue_depth {_num(queue.get('depth', 0))}")
+    _metric(lines, "repro_serve_queue_peak", "gauge",
+            "High-water mark of the coalescing queue.")
+    lines.append(f"repro_serve_queue_peak {_num(queue.get('peak', 0))}")
+    batches = snapshot.get("batches", {})
+    _metric(lines, "repro_serve_batches_total", "counter",
+            "Fused dispatches issued by the coalescing scheduler.")
+    lines.append(
+        f"repro_serve_batches_total {_num(batches.get('dispatched', 0))}"
+    )
+    _metric(lines, "repro_serve_batched_items_total", "counter",
+            "Requests carried by those dispatches.")
+    lines.append(
+        f"repro_serve_batched_items_total {_num(batches.get('items', 0))}"
+    )
+    latency = snapshot.get("latency_ms", {})
+    if latency:
+        _metric(lines, "repro_serve_latency_seconds", "summary",
+                "End-to-end request latency quantiles (sliding window).")
+        for key, q in (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99")):
+            if key in latency:
+                lines.append(
+                    f"repro_serve_latency_seconds"
+                    f"{_labels({'quantile': q})} {_num(latency[key] / 1e3)}"
+                )
+    if "uptime_seconds" in snapshot:
+        _metric(lines, "repro_serve_uptime_seconds", "gauge",
+                "Seconds since the server started.")
+        lines.append(
+            f"repro_serve_uptime_seconds {_num(snapshot['uptime_seconds'])}"
+        )
+    if "throughput_rps" in snapshot:
+        _metric(lines, "repro_serve_throughput_rps", "gauge",
+                "Completed requests per second of uptime.")
+        lines.append(
+            f"repro_serve_throughput_rps {_num(snapshot['throughput_rps'])}"
+        )
+    return lines
+
+
+def render_registry(registry: MetricsRegistry) -> list[str]:
+    """Render every series of a live registry, grouped by metric name."""
+    lines: list[str] = []
+    seen: set[str] = set()
+    for name, labels, kind, metric in registry.series():
+        pname = _name(name)
+        if isinstance(metric, Histogram):
+            if pname not in seen:
+                seen.add(pname)
+                _metric(lines, pname, "summary", f"Live histogram {name}.")
+            pcts = metric.percentiles()
+            for key, q in (("p50", "0.5"), ("p90", "0.9"), ("p99", "0.99")):
+                lines.append(
+                    f"{pname}{_labels({**labels, 'quantile': q})}"
+                    f" {_num(pcts[key])}"
+                )
+            lines.append(f"{pname}_count{_labels(labels)} {_num(metric.total)}")
+            lines.append(f"{pname}_sum{_labels(labels)} {_num(metric.sum)}")
+        else:
+            if pname not in seen:
+                seen.add(pname)
+                _metric(lines, pname, kind, f"Live {kind} {name}.")
+            lines.append(f"{pname}{_labels(labels)} {_num(metric.value)}")
+    return lines
+
+
+def render_monitor(model: dict) -> list[str]:
+    """Render a :meth:`repro.obs.live.monitor.ModelMonitor.snapshot`."""
+    lines: list[str] = []
+    rows = (
+        ("repro_model_alpha_seconds", "gauge", model.get("alpha_seconds", 0.0),
+         "Live per-message latency estimate (alpha), seconds."),
+        ("repro_model_beta_seconds_per_element", "gauge",
+         model.get("beta_seconds_per_element", 0.0),
+         "Live per-element transfer cost estimate (beta), seconds."),
+        ("repro_model_alpha_units", "gauge", model.get("alpha", 0.0),
+         "Alpha in element-compute units (MachineParams convention)."),
+        ("repro_model_beta_units", "gauge", model.get("beta", 0.0),
+         "Beta in element-compute units (MachineParams convention)."),
+        ("repro_model_unit_seconds", "gauge", model.get("unit_seconds", 0.0),
+         "EWMA of per-element compute cost, seconds."),
+        ("repro_model_unit_ratio", "gauge", model.get("ratio", 1.0),
+         "Current unit cost over the frozen baseline."),
+        ("repro_model_drift", "gauge", model.get("drift", False),
+         "1 when the live profile departed from the tuned model."),
+        ("repro_model_drift_events_total", "counter",
+         model.get("drift_events", 0), "Drift flag transitions."),
+        ("repro_model_samples_total", "counter", model.get("samples", 0),
+         "Jobs folded into the monitor."),
+    )
+    for name, kind, value, help_text in rows:
+        _metric(lines, name, kind, help_text)
+        lines.append(f"{name} {_num(value)}")
+    return lines
+
+
+def render_flight(flight: FlightRecorder) -> list[str]:
+    """Render the flight recorder's drop accounting."""
+    lines: list[str] = []
+    rows = (
+        ("repro_flight_enabled", "gauge", flight.enabled,
+         "1 when the always-on flight recorder is recording."),
+        ("repro_flight_events_total", "counter", flight.written,
+         "Events ever recorded into the ring."),
+        ("repro_flight_dropped_total", "counter", flight.dropped,
+         "Events overwritten by ring overflow (exact)."),
+    )
+    for name, kind, value, help_text in rows:
+        _metric(lines, name, kind, help_text)
+        lines.append(f"{name} {_num(value)}")
+    return lines
+
+
+def prometheus_text(
+    serve_snapshot: dict | None = None,
+    registry: MetricsRegistry | None = None,
+    model: dict | None = None,
+    flight: FlightRecorder | None = None,
+) -> str:
+    """The full ``/metrics`` text body from whichever sources exist."""
+    lines: list[str] = []
+    if serve_snapshot:
+        lines.extend(render_serve(serve_snapshot))
+    if registry is not None:
+        lines.extend(render_registry(registry))
+    if model is not None:
+        lines.extend(render_monitor(model))
+    if flight is not None:
+        lines.extend(render_flight(flight))
+    return "\n".join(lines) + "\n"

@@ -52,6 +52,13 @@ from repro.compiler.lowering import CompiledScan
 from repro.errors import DistributionError, MachineError, PoolBrokenError
 from repro.machine.grid import ProcessorGrid
 from repro.machine.schedules import plan_wavefront
+from repro.obs.live import (
+    FLIGHT,
+    LIVE,
+    MONITOR,
+    current_tags,
+    format_flight_tail,
+)
 from repro.obs.trace import NULL_TRACER, Trace, Tracer, resolve_tracer
 from repro.parallel.channels import chain_links
 from repro.parallel.executor import (
@@ -88,6 +95,9 @@ class PoolJob:
     boundary_rows: int
     timeout: float
     trace: bool
+    #: Request-context tags (serving request ids) stamped onto this job's
+    #: spans and flight events — the worker half of end-to-end tracing.
+    tags: dict | None = None
 
 
 @dataclass
@@ -135,6 +145,10 @@ def run_pool_worker(boot: PoolBoot, barrier, results) -> None:
                 continue
             job: PoolJob = msg[1]
             tracer = Tracer(proc=boot.rank) if job.trace else NULL_TRACER
+            FLIGHT.event(
+                "pool_job", seq=job.seq,
+                fingerprint=job.fingerprint[:12], chunks=len(job.chunks),
+            )
             err = None
             runnable = None
             try:
@@ -168,6 +182,7 @@ def run_pool_worker(boot: PoolBoot, barrier, results) -> None:
                 if err is None:
                     err = traceback.format_exc()
             elapsed = 0.0
+            stats: dict = {}
             if err is None:
                 recv, send = (
                     boot.links_fwd if job.ascending else boot.links_bwd
@@ -182,12 +197,25 @@ def run_pool_worker(boot: PoolBoot, barrier, results) -> None:
                         tracer,
                         job.chunk_dim,
                         job.boundary_rows,
+                        stats=stats,
+                        tags=job.tags,
                     )
                 except BaseException:
                     err = traceback.format_exc()
             if err is not None:
+                # Ship the worker's flight-recorder tail home with the
+                # traceback: the post-mortem of what this process was doing
+                # in the moments before it failed.
                 results.put(
-                    ("error", boot.rank, {"seq": job.seq, "detail": err})
+                    (
+                        "error",
+                        boot.rank,
+                        {
+                            "seq": job.seq,
+                            "detail": err,
+                            "flight": FLIGHT.dump(),
+                        },
+                    )
                 )
             else:
                 results.put(
@@ -198,6 +226,10 @@ def run_pool_worker(boot: PoolBoot, barrier, results) -> None:
                             "seq": job.seq,
                             "elapsed": elapsed,
                             "events": tracer.drain(),
+                            # The always-on incremental metrics flush: rides
+                            # the existing result channel, costs a handful of
+                            # floats per job.
+                            "stats": stats,
                         },
                     )
                 )
@@ -485,7 +517,11 @@ class WorkerPool:
         self._seq += 1
         seq = self._seq
         n_chunks = 1
-        with obs.span("dispatch", "setup"):
+        # The serving layer's request ids arrive via the active request
+        # context; stamping them onto the dispatch span and the jobs is what
+        # links serve_request → dispatch → per-block worker spans.
+        tags = current_tags()
+        with obs.span("dispatch", "setup", **tags):
             for rank in grid:
                 local = dist.local_region(rank)
                 width = (
@@ -512,6 +548,7 @@ class WorkerPool:
                     boundary_rows=plan.boundary_rows,
                     timeout=timeout,
                     trace=obs.enabled,
+                    tags=tags or None,
                 )
                 self._jobs[rank].send(("run", job))
                 entry.shipped.add(rank)
@@ -528,6 +565,7 @@ class WorkerPool:
         setup_time = time.perf_counter() - setup_start
 
         outcomes: dict[int, float] = {}
+        run_stats: dict[int, dict] = {}
         deadline = time.monotonic() + timeout
         while len(outcomes) < grid.size:
             # Short poll slices instead of one long get(): a worker killed
@@ -547,15 +585,24 @@ class WorkerPool:
                 continue  # stale report from an earlier failed run
             if status != "ok":
                 self._broken = True
-                raise PoolBrokenError(
-                    f"worker {rank} failed:\n{payload['detail']}"
-                )
+                detail = payload["detail"]
+                flight_dump = payload.get("flight")
+                if flight_dump and flight_dump.get("events"):
+                    detail += (
+                        "\nworker flight recorder (last events before "
+                        "failure):\n" + format_flight_tail(flight_dump)
+                    )
+                raise PoolBrokenError(f"worker {rank} failed:\n{detail}")
             outcomes[rank] = payload["elapsed"]
             obs.absorb(payload["events"])
+            run_stats[rank] = payload.get("stats") or {}
         with obs.span("gather", "setup"):
             entry.shared.gather()
 
         worker_times = tuple(outcomes[rank] for rank in grid)
+        self._observe_run(
+            plan, block_size, max(worker_times), seq, tags, run_stats
+        )
         trace = None
         if obs.enabled:
             region = plan.region
@@ -595,6 +642,71 @@ class WorkerPool:
             setup_time=setup_time,
             plan=plan,
             trace=trace,
+        )
+
+    def _observe_run(
+        self,
+        plan,
+        block_size: int | None,
+        wall: float,
+        seq: int,
+        tags: dict,
+        run_stats: dict[int, dict],
+    ) -> None:
+        """Fold one run's worker flushes into the live telemetry.
+
+        Per-rank counters land in the :data:`~repro.obs.live.metrics.LIVE`
+        registry (what ``/metrics`` and ``obs top`` read), the aggregate
+        steady-state profile feeds the online model monitor, and the run
+        leaves one bounded event in the flight recorder.
+        """
+        busy = wait = elements = tokens = blocks = 0.0
+        for rank, st in run_stats.items():
+            if not st:
+                continue
+            label = str(rank)
+            LIVE.counter(
+                "repro_pool_worker_busy_seconds", rank=label
+            ).inc(st.get("busy", 0.0))
+            LIVE.counter(
+                "repro_pool_worker_wait_seconds", rank=label
+            ).inc(st.get("wait", 0.0))
+            LIVE.counter(
+                "repro_pool_worker_blocks_total", rank=label
+            ).inc(st.get("blocks", 0))
+            LIVE.counter(
+                "repro_pool_worker_elements_total", rank=label
+            ).inc(st.get("elements", 0))
+            LIVE.counter(
+                "repro_pool_worker_tokens_total", rank=label
+            ).inc(st.get("tokens", 0))
+            busy += st.get("busy", 0.0)
+            wait += st.get("wait", 0.0)
+            elements += st.get("elements", 0)
+            tokens += st.get("tokens", 0)
+            blocks += st.get("blocks", 0)
+        LIVE.counter("repro_pool_executes_total").inc()
+        LIVE.histogram("repro_pool_execute_seconds").observe(wall)
+        if elements > 0:
+            # One token carries boundary_rows rows of one block width: the
+            # live analogue of autotune's (message size, latency) sample.
+            width = block_size if block_size else (
+                elements / blocks if blocks else 1.0
+            )
+            MONITOR.observe_job(
+                busy=busy,
+                elements=elements,
+                wait=wait,
+                tokens=tokens,
+                boundary_elements=max(1, plan.boundary_rows) * width,
+            )
+        FLIGHT.span(
+            "pool_execute",
+            time.perf_counter() - wall,
+            time.perf_counter(),
+            seq=seq,
+            wall=wall,
+            **tags,
         )
 
     def _first_error(self, seq: int) -> str:

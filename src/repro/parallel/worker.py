@@ -29,6 +29,7 @@ import traceback
 from dataclasses import dataclass, replace
 from multiprocessing.connection import Connection
 
+from repro.obs.live.flight import FLIGHT
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.parallel.channels import (
     recv_clocked_token,
@@ -138,6 +139,8 @@ def pipeline_loop(
     tracer,
     chunk_dim: int | None,
     boundary_rows: int,
+    stats: dict | None = None,
+    tags: dict | None = None,
 ) -> float:
     """The classic pipelined inner loop: recv token → compute block → send.
 
@@ -147,46 +150,84 @@ def pipeline_loop(
     per-block event schema when enabled (one cached boolean per site keeps
     the untraced loop at its pre-observability cost) and is threaded into
     :func:`execute_vectorized` so kernel-compile spans ride home too.
+
+    Two always-on hooks sit below the tracer:
+
+    * ``stats`` — when a dict is passed, the loop fills it with aggregate
+      steady-state numbers (``busy``/``wait`` seconds, ``tokens``,
+      ``blocks``, ``elements``): the incremental flush the pool ships to
+      the live metrics registry and the model monitor after every job.
+    * the process flight recorder — when enabled, each block lands one
+      bounded ring event.  Both cost two clock reads per block (the
+      "lite" path) instead of the full span schema; a fully bare loop is
+      only run when tracing, stats, *and* the recorder are all off.
+
+    ``tags`` (e.g. the serving request ids) are stamped onto every span
+    and flight event, which is what makes end-to-end request tracing work.
     """
     tracing = tracer.enabled
+    flight = FLIGHT if FLIGHT.enabled else None
+    lite = not tracing and (stats is not None or flight is not None)
+    extra = tags or {}
     # The plan family is loop-invariant: resolve it once so every compute
     # span carries its kind (skewed/flat/interp) for the phase analytics.
     kind = plan_kind(runnable) if tracing else None
+    busy_s = wait_s = 0.0
+    tokens = 0
     start = time.perf_counter()
     for k, chunk in enumerate(chunks):
         if recv is not None:
-            if tracing:
+            if tracing or lite:
                 t = time.perf_counter()
                 recv_token(recv, k, timeout)
-                tracer.add_span(
-                    "recv_wait", "comm", t, time.perf_counter(), block=k
-                )
-                tracer.count("tokens_recv")
+                t_done = time.perf_counter()
+                wait_s += t_done - t
+                tokens += 1
+                if tracing:
+                    tracer.add_span(
+                        "recv_wait", "comm", t, t_done, block=k, **extra
+                    )
+                    tracer.count("tokens_recv")
             else:
                 recv_token(recv, k, timeout)
         if not chunk.is_empty():
             if tracing:
                 t = time.perf_counter()
                 execute_vectorized(runnable, within=chunk, tracer=tracer)
+                t_done = time.perf_counter()
+                busy_s += t_done - t
                 tracer.add_span(
                     "compute",
                     "compute",
                     t,
-                    time.perf_counter(),
+                    t_done,
                     block=k,
                     elements=chunk.size,
                     width=_width(chunk, chunk_dim),
                     plan=kind,
+                    **extra,
                 )
                 tracer.count("blocks_executed")
                 tracer.count("elements_computed", chunk.size)
+            elif lite:
+                t = time.perf_counter()
+                execute_vectorized(runnable, within=chunk)
+                t_done = time.perf_counter()
+                busy_s += t_done - t
+                if flight is not None:
+                    flight.span(
+                        "block", t, t_done,
+                        block=k, elements=chunk.size, **extra,
+                    )
             else:
                 execute_vectorized(runnable, within=chunk)
         if send is not None:
             if tracing:
                 t = time.perf_counter()
                 send_token(send, k)
-                tracer.add_span("send", "comm", t, time.perf_counter(), block=k)
+                tracer.add_span(
+                    "send", "comm", t, time.perf_counter(), block=k, **extra
+                )
                 tracer.count("tokens_sent")
                 tracer.count(
                     "bytes_moved",
@@ -194,7 +235,15 @@ def pipeline_loop(
                 )
             else:
                 send_token(send, k)
-    return time.perf_counter() - start
+    elapsed = time.perf_counter() - start
+    if stats is not None:
+        stats["elapsed"] = elapsed
+        stats["busy"] = busy_s
+        stats["wait"] = wait_s
+        stats["tokens"] = tokens
+        stats["blocks"] = sum(1 for c in chunks if not c.is_empty())
+        stats["elements"] = sum(c.size for c in chunks if not c.is_empty())
+    return elapsed
 
 
 def run_worker(task: WorkerTask, barrier, results) -> None:

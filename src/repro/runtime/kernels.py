@@ -57,6 +57,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import time
 import warnings
 import weakref
 from itertools import product
@@ -68,6 +69,8 @@ from repro.compiler.lowering import CompiledScan
 from repro.compiler.skew import derive_skew
 from repro.compiler.wsv import DimClass
 from repro.errors import ArrayError, MachineError
+from repro.obs.live.context import current_tags
+from repro.obs.live.flight import FLIGHT
 from repro.obs.trace import NULL_TRACER
 from repro.zpl.arrays import ZArray
 from repro.zpl.expr import BinOp, Const, IndexExpr, Node, Ref, UnOp, Where
@@ -874,13 +877,30 @@ class PlanRunner:
         return "flat"
 
     def run(self, items: int = 1, tracer=None) -> None:
-        """Execute the plan once, covering ``items`` coalesced requests."""
+        """Execute the plan once, covering ``items`` coalesced requests.
+
+        When the always-on flight recorder is enabled, every dispatch
+        leaves one ring event tagged with the active request context — the
+        in-process serving path's half of end-to-end request tracing.
+        """
         obs = tracer if tracer is not None else NULL_TRACER
         KERNEL_STATS.batch_dispatches += 1
         KERNEL_STATS.batch_items += items
         if obs.enabled:
             obs.count("batch_dispatches")
             obs.count("batch_items", items)
+        flight = FLIGHT if FLIGHT.enabled else None
+        t0 = time.perf_counter() if flight is not None else 0.0
+        try:
+            self._run(items, tracer, obs)
+        finally:
+            if flight is not None:
+                flight.span(
+                    "kernel_dispatch", t0, time.perf_counter(),
+                    items=items, kind=self.kind, **current_tags(),
+                )
+
+    def _run(self, items: int, tracer, obs) -> None:
         if not self._use_kernels:
             from repro.runtime.vectorized import execute_vectorized
 

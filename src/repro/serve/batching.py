@@ -32,6 +32,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.obs import NULL_TRACER
+from repro.obs.live import FLIGHT, RequestContext, run_with_context
 from repro.serve.metrics import ServeMetrics
 from repro.serve.protocol import QueueFull, ShuttingDown
 from repro.serve.scheduler import Candidate, Policy, estimate_cost
@@ -219,10 +220,18 @@ class Batcher:
         loop = asyncio.get_running_loop()
         batch_id = next(self._batch_ids)
         requests = [p.request for p in live]
+        # The batch's request context: every id this dispatch acts for.
+        # run_in_executor does not carry ContextVars into the worker thread,
+        # so the backend call is routed through run_with_context explicitly —
+        # the pool reads the context back out at dispatch time.
+        ctx = RequestContext(
+            rids=tuple(p.rid for p in live), batch=batch_id
+        )
         started = self._clock()
         try:
             values = await loop.run_in_executor(
-                self._executor, self.backend, key, requests
+                self._executor, run_with_context, ctx, self.backend,
+                key, requests,
             )
             error = None
         except asyncio.CancelledError:
@@ -235,6 +244,12 @@ class Batcher:
         self.tracer.add_span(
             "serve_batch", "compute", started, finished,
             batch=batch_id, items=len(live), kind=key[0],
+            rids=list(ctx.rids),
+        )
+        FLIGHT.span(
+            "serve_batch", started, finished,
+            batch=batch_id, items=len(live), kind=key[0],
+            rids=list(ctx.rids), ok=error is None,
         )
         if error is not None:
             self.metrics.on_failed()

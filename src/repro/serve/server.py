@@ -37,6 +37,15 @@ from repro.apps import alignment
 from repro.errors import PoolBrokenError
 from repro.machine.params import CRAY_T3E, MachineParams
 from repro.obs import Trace, resolve_tracer
+from repro.obs.live import (
+    CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE,
+    FLIGHT,
+    LIVE,
+    MONITOR,
+    prometheus_text,
+    wants_text,
+    worker_table,
+)
 from repro.runtime import execute_vectorized
 from repro.serve.batching import Batcher, BatchResult
 from repro.serve.metrics import ServeMetrics
@@ -90,8 +99,17 @@ class ServeConfig:
 class ComputeBackend:
     """Executes one coalesced batch; runs on the batcher's worker thread."""
 
-    def __init__(self, grid: int | None = None, pool_timeout: float = 60.0):
+    def __init__(
+        self,
+        grid: int | None = None,
+        pool_timeout: float = 60.0,
+        tracer=None,
+    ):
         self._supervisor = None
+        # The serve tracer rides into pool dispatches so per-block worker
+        # spans land in the same trace as serve_request/serve_batch — the
+        # end-to-end chain request-id propagation links together.
+        self._tracer = tracer
         if grid:
             from repro.parallel import PoolSupervisor
 
@@ -105,9 +123,10 @@ class ComputeBackend:
         if self._supervisor is None:
             return execute_vectorized
         supervisor = self._supervisor
+        tracer = self._tracer
 
         def pooled(compiled):
-            supervisor.submit(compiled)
+            supervisor.submit(compiled, tracer=tracer)
 
         return pooled
 
@@ -178,7 +197,8 @@ class ServeApp:
         self.config = config or ServeConfig()
         self.metrics = ServeMetrics()
         self.tracer = resolve_tracer(self.config.tracer)
-        self.backend = ComputeBackend(self.config.grid)
+        self.monitor = MONITOR
+        self.backend = ComputeBackend(self.config.grid, tracer=self.tracer)
         model = self.config.model
         if model is None and self.backend.procs >= 2:
             model = CRAY_T3E
@@ -217,9 +237,38 @@ class ServeApp:
         meta = {"backend": "serve", **self.config.describe()}
         return Trace.from_tracer(self.tracer, clock="wall", meta=meta)
 
+    # -- telemetry documents -------------------------------------------------
+    def metrics_document(self) -> dict:
+        """The JSON ``/metrics`` body: serve counters + live telemetry."""
+        doc = self.metrics.snapshot()
+        doc["workers"] = worker_table(LIVE)
+        doc["model"] = self.monitor.snapshot()
+        doc["flight"] = {
+            "enabled": FLIGHT.enabled,
+            "written": FLIGHT.written,
+            "dropped": FLIGHT.dropped,
+            "capacity": FLIGHT.capacity,
+        }
+        return doc
+
+    def prometheus_document(self) -> str:
+        """The Prometheus text-exposition ``/metrics`` body."""
+        return prometheus_text(
+            serve_snapshot=self.metrics.snapshot(),
+            registry=LIVE,
+            model=self.monitor.snapshot(),
+            flight=FLIGHT,
+        )
+
     # -- request pipeline (transport-independent) ----------------------------
-    async def handle(self, method: str, path: str, payload: object):
-        """Route one request; returns ``(status, body_dict, extra_headers)``."""
+    async def handle(self, method: str, path: str, payload: object,
+                     accept: str = ""):
+        """Route one request; returns ``(status, body, extra_headers)``.
+
+        ``body`` is a JSON-ready dict, except for ``/metrics`` under a
+        ``text/plain``/OpenMetrics ``Accept`` header, where it is the
+        Prometheus exposition string (content negotiation).
+        """
         if path == "/healthz":
             if method != "GET":
                 return 405, {"error": "method_not_allowed"}, []
@@ -227,7 +276,11 @@ class ServeApp:
         if path == "/metrics":
             if method != "GET":
                 return 405, {"error": "method_not_allowed"}, []
-            return 200, self.metrics.snapshot(), []
+            if wants_text(accept):
+                return 200, self.prometheus_document(), [
+                    ("Content-Type", PROMETHEUS_CONTENT_TYPE),
+                ]
+            return 200, self.metrics_document(), []
         if path not in ("/v1/align", "/v1/zpl"):
             return 404, {"error": "not_found", "message": f"no route {path}"}, []
         if method != "POST":
@@ -289,6 +342,10 @@ class ServeApp:
             id=rid, kind=kind, status=status, batch=batch_size,
             queue_ms=queue_wait * 1e3, compute_ms=compute * 1e3,
         )
+        FLIGHT.span(
+            "serve_request", started, finished,
+            rid=rid, kind=kind, status=status, batch=batch_size,
+        )
         return status, body, headers
 
     # -- HTTP/1.1 shell ------------------------------------------------------
@@ -338,7 +395,8 @@ class ServeApp:
                     }, []
                 else:
                     status, out, extra = await self.handle(
-                        method, target.split("?", 1)[0], payload
+                        method, target.split("?", 1)[0], payload,
+                        accept=headers.get("accept", ""),
                     )
                 close = headers.get("connection", "").lower() == "close"
                 await self._respond(writer, status, out, extra, close=close)
@@ -356,12 +414,20 @@ class ServeApp:
                 pass
 
     async def _respond(self, writer, status, body, extra, *, close=False) -> None:
-        data = json.dumps(body).encode()
-        head = [
-            f"HTTP/1.1 {status} {REASONS.get(status, 'OK')}",
-            "Content-Type: application/json",
-            f"Content-Length: {len(data)}",
-        ]
+        # A str body is pre-rendered (Prometheus text exposition); its
+        # Content-Type arrives via ``extra``.  Everything else is JSON.
+        if isinstance(body, str):
+            data = body.encode()
+            content_type = None
+        else:
+            data = json.dumps(body).encode()
+            content_type = "application/json"
+        head = [f"HTTP/1.1 {status} {REASONS.get(status, 'OK')}"]
+        if content_type is not None and not any(
+            name.lower() == "content-type" for name, _ in extra
+        ):
+            head.append(f"Content-Type: {content_type}")
+        head.append(f"Content-Length: {len(data)}")
         head.extend(f"{name}: {value}" for name, value in extra)
         head.append(f"Connection: {'close' if close else 'keep-alive'}")
         writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + data)

@@ -1,0 +1,74 @@
+"""Broken trace files must fail with one clear line, not a traceback."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.__main__ import main
+
+
+def _run(capsys, *argv) -> tuple[int, str, str]:
+    rc = main(list(argv))
+    captured = capsys.readouterr()
+    return rc, captured.out, captured.err
+
+
+@pytest.mark.parametrize("command", ["summarize", "export", "residuals"])
+class TestBrokenTraceFiles:
+    def test_missing_file(self, command, tmp_path, capsys):
+        path = tmp_path / "nope.json"
+        rc, out, err = _run(capsys, command, str(path))
+        assert rc == 1
+        assert err.startswith("error: ")
+        assert "not found" in err
+        assert str(path) in err
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_empty_file(self, command, tmp_path, capsys):
+        path = tmp_path / "empty.json"
+        path.write_text("")
+        rc, out, err = _run(capsys, command, str(path))
+        assert rc == 1
+        assert "empty" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_truncated_json(self, command, tmp_path, capsys):
+        path = tmp_path / "cut.json"
+        path.write_text('{"schema": "repro-trace/1", "spans": [{"name": ')
+        rc, out, err = _run(capsys, command, str(path))
+        assert rc == 1
+        assert "truncated or corrupt" in err
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_wrong_schema(self, command, tmp_path, capsys):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"what": "not a trace"}))
+        rc, out, err = _run(capsys, command, str(path))
+        assert rc == 1
+        assert "not a repro trace" in err
+
+    def test_directory_instead_of_file(self, command, tmp_path, capsys):
+        rc, out, err = _run(capsys, command, str(tmp_path))
+        assert rc == 1
+        assert "directory" in err
+
+
+def test_error_goes_to_stderr_not_stdout(tmp_path, capsys):
+    rc, out, err = _run(capsys, "summarize", str(tmp_path / "gone.json"))
+    assert rc == 1
+    assert out == ""
+    assert err
+
+
+def test_valid_trace_still_works(tmp_path, capsys):
+    from repro.obs.capture import capture_simulator
+
+    _, trace = capture_simulator(n=32, procs=2)
+    path = trace.save(tmp_path / "ok.json")
+    rc, out, err = _run(capsys, "summarize", str(path))
+    assert rc == 0
+    assert err == ""

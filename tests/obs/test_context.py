@@ -1,0 +1,152 @@
+"""Request-context propagation and critical-path extraction."""
+
+from __future__ import annotations
+
+import concurrent.futures
+
+import pytest
+
+from repro.obs.live.context import (
+    RequestContext,
+    block_spans,
+    critical_path,
+    current_context,
+    current_tags,
+    path_duration,
+    request_context,
+    request_slice,
+    run_with_context,
+    span_rids,
+)
+from repro.obs.trace import PARENT_PROC, Trace, Tracer
+
+
+class TestContextPropagation:
+    def test_default_is_no_context(self):
+        assert current_context() is None
+        assert current_tags() == {}
+
+    def test_context_manager_binds_and_restores(self):
+        ctx = RequestContext(rids=(7, 9), batch=3)
+        with request_context(ctx):
+            assert current_context() is ctx
+            assert current_tags() == {"rids": [7, 9], "batch": 3}
+        assert current_context() is None
+
+    def test_tags_without_batch(self):
+        assert RequestContext(rids=(1,)).tags() == {"rids": [1]}
+
+    def test_run_with_context_crosses_executor_threads(self):
+        """The run_in_executor hand-off: ContextVars do not follow a bare
+        submit, so the explicit shim must carry them."""
+        ctx = RequestContext(rids=(42,), batch=1)
+        with concurrent.futures.ThreadPoolExecutor(1) as pool:
+            bare = pool.submit(current_tags).result()
+            shimmed = pool.submit(run_with_context, ctx, current_tags).result()
+        assert bare == {}
+        assert shimmed == {"rids": [42], "batch": 1}
+
+    def test_run_with_context_passes_args_and_result(self):
+        out = run_with_context(
+            RequestContext(rids=(1,)), lambda a, b=0: (a + b, current_tags()),
+            2, b=3,
+        )
+        assert out == (5, {"rids": [1]})
+
+
+class TestSpanRids:
+    def test_rids_tag_wins(self):
+        tracer = Tracer()
+        tracer.add_span("compute", "compute", 0, 1, proc=0, rids=[3, 4])
+        tracer.add_span("serve_request", "serve", 0, 1, proc=PARENT_PROC, id=8)
+        tracer.add_span("other", "", 0, 1, proc=0)
+        trace = Trace.from_tracer(tracer, clock="wall")
+        assert span_rids(trace.spans[0]) == (3, 4)
+        assert span_rids(trace.spans[1]) == (8,)
+        assert span_rids(trace.spans[2]) == ()
+
+
+def _pipeline_trace() -> Trace:
+    """A hand-built 2-worker, 3-block pipeline with known critical path.
+
+    P0: b0 [0,1]  b1 [1,2]    b2 [2,3]
+    P1:   b0 [1.2,2.2]  b1 [2.4,3.0]  b2 [3.2,4.0]
+    P1's b1 starts after its serial predecessor (end 2.2) — serial edge;
+    P1's b2 starts after P0's b2 (end 3.0... actually after its own b1).
+    """
+    tracer = Tracer()
+    spans = [
+        (0, 0, 0.0, 1.0), (0, 1, 1.0, 2.0), (0, 2, 2.0, 3.0),
+        (1, 0, 1.2, 2.2), (1, 1, 2.4, 3.0), (1, 2, 3.2, 4.0),
+    ]
+    for proc, block, start, end in spans:
+        tracer.add_span(
+            "compute", "compute", start, end, proc=proc,
+            block=block, elements=16, rids=[5],
+        )
+    tracer.add_span("serve_request", "serve", 0.0, 4.5, proc=PARENT_PROC, id=5)
+    return Trace.from_tracer(tracer, clock="wall")
+
+
+class TestCriticalPath:
+    def test_empty_trace(self):
+        trace = Trace.from_tracer(Tracer(), clock="wall")
+        assert critical_path(trace) == []
+        assert path_duration([]) == 0.0
+
+    def test_block_spans_filter_by_rid(self):
+        trace = _pipeline_trace()
+        assert len(block_spans(trace)) == 6
+        assert len(block_spans(trace, rid=5)) == 6
+        assert block_spans(trace, rid=99) == []
+
+    def test_path_walks_gating_edges(self):
+        trace = _pipeline_trace()
+        path = critical_path(trace)
+        keys = [(s.proc, s.args["block"]) for s in path]
+        # Last to finish: P1 b2.  Its serial predecessor P1 b1 (end 3.0)
+        # gates it over upstream P0 b2 (end 3.0 — tie broken by max, same
+        # span ordering); P1 b1's gate is P1 b0 (end 2.2) over P0 b1 (2.0);
+        # P1 b0's gate is the upstream P0 b0 (end 1.0), which is first.
+        assert keys[-1] == (1, 2)
+        assert keys == [(0, 0), (1, 0), (1, 1), (1, 2)]
+
+    def test_path_in_execution_order(self):
+        path = critical_path(_pipeline_trace())
+        ends = [s.end for s in path]
+        assert ends == sorted(ends)
+
+    def test_path_duration_bounded_by_wall(self):
+        trace = _pipeline_trace()
+        path = critical_path(trace, rid=5)
+        wall = request_slice(trace, 5).wall
+        assert path
+        assert 0.0 < path_duration(path) <= wall
+
+    def test_request_slice_layers(self):
+        tracer = Tracer()
+        tracer.add_span("serve_request", "serve", 0, 4, proc=PARENT_PROC, id=2)
+        tracer.add_span("serve_batch", "serve", 0.5, 3, proc=PARENT_PROC,
+                        rids=[2, 3], batch=0)
+        tracer.add_span("dispatch", "setup", 0.6, 0.7, proc=PARENT_PROC,
+                        rids=[2, 3])
+        tracer.add_span("compute", "compute", 1, 2, proc=0, block=0, rids=[2])
+        trace = Trace.from_tracer(tracer, clock="wall")
+        s = request_slice(trace, 2)
+        assert s.request is not None and s.wall == pytest.approx(4.0)
+        assert len(s.batches) == 1
+        assert len(s.dispatches) == 1
+        assert len(s.blocks) == 1
+        other = request_slice(trace, 3)  # batched alongside, never computed
+        assert other.request is None and len(other.batches) == 1
+
+    def test_single_worker_chain(self):
+        tracer = Tracer()
+        for k in range(4):
+            tracer.add_span("compute", "compute", k, k + 0.9, proc=0, block=k)
+        trace = Trace.from_tracer(tracer, clock="wall")
+        path = critical_path(trace)
+        assert [(s.proc, s.args["block"]) for s in path] == [
+            (0, 0), (0, 1), (0, 2), (0, 3),
+        ]
+        assert path_duration(path) == pytest.approx(3.6)

@@ -81,3 +81,59 @@ class TestWriteChrome:
         path = write_chrome(_wall_trace(), tmp_path / "t.chrome.json")
         doc = json.loads(path.read_text())
         assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+
+def _serve_trace() -> Trace:
+    """A request flowing serve_request → serve_batch → worker blocks."""
+    tracer = Tracer()
+    tracer.add_span(
+        "serve_request", "serve", 0.0, 1.0, proc=PARENT_PROC, id=7, kind="nw"
+    )
+    tracer.add_span(
+        "serve_batch", "serve", 0.1, 0.9, proc=PARENT_PROC,
+        batch=0, rids=[7],
+    )
+    tracer.add_span(
+        "compute", "compute", 0.3, 0.5, proc=0, block=0, rids=[7]
+    )
+    tracer.add_span(
+        "compute", "compute", 0.5, 0.8, proc=1, block=0, rids=[7]
+    )
+    # A second, unrelated request that never left the serve loop.
+    tracer.add_span(
+        "serve_request", "serve", 2.0, 2.1, proc=PARENT_PROC, id=8
+    )
+    return Trace.from_tracer(tracer, clock="wall", meta={"backend": "serve"})
+
+
+class TestFlowEvents:
+    def _flows(self, trace=None):
+        doc = to_chrome(trace or _serve_trace())
+        return [e for e in doc["traceEvents"] if e.get("cat") == "flow"]
+
+    def test_chain_links_request_to_blocks(self):
+        flows = self._flows()
+        assert [e["ph"] for e in flows] == ["s", "t", "t", "f"]
+        assert all(e["id"] == 7 for e in flows)
+        assert all(e["name"] == "request" for e in flows)
+
+    def test_steps_bind_to_slice_starts(self):
+        flows = self._flows()
+        # Start on the serve_request slice (driver thread, ts 0)...
+        assert flows[0]["tid"] == PARENT_PROC - PARENT_PROC
+        assert flows[0]["ts"] == pytest.approx(0.0)
+        # ...finish on the last worker block, binding-enclosed.
+        assert flows[-1]["tid"] == 1 - PARENT_PROC
+        assert flows[-1]["ts"] == pytest.approx(0.5e6)
+        assert flows[-1]["bp"] == "e"
+        assert all("bp" not in e for e in flows[:-1])
+
+    def test_unlinked_request_emits_no_flow(self):
+        # Request id 8 never reached a batch or worker: no dangling arrow.
+        assert all(e["id"] != 8 for e in self._flows())
+
+    def test_trace_without_requests_has_no_flows(self):
+        assert self._flows(_wall_trace()) == []
+
+    def test_flow_events_json_serializable(self):
+        json.dumps(self._flows())

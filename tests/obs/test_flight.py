@@ -1,0 +1,161 @@
+"""Ring-buffer semantics of the always-on flight recorder."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.live.flight import (
+    FLIGHT,
+    FlightRecorder,
+    flight_enabled,
+    format_flight_tail,
+)
+
+
+def test_events_arrive_in_order_under_capacity():
+    rec = FlightRecorder(capacity=16, enabled=True)
+    for i in range(5):
+        rec.event(f"e{i}", i=i)
+    dump = rec.dump()
+    assert [e["name"] for e in dump["events"]] == [f"e{i}" for i in range(5)]
+    assert dump["dropped"] == 0
+    assert dump["written"] == 5
+    assert [e["seq"] for e in dump["events"]] == list(range(5))
+
+
+def test_overflow_drops_oldest():
+    rec = FlightRecorder(capacity=4, enabled=True)
+    for i in range(10):
+        rec.event(f"e{i}")
+    dump = rec.dump()
+    # The ring keeps exactly the newest `capacity` events, oldest first.
+    assert [e["name"] for e in dump["events"]] == ["e6", "e7", "e8", "e9"]
+
+
+def test_drop_counter_is_exact():
+    rec = FlightRecorder(capacity=8, enabled=True)
+    for i in range(8):
+        rec.event("fill")
+    assert rec.dump()["dropped"] == 0
+    for i in range(13):
+        rec.count("spill")
+    dump = rec.dump()
+    assert dump["written"] == 21
+    assert dump["dropped"] == 13
+    assert rec.dropped == 13
+    assert len(dump["events"]) == 8
+
+
+def test_disabled_recorder_records_nothing():
+    rec = FlightRecorder(capacity=8, enabled=False)
+    rec.event("a")
+    rec.span("b", 0.0, 1.0)
+    rec.count("c", 3)
+    dump = rec.dump()
+    assert dump["events"] == []
+    assert dump["written"] == 0
+    assert dump["dropped"] == 0
+
+
+def test_env_gate_disables(monkeypatch):
+    monkeypatch.setenv("REPRO_FLIGHT", "0")
+    assert not flight_enabled()
+    rec = FlightRecorder(capacity=4)
+    rec.event("x")
+    assert rec.dump()["events"] == []
+    monkeypatch.setenv("REPRO_FLIGHT", "")
+    assert flight_enabled()
+
+
+def test_env_capacity(monkeypatch):
+    monkeypatch.setenv("REPRO_FLIGHT_CAPACITY", "3")
+    rec = FlightRecorder(enabled=True)
+    assert rec.capacity == 3
+
+
+def test_dump_consistent_under_concurrent_writer():
+    """dump() in one thread while another appends: never torn, never raises.
+
+    Every snapshot must be a well-formed event list — strictly increasing
+    unique sequence numbers, at most `capacity` entries, every record
+    intact — even while a writer pushes the window forward mid-copy.
+    """
+    rec = FlightRecorder(capacity=64, enabled=True)
+    stop = threading.Event()
+    errors: list[BaseException] = []
+
+    def writer():
+        i = 0
+        while not stop.is_set():
+            rec.span("blk", float(i), float(i + 1), block=i)
+            i += 1
+
+    thread = threading.Thread(target=writer, daemon=True)
+    thread.start()
+    try:
+        for _ in range(300):
+            try:
+                dump = rec.dump()
+                seqs = [e["seq"] for e in dump["events"]]
+                assert seqs == sorted(seqs)
+                assert len(seqs) == len(set(seqs))
+                assert len(seqs) <= rec.capacity
+                assert dump["dropped"] == max(0, dump["written"] - rec.capacity)
+                for e in dump["events"]:
+                    assert e["kind"] == "span"
+                    assert e["name"] == "blk"
+                    assert "block" in e["fields"]
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+                break
+    finally:
+        stop.set()
+        thread.join(timeout=5)
+    assert not errors, errors[0]
+
+
+def test_span_and_counter_payloads():
+    rec = FlightRecorder(capacity=8, enabled=True)
+    rec.span("block", 1.0, 1.5, block=3, elements=64)
+    rec.count("tokens", 2)
+    spans = rec.dump()["events"]
+    assert spans[0]["fields"] == {"block": 3, "elements": 64,
+                                  "start": 1.0, "end": 1.5}
+    assert spans[1]["fields"]["n"] == 2
+
+
+def test_configure_in_place_preserves_identity():
+    rec = FlightRecorder(capacity=4, enabled=True)
+    alias = rec
+    rec.event("x")
+    rec.configure(capacity=2, enabled=False)
+    assert alias.capacity == 2 and not alias.enabled
+    assert rec.dump()["events"] == []  # resize cleared the ring
+    rec.configure(enabled=True)
+    rec.event("y")
+    assert [e["name"] for e in alias.dump()["events"]] == ["y"]
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        FlightRecorder(capacity=0, enabled=True)
+    with pytest.raises(ValueError):
+        FlightRecorder(capacity=4, enabled=True).configure(capacity=-1)
+
+
+def test_format_flight_tail():
+    rec = FlightRecorder(capacity=2, enabled=True)
+    assert "empty" in format_flight_tail(rec.dump())
+    for i in range(4):
+        rec.span("block", 0.0, 0.001, block=i)
+    text = format_flight_tail(rec.dump(), limit=2)
+    assert "block" in text
+    assert "ms" in text
+    assert "2 older event(s) overwritten" in text
+
+
+def test_module_recorder_exists_and_is_bounded():
+    assert isinstance(FLIGHT, FlightRecorder)
+    assert FLIGHT.capacity >= 1

@@ -1,0 +1,132 @@
+"""Streaming metrics registry: delta flush/absorb and log histograms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.live.metrics import (
+    HIST_GROWTH,
+    Histogram,
+    MetricsRegistry,
+    bucket_index,
+    bucket_upper,
+    worker_table,
+)
+
+
+class TestBuckets:
+    def test_upper_bound_covers_value(self):
+        for value in (1e-7, 1e-6, 3.7e-5, 1e-3, 0.25, 2.0, 60.0):
+            b = bucket_index(value)
+            assert bucket_upper(b) >= value * (1 - 1e-12)
+            if b > 0:
+                assert bucket_upper(b - 1) < value
+
+    def test_quantile_error_bounded_by_growth(self):
+        hist = Histogram()
+        hist.observe(0.010)
+        assert hist.quantile(0.5) <= 0.010 * HIST_GROWTH * (1 + 1e-9)
+
+
+class TestFlushAbsorb:
+    def test_counter_ships_delta_only(self):
+        worker, parent = MetricsRegistry(), MetricsRegistry()
+        worker.counter("blocks", rank="0").inc(3)
+        parent.absorb(worker.flush())
+        worker.counter("blocks", rank="0").inc(2)
+        parent.absorb(worker.flush())
+        assert parent.value("blocks", rank="0") == 5.0
+        # An idle flush ships nothing for the counter.
+        assert worker.flush()["counters"] == []
+
+    def test_multiple_workers_feed_one_parent(self):
+        parent = MetricsRegistry()
+        for rank in range(3):
+            w = MetricsRegistry()
+            w.counter("blocks").inc(10)
+            w.histogram("lat").observe(0.001)
+            w.histogram("lat").observe(0.004)
+            parent.absorb(w.flush())
+        assert parent.value("blocks") == 30.0
+        assert parent.histogram("lat").total == 6
+
+    def test_histogram_sum_is_delta_not_cumulative(self):
+        worker, parent = MetricsRegistry(), MetricsRegistry()
+        worker.histogram("lat").observe(1.0)
+        parent.absorb(worker.flush())
+        worker.histogram("lat").observe(1.0)
+        parent.absorb(worker.flush())
+        # Cumulative-sum shipping would double-count the first second here.
+        assert parent.histogram("lat").sum == pytest.approx(2.0)
+        assert parent.histogram("lat").total == 2
+
+    def test_absorb_is_relayable(self):
+        """A mid-tier registry can absorb and re-flush without loss."""
+        leaf, mid, root = (MetricsRegistry() for _ in range(3))
+        leaf.counter("c").inc(4)
+        leaf.histogram("h").observe(0.5)
+        mid.absorb(leaf.flush())
+        root.absorb(mid.flush())
+        assert root.value("c") == 4.0
+        assert root.histogram("h").total == 1
+        assert root.histogram("h").sum == pytest.approx(0.5)
+
+    def test_gauge_last_write_wins(self):
+        worker, parent = MetricsRegistry(), MetricsRegistry()
+        worker.gauge("depth").set(7)
+        parent.absorb(worker.flush())
+        worker.gauge("depth").set(2)
+        parent.absorb(worker.flush())
+        assert parent.value("depth") == 2.0
+
+    def test_absorb_empty_payload(self):
+        MetricsRegistry().absorb({})
+        MetricsRegistry().absorb(None)
+
+
+class TestRegistry:
+    def test_same_labels_same_series(self):
+        reg = MetricsRegistry()
+        reg.counter("c", rank="1", job="x").inc()
+        reg.counter("c", job="x", rank="1").inc()  # label order irrelevant
+        assert reg.value("c", rank="1", job="x") == 2.0
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        with pytest.raises(TypeError):
+            reg.gauge("c")
+
+    def test_histogram_percentiles(self):
+        hist = Histogram()
+        for ms in range(1, 101):  # 1ms .. 100ms uniform
+            hist.observe(ms / 1e3)
+        pcts = hist.percentiles()
+        assert pcts["p50"] == pytest.approx(0.050, rel=0.25)
+        assert pcts["p99"] == pytest.approx(0.099, rel=0.25)
+        assert pcts["p50"] <= pcts["p90"] <= pcts["p99"]
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs").inc(2)
+        reg.gauge("depth").set(1)
+        reg.histogram("lat", op="x").observe(0.01)
+        snap = reg.snapshot()
+        assert snap["counters"][0] == {
+            "name": "jobs", "labels": {}, "value": 2.0,
+        }
+        assert snap["histograms"][0]["labels"] == {"op": "x"}
+        assert snap["histograms"][0]["count"] == 1
+        assert "p99" in snap["histograms"][0]
+
+
+def test_worker_table_groups_by_rank():
+    reg = MetricsRegistry()
+    reg.counter("repro_pool_worker_busy_seconds", rank="0").inc(1.5)
+    reg.counter("repro_pool_worker_blocks_total", rank="0").inc(8)
+    reg.counter("repro_pool_worker_busy_seconds", rank="1").inc(0.5)
+    reg.counter("repro_pool_executes_total").inc()  # no rank: excluded
+    table = worker_table(reg)
+    assert set(table) == {"0", "1"}
+    assert table["0"] == {"busy_seconds": 1.5, "blocks_total": 8.0}
+    assert table["1"] == {"busy_seconds": 0.5}

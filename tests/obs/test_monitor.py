@@ -1,0 +1,158 @@
+"""Online model monitor: streaming α/β fit and drift detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.live.flight import FlightRecorder
+from repro.obs.live.monitor import ModelMonitor, StreamingFit
+
+
+class TestStreamingFit:
+    def test_recovers_line_exactly(self):
+        fit = StreamingFit(decay=1.0)
+        alpha, beta = 3e-4, 2e-6
+        for x in (10, 50, 100, 400, 1000):
+            fit.observe(x, alpha + beta * x)
+        assert fit.alpha == pytest.approx(alpha, rel=1e-9)
+        assert fit.beta == pytest.approx(beta, rel=1e-9)
+
+    def test_decay_tracks_regime_change(self):
+        fit = StreamingFit(decay=0.5)
+        for x in (10, 100, 1000):
+            fit.observe(x, 1e-4 + 1e-6 * x)
+        # New machine: beta grows 10x.  The decayed fit must follow.
+        for _ in range(20):
+            for x in (10, 100, 1000):
+                fit.observe(x, 1e-4 + 1e-5 * x)
+        assert fit.beta == pytest.approx(1e-5, rel=0.05)
+
+    def test_clamping_matches_autotune(self):
+        # Negative slope clamps to zero, alpha falls back to the mean.
+        fit = StreamingFit(decay=1.0)
+        fit.observe(10, 5.0)
+        fit.observe(100, 1.0)
+        assert fit.beta == 0.0
+        assert fit.alpha == pytest.approx(3.0)
+        # Degenerate x-variance: beta 0, alpha the weighted mean of y.
+        fit = StreamingFit()
+        fit.observe(64, 2.0)
+        fit.observe(64, 4.0)
+        assert fit.beta == 0.0
+        assert fit.alpha > 0.0
+
+    def test_empty_fit_is_zero(self):
+        fit = StreamingFit()
+        assert (fit.alpha, fit.beta) == (0.0, 0.0)
+
+    def test_bad_decay_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingFit(decay=0.0)
+        with pytest.raises(ValueError):
+            StreamingFit(decay=1.5)
+
+
+class TestModelMonitor:
+    def _monitor(self, **kw):
+        kw.setdefault("flight", FlightRecorder(capacity=32, enabled=True))
+        return ModelMonitor(**kw)
+
+    def _steady(self, mon, jobs=5, unit=1e-6, elements=1e6):
+        for _ in range(jobs):
+            mon.observe_job(busy=unit * elements, elements=elements,
+                            wait=0.01, tokens=10, boundary_elements=64)
+
+    def test_baseline_freezes_after_min_samples(self):
+        mon = self._monitor(min_samples=5)
+        self._steady(mon, jobs=4)
+        assert mon.baseline_unit is None
+        self._steady(mon, jobs=1)
+        assert mon.baseline_unit == pytest.approx(1e-6, rel=1e-6)
+        assert not mon.drift
+
+    def test_drift_flips_within_one_observation(self):
+        """A sustained 3x compute-cost scaling must flip the flag on the
+        very next flush — the acceptance criterion for the 5(b) sensor."""
+        mon = self._monitor()
+        self._steady(mon)
+        assert not mon.drift
+        drift = mon.observe_job(busy=3e-6 * 1e6, elements=1e6)
+        assert drift and mon.drift
+        assert mon.drift_events == 1
+
+    def test_speedup_drift_detected_too(self):
+        mon = self._monitor()
+        self._steady(mon)
+        for _ in range(3):  # EWMA needs two cheap jobs to cross 1/1.5
+            mon.observe_job(busy=1e-7 * 1e6, elements=1e6)
+        assert mon.drift
+
+    def test_drift_clears_when_cost_returns(self):
+        mon = self._monitor()
+        self._steady(mon)
+        mon.observe_job(busy=4e-6 * 1e6, elements=1e6)
+        assert mon.drift
+        for _ in range(8):
+            mon.observe_job(busy=1e-6 * 1e6, elements=1e6)
+        assert not mon.drift
+        assert mon.drift_events == 2  # one flip each way
+
+    def test_drift_event_lands_in_flight_recorder(self):
+        flight = FlightRecorder(capacity=32, enabled=True)
+        mon = self._monitor(flight=flight)
+        self._steady(mon)
+        mon.observe_job(busy=5e-6 * 1e6, elements=1e6)
+        names = [e["name"] for e in flight.dump()["events"]]
+        assert "model_drift" in names
+        event = next(
+            e for e in flight.dump()["events"] if e["name"] == "model_drift"
+        )
+        assert event["fields"]["drift"] is True
+        assert event["fields"]["ratio"] > 1.5
+
+    def test_seeded_baseline_skips_warmup(self):
+        mon = self._monitor(min_samples=1000)
+        mon.seed(1e-6)
+        assert mon.baseline_unit == 1e-6
+        mon.observe_job(busy=4e-6 * 1e6, elements=1e6)
+        assert mon.drift
+
+    def test_fit_feeds_from_job_waits(self):
+        mon = self._monitor()
+        for size in (32, 64, 128, 256):
+            mon.observe_job(
+                busy=1.0, elements=1e6, wait=10 * (1e-4 + 1e-6 * size),
+                tokens=10, boundary_elements=size,
+            )
+        snap = mon.snapshot()
+        assert snap["alpha_seconds"] == pytest.approx(1e-4, rel=0.05)
+        assert snap["beta_seconds_per_element"] == pytest.approx(1e-6, rel=0.05)
+        assert snap["fit_samples"] == 4
+        # Units view: seconds divided by the live unit cost.
+        assert snap["alpha"] == pytest.approx(
+            snap["alpha_seconds"] / snap["unit_seconds"], rel=1e-9
+        )
+
+    def test_degenerate_jobs_ignored(self):
+        mon = self._monitor()
+        assert mon.observe_job(busy=0.0, elements=100) is False
+        assert mon.observe_job(busy=1.0, elements=0) is False
+        assert mon.samples == 0
+
+    def test_snapshot_before_any_sample(self):
+        snap = self._monitor().snapshot()
+        assert snap["samples"] == 0
+        assert snap["ratio"] == 1.0
+        assert snap["drift"] is False
+
+    def test_reset(self):
+        mon = self._monitor()
+        self._steady(mon)
+        mon.observe_job(busy=5e-6 * 1e6, elements=1e6)
+        mon.reset()
+        assert mon.samples == 0 and not mon.drift
+        assert mon.baseline_unit is None
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            ModelMonitor(threshold=1.0)

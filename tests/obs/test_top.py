@@ -1,0 +1,105 @@
+"""The ``obs top`` dashboard renderer and polling loop."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.obs.live.top import _bar, fetch_metrics, render_top, run_top
+
+
+def _doc(completed=120, busy0=3.0) -> dict:
+    return {
+        "uptime_seconds": 42.0,
+        "throughput_rps": 2.9,
+        "requests": {"received": 130, "completed": completed, "failed": 1,
+                     "rejected": 4, "timeouts": 0},
+        "latency_ms": {"p50": 12.5, "p95": 40.0, "p99": 88.0, "mean": 15.0},
+        "queue": {"depth": 3, "peak": 12},
+        "batches": {"dispatched": 30, "items": 120, "mean_size": 4.0,
+                    "histogram": {"4": 30}},
+        "workers": {
+            "0": {"busy_seconds": busy0, "blocks_total": 200,
+                  "elements_total": 51200, "wait_seconds": 0.4},
+            "1": {"busy_seconds": 2.5, "blocks_total": 190,
+                  "elements_total": 48640, "wait_seconds": 0.9},
+        },
+        "model": {"alpha_seconds": 2.1e-4, "beta_seconds_per_element": 3e-8,
+                  "unit_seconds": 5e-8, "ratio": 1.02, "drift": False,
+                  "samples": 30, "drift_events": 0},
+        "flight": {"enabled": True, "written": 900, "dropped": 120,
+                   "capacity": 512},
+    }
+
+
+class TestRenderTop:
+    def test_all_sections_present(self):
+        frame = render_top(_doc())
+        assert "repro.serve up" in frame
+        assert "req 120 ok / 4 shed" in frame
+        assert "p95" in frame and "40.00" in frame
+        assert "queue" in frame
+        assert "30 dispatched" in frame
+        assert "4x30" in frame
+        assert "rank" in frame  # worker table header
+        assert "model" in frame and "drift" in frame
+        assert "[ok]" in frame
+        assert "900 events, 120 overwritten" in frame
+
+    def test_drift_flag_rendered(self):
+        doc = _doc()
+        doc["model"]["drift"] = True
+        doc["model"]["ratio"] = 2.4
+        assert "[DRIFT]" in render_top(doc)
+
+    def test_rates_from_previous_frame(self):
+        prev, cur = _doc(completed=100, busy0=3.0), _doc(completed=110, busy0=3.8)
+        frame = render_top(cur, prev, interval=2.0)
+        assert "5.0 req/s" in frame  # (110-100)/2
+        assert "40%" in frame        # (3.8-3.0)/2 busy fraction for rank 0
+
+    def test_minimal_doc_renders(self):
+        frame = render_top({})
+        assert "repro.serve up" in frame
+
+    def test_worker_rows_sorted_numerically(self):
+        doc = _doc()
+        doc["workers"]["10"] = {"busy_seconds": 1.0, "blocks_total": 5,
+                                "elements_total": 100}
+        frame = render_top(doc)
+        rows = [line for line in frame.splitlines()
+                if line.strip().split() and line.strip().split()[0].isdigit()]
+        ranks = [line.strip().split()[0] for line in rows]
+        assert ranks == ["0", "1", "10"]
+
+
+def test_bar_clamps():
+    assert _bar(0.0) == "." * 20
+    assert _bar(1.0) == "#" * 20
+    assert _bar(7.5) == "#" * 20
+    assert len(_bar(0.33)) == 20
+
+
+class TestRunTop:
+    def test_unreachable_server_is_one_line_error(self, capsys):
+        rc = run_top("http://127.0.0.1:1", interval=0.01, iterations=1)
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot fetch")
+
+    def test_iterations_bound_and_output(self, monkeypatch):
+        docs = iter([_doc(completed=10), _doc(completed=20)])
+        monkeypatch.setattr(
+            "repro.obs.live.top.fetch_metrics", lambda url, timeout=2.0: next(docs)
+        )
+        out = io.StringIO()
+        rc = run_top("http://x", interval=0.0, iterations=2, out=out,
+                     clear=False)
+        assert rc == 0
+        assert out.getvalue().count("repro.serve up") == 2
+
+
+def test_fetch_metrics_appends_path():
+    with pytest.raises(Exception):
+        fetch_metrics("http://127.0.0.1:1", timeout=0.1)

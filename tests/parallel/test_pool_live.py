@@ -1,0 +1,62 @@
+"""Untraced pool runs still flush live telemetry over the result channel."""
+
+import numpy as np
+
+from repro.compiler import compile_scan
+from repro.obs.live import FLIGHT, LIVE, MONITOR
+from repro.parallel import WorkerPool
+from repro.runtime import execute_vectorized, run_and_capture
+from tests.conftest import record_tomcatv_block
+
+
+def _compiled(n=16):
+    block, arrays = record_tomcatv_block(n)
+    return compile_scan(block), arrays
+
+
+def test_untraced_execute_feeds_registry_monitor_and_flight():
+    compiled, arrays = _compiled()
+    executes0 = LIVE.value("repro_pool_executes_total")
+    busy0 = LIVE.value("repro_pool_worker_busy_seconds", rank="0")
+    blocks0 = LIVE.value("repro_pool_worker_blocks_total", rank="0")
+    samples0 = MONITOR.samples
+    written0 = FLIGHT.written
+
+    with WorkerPool(2, timeout=60.0) as pool:
+        run = pool.execute(compiled, block=4)  # no tracer anywhere
+        assert run.trace is None
+
+    assert LIVE.value("repro_pool_executes_total") == executes0 + 1
+    assert LIVE.value("repro_pool_worker_busy_seconds", rank="0") > busy0
+    assert LIVE.value("repro_pool_worker_blocks_total", rank="0") >= blocks0 + 1
+    assert LIVE.value("repro_pool_worker_elements_total", rank="1") > 0
+    hist = LIVE.histogram("repro_pool_execute_seconds")
+    assert hist.total >= 1
+    # The monitor folded the job in and has a live unit-cost estimate.
+    assert MONITOR.samples == samples0 + 1
+    assert MONITOR.unit_seconds > 0.0
+    # The parent-side flight recorder logged the run.
+    assert FLIGHT.written > written0
+    if FLIGHT.enabled:
+        names = [e["name"] for e in FLIGHT.dump()["events"]]
+        assert "pool_execute" in names
+
+
+def test_telemetry_does_not_disturb_results():
+    compiled, arrays = _compiled()
+    oracle = run_and_capture(execute_vectorized, compiled, arrays)
+    with WorkerPool(2, timeout=60.0) as pool:
+        pooled = run_and_capture(
+            lambda c: pool.execute(c, block=4), compiled, arrays
+        )
+    for want, got in zip(oracle, pooled):
+        np.testing.assert_array_equal(got, want)
+
+
+def test_repeat_executes_accumulate():
+    compiled, _ = _compiled()
+    executes0 = LIVE.value("repro_pool_executes_total")
+    with WorkerPool(2, timeout=60.0) as pool:
+        for _ in range(3):
+            pool.execute(compiled, block=4)
+    assert LIVE.value("repro_pool_executes_total") == executes0 + 3
