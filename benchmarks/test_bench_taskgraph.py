@@ -1,0 +1,166 @@
+"""Task-graph vs pipelined schedule on a banded wavefront DP at p=4.
+
+The banded recurrence is where dependence-driven execution earns its keep:
+a mask keeps only the ``|i - j| <= band`` diagonal alive, yet the pipelined
+schedule still *computes* every block (masked stores write the old values
+back), while ``schedule="taskgraph"`` prunes the fully-masked tiles out of
+the DAG at plan time and steals around the load imbalance the band leaves
+behind.  This bench regenerates the acceptance numbers on a persistent
+:class:`WorkerPool` with four workers (override the mesh size with
+``REPRO_BENCH_TASKGRAPH_N`` — CI's smoke step runs a small n):
+
+* every schedule must leave the arrays **bit-identical** to the sequential
+  vectorised engine (equality gate);
+* the task-graph schedule must be at least **1.3×** faster than the best
+  pipelined wall at p=4 (the acceptance gate; pruning alone predicts ~2×
+  at the default band);
+* the pruner must skip **exactly** the fully-masked tiles — the executed
+  tile count, the report's ``n_pruned``, and an independent mask probe of
+  the unpruned tiling must all agree.
+
+The payload is written to ``BENCH_taskgraph.json`` via
+:mod:`repro.util.benchjson` and uploaded by CI next to the other
+``BENCH_*.json`` artifacts.
+"""
+
+import os
+
+import numpy as np
+
+from repro import zpl
+from repro.compiler import compile_scan
+from repro.compiler.taskdag import derive_taskgraph
+from repro.machine.schedules import plan_wavefront
+from repro.parallel import WorkerPool, oversubscription
+from repro.parallel.executor import _as_grid, _build_distribution
+from repro.runtime import execute_vectorized
+from repro.runtime.interp import ArraySnapshot
+from repro.util.benchjson import read_bench, write_bench
+from repro.util.timing import WallTimer
+
+#: Acceptance-criterion mesh (band scales with it).
+N = int(os.environ.get("REPRO_BENCH_TASKGRAPH_N", "512"))
+BAND = max(8, N // 8)
+BLOCK = max(16, N // 32)
+PROCS = 4
+REPEATS = 3
+#: The CI gate: taskgraph must beat the pipelined wall by this factor.
+MIN_SPEEDUP = 1.3
+
+
+def _banded_block(n, band):
+    base = zpl.Region.square(1, n)
+    a = zpl.ZArray(base, name="a", fluff=2)
+    a._data[...] = 0.5
+    mask = zpl.ZArray(base, name="m", fluff=2)
+    mask._data[...] = 0.0
+    mask.load(
+        np.fromfunction(
+            lambda i, j: (np.abs(i - j) <= band).astype(float), (n, n)
+        )
+    )
+    region = zpl.Region.of((2, n), (1, n))
+    with zpl.covering(region), zpl.masked(mask):
+        with zpl.scan(execute=False) as block:
+            a[...] = 0.2 + 0.45 * (a.p @ (-1, 0)) + 0.3 * (a.p @ (-1, -1))
+    return compile_scan(block), a, mask
+
+
+def _timed(pool, compiled, snap, repeats, **kwargs):
+    best_wall = float("inf")
+    last_run = None
+    for _ in range(repeats):
+        snap.restore()
+        timer = WallTimer()
+        with timer:
+            last_run = pool.execute(compiled, **kwargs)
+        best_wall = min(best_wall, timer.elapsed)
+    return best_wall, last_run
+
+
+def test_taskgraph_schedule_artifact():
+    compiled, a, mask = _banded_block(N, BAND)
+    compiled.prepare()
+    snap = ArraySnapshot([a, mask])
+
+    # The sequential oracle for the equality gate.
+    execute_vectorized(compiled)
+    oracle = a.to_numpy().copy()
+    snap.restore()
+
+    pool = WorkerPool(PROCS)
+    try:
+        pipelined_wall, pipelined_run = _timed(
+            pool, compiled, snap, REPEATS, schedule="pipelined", block=BLOCK
+        )
+        np.testing.assert_array_equal(a.to_numpy(), oracle)
+
+        taskgraph_wall, taskgraph_run = _timed(
+            pool, compiled, snap, REPEATS, schedule="taskgraph", block=BLOCK
+        )
+        np.testing.assert_array_equal(a.to_numpy(), oracle)
+    finally:
+        pool.close()
+
+    # Independent pruning probe: retile without pruning and count the
+    # tiles the masks kill; the scheduler must have skipped exactly those.
+    report = taskgraph_run.taskgraph
+    plan = plan_wavefront(compiled)
+    grid = _as_grid(PROCS)
+    dist = _build_distribution(plan, grid)
+    locals_by_rank = [dist.local_region(rank) for rank in grid]
+    oversub = int(os.environ.get("REPRO_TASKGRAPH_OVERSUB", "3"))
+    full = derive_taskgraph(
+        compiled, plan, locals_by_rank, oversub, BLOCK, prune=False
+    )
+    dead = sum(
+        1 for tile in full.tiles if not np.any(mask.read(tile) != 0)
+    )
+    assert dead > 0, "the band must leave fully-masked tiles to prune"
+    assert report.n_pruned == dead
+    assert report.n_tasks == full.n_live - dead
+    # Executed-tile counters (the workers' per-rank stats): every live
+    # tile ran exactly once, nowhere twice, nothing dead ever fired.
+    assert sum(report.tasks_by_rank) == report.n_tasks
+
+    speedup = pipelined_wall / taskgraph_wall
+    results = [
+        {
+            "test": "taskgraph_vs_pipelined",
+            "n": N,
+            "band": BAND,
+            "block_size": BLOCK,
+            "p": PROCS,
+            "pipelined_seconds": pipelined_wall,
+            "taskgraph_seconds": taskgraph_wall,
+            "taskgraph_speedup": speedup,
+            "n_tasks": report.n_tasks,
+            "n_pruned": report.n_pruned,
+            "n_edges": report.n_edges,
+            "dead_fraction": report.n_pruned / full.n_live,
+            "steals": report.steals,
+            "ready_peak": report.ready_peak,
+            "tasks_by_rank": list(report.tasks_by_rank),
+        }
+    ]
+    meta = {
+        "benchmark": "banded-wavefront-dp",
+        "n": N,
+        "band": BAND,
+        "repeats": REPEATS,
+        "host": oversubscription(PROCS),
+        "pipelined_chunks": pipelined_run.n_chunks,
+    }
+    path = write_bench("taskgraph", results, meta=meta)
+
+    written = read_bench("taskgraph")
+    assert path.name == "BENCH_taskgraph.json"
+    assert written["results"][0]["taskgraph_seconds"] > 0
+
+    # Acceptance criterion — the CI gate.
+    assert speedup >= MIN_SPEEDUP, (
+        f"taskgraph must be >={MIN_SPEEDUP}x faster than pipelined on the "
+        f"banded DP at p={PROCS}, n={N}, band={BAND}: taskgraph "
+        f"{taskgraph_wall:.4f}s vs pipelined {pipelined_wall:.4f}s "
+        f"({speedup:.2f}x)"
+    )

@@ -71,6 +71,7 @@ CODES: dict[str, tuple[Severity, str]] = {
     "W105": (Severity.WARNING, "dead mask"),
     "W106": (Severity.WARNING, "dead store"),
     "W107": (Severity.WARNING, "pipelining predicted unprofitable"),
+    "W108": (Severity.WARNING, "taskgraph schedule recommended"),
     # Explanations (requested via `repro.analyze explain`).
     "I301": (Severity.INFO, "fusion blocked"),
     "I302": (Severity.INFO, "skew ineligible"),

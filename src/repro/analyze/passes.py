@@ -14,8 +14,9 @@ The registry covers three groups:
   :func:`repro.compiler.legality.legality_diagnostics` plus the constructive
   over-constraint check (``E002``).
 * **Lints** — unused declarations (``W101``–``W103``), redundant primes
-  (``W104``), dead masks (``W105``), dead stores (``W106``), and the α+β
-  pipeline-hazard advisor (``W107``).
+  (``W104``), dead masks (``W105``), dead stores (``W106``), the α+β
+  pipeline-hazard advisor (``W107``), and the taskgraph-schedule advisor
+  (``W108``).
 * **Explanations** (``I301``/``I302``) — *why* fusion split a statement
   sequence, and why skewing found no legal time vector.  These are emitted
   by :func:`explain_program` (the CLI's ``explain`` command), not by plain
@@ -52,6 +53,14 @@ from repro.zpl.statements import Assign
 #: the predicted speedup below which pipelining is flagged as unprofitable.
 HAZARD_PROCS = 4
 HAZARD_SPEEDUP = 1.1
+
+#: Taskgraph-advisor (W108) defaults: the analysis tiling (splits per
+#: dimension), the fully-masked tile fraction above which dead-block pruning
+#: pays, and the live-cost coefficient of variation above which work
+#: stealing pays.
+TG_ADVISOR_SPLITS = 4
+TG_DEAD_FRACTION = 0.25
+TG_COST_CV = 0.5
 
 
 def _block_label(block: ScanBlock, index: int) -> str:
@@ -404,8 +413,143 @@ def pipeline_hazard(
     ]
 
 
+# ---------------------------------------------------------------------------
+# Taskgraph advisor (W108)
+# ---------------------------------------------------------------------------
+def _advisor_masks(statements: Sequence[Assign]) -> list | None:
+    """The masks that decide tile liveness, or ``None`` when the block gives
+    the advisor nothing to reason about.
+
+    Mirrors the soundness rule of
+    :func:`repro.compiler.taskdag._prunable_masks` at the statement level:
+    every statement must carry a mask and no mask array may be written by
+    the block — otherwise plan-time mask values say nothing about run-time
+    liveness and the advisor stays silent.
+    """
+    region = statements[0].region
+    written = {id(stmt.target) for stmt in statements}
+    masks = []
+    for stmt in statements:
+        if (
+            stmt.mask is None
+            or id(stmt.mask) in written
+            or stmt.region.ranges != region.ranges
+        ):
+            return None
+        masks.append(stmt.mask)
+    return masks or None
+
+
+def taskgraph_advisor(
+    statements: Sequence[Assign],
+    block: str | None = None,
+    procs: int = HAZARD_PROCS,
+) -> list[Diagnostic]:
+    """Warn when ``schedule="taskgraph"`` is predicted to beat pipelining.
+
+    The pipelined schedule fires every block and gives every rank the same
+    static share; the task-graph schedule prunes fully-masked tiles and
+    steals around load imbalance.  This advisor predicts when that matters,
+    from mask values alone: it tiles the block's region
+    (``TG_ADVISOR_SPLITS`` balanced slabs per dimension, the same
+    wave x chunk shape the scheduler would use) and counts live elements
+    per tile.
+
+    * **Dead fraction** — the fraction of tiles where every mask is zero.
+      At or above ``TG_DEAD_FRACTION`` the pruner would skip that share of
+      the schedule outright (the banded-alignment case).
+    * **Cost variance** — the coefficient of variation of live-element
+      counts across the remaining tiles.  At or above ``TG_COST_CV`` the
+      static pipelined shares are unbalanced enough that stealing pays
+      (the density-gradient case).
+    """
+    if not statements:
+        return []
+    deps = extract_dependences(statements)
+    region = statements[0].region
+    classes = classify(true_vectors(deps), region.rank)
+    if not any(c is DimClass.PIPELINED for c in classes):
+        return []  # no wavefront: nothing for either schedule to pipeline
+    masks = _advisor_masks(statements)
+    if masks is None:
+        return []
+
+    tiles = [region]
+    for dim in range(region.rank):
+        splits = min(TG_ADVISOR_SPLITS, region.extent(dim))
+        tiles = [
+            piece
+            for tile in tiles
+            for piece in tile.split(dim, max(1, splits))
+            if not piece.is_empty()
+        ]
+    costs = []
+    for tile in tiles:
+        live = np.zeros(tile.shape, dtype=bool)
+        for mask in masks:
+            live |= mask.read(tile) != 0
+        costs.append(int(np.count_nonzero(live)))
+    n_dead = sum(1 for cost in costs if cost == 0)
+    dead_fraction = n_dead / len(costs)
+    live_costs = np.array([c for c in costs if c > 0], dtype=float)
+    cost_cv = (
+        float(live_costs.std() / live_costs.mean()) if live_costs.size else 0.0
+    )
+
+    data = {
+        "dead_fraction": round(dead_fraction, 4),
+        "cost_cv": round(cost_cv, 4),
+        "tiles": len(costs),
+        "p": procs,
+    } | ({"block": block} if block else {})
+    hint = (
+        'run this block with schedule="taskgraph" (or REPRO_SCHEDULE='
+        "taskgraph) to prune dead tiles and steal around the imbalance"
+    )
+    if dead_fraction >= TG_DEAD_FRACTION:
+        return [
+            Diagnostic(
+                "W108",
+                f"{n_dead} of {len(costs)} analysis tiles are fully masked "
+                f"off ({dead_fraction:.0%}): the pipelined schedule computes "
+                f"them anyway, the task-graph schedule prunes them",
+                span=span_of(statements[0]),
+                because=(
+                    Because(
+                        "note",
+                        f"a {TG_ADVISOR_SPLITS}-way per-dimension tiling of "
+                        f"{region!r} was probed against the block's masks",
+                    ),
+                ),
+                hint=hint,
+                data=data | {"branch": "dead-fraction"},
+            )
+        ]
+    if cost_cv >= TG_COST_CV:
+        return [
+            Diagnostic(
+                "W108",
+                f"live work is unevenly masked across the region "
+                f"(per-tile cost CV {cost_cv:.2f}): static pipelined shares "
+                f"will load-imbalance at p={procs}",
+                span=span_of(statements[0]),
+                because=(
+                    Because(
+                        "note",
+                        f"live elements per analysis tile range "
+                        f"{int(live_costs.min())}..{int(live_costs.max())} "
+                        f"(mean {live_costs.mean():.0f})",
+                    ),
+                ),
+                hint=hint,
+                data=data | {"branch": "cost-variance"},
+            )
+        ]
+    return []
+
+
 def pass_block_lints(program: Program) -> list[Diagnostic]:
-    """Block-scoped lints (W104, W107) over every scan block."""
+    """Block-scoped lints (W104, W107, W108) over every scan block."""
     out: list[Diagnostic] = []
     for index, block in enumerate(program.scan_blocks()):
         if legality_diagnostics(block):
@@ -413,6 +557,7 @@ def pass_block_lints(program: Program) -> list[Diagnostic]:
         label = _block_label(block, index)
         out.extend(redundant_primes(block.statements, block=label))
         out.extend(pipeline_hazard(block.statements, block=label))
+        out.extend(taskgraph_advisor(block.statements, block=label))
     return out
 
 
@@ -590,6 +735,7 @@ def lint_block(block: ScanBlock, name: str | None = None) -> list[Diagnostic]:
         return out
     out = redundant_primes(block.statements, block=label)
     out.extend(pipeline_hazard(block.statements, block=label))
+    out.extend(taskgraph_advisor(block.statements, block=label))
     return out
 
 

@@ -62,13 +62,19 @@ INJECT_ENV = "REPRO_SANITIZE_INJECT"
 
 
 def parse_inject(value: str | None) -> tuple[str, int, int] | None:
-    """Parse ``REPRO_SANITIZE_INJECT`` (``kind:rank:block``), or ``None``."""
+    """Parse ``REPRO_SANITIZE_INJECT`` (``kind:rank:block``), or ``None``.
+
+    ``early-release`` targets the pipelined schedule (publish a token before
+    computing the block); ``early-fire`` targets ``schedule="taskgraph"``
+    (enqueue a tile before its predecessors complete).
+    """
     if not value:
         return None
     parts = value.split(":")
-    if len(parts) != 3 or parts[0] != "early-release":
+    if len(parts) != 3 or parts[0] not in ("early-release", "early-fire"):
         raise SanitizerError(
             f"bad {INJECT_ENV}={value!r}; expected 'early-release:RANK:BLOCK'"
+            f" or 'early-fire:RANK:TILE'"
         )
     try:
         return (parts[0], int(parts[1]), int(parts[2]))

@@ -29,7 +29,7 @@ starts (their values are loop-invariant).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator
+from typing import Generator, Sequence
 
 from repro.compiler.lowering import CompiledScan
 from repro.compiler.wsv import DimClass
@@ -156,6 +156,50 @@ def _chunk_regions(region: Region, dim: int, width: int, reverse: bool) -> list[
         chunks.append(region.slab(dim, cursor, top))
         cursor = top + 1
     return chunks[::-1] if reverse else chunks
+
+
+def taskgraph_intervals(
+    plan: WavefrontPlan,
+    locals_by_rank: Sequence[Region],
+    oversub: int,
+    block_size: int,
+) -> tuple[list[tuple[int, int, int]], list[tuple[int, int] | None]]:
+    """The two tiling axes of a task-graph decomposition.
+
+    Returns ``(wave, chunk)``:
+
+    * ``wave`` — ``(lo, hi, home_rank)`` intervals along the wavefront
+      dimension, in traversal order.  Each rank's static local slab (the
+      same :class:`~repro.machine.distribution.BlockMap` split the
+      pipelined schedule uses, so locality matches) is over-decomposed
+      into up to ``oversub`` sub-slabs: the slack the stealing scheduler
+      rebalances when per-block costs are skewed.
+    * ``chunk`` — ``(lo, hi)`` intervals along the chunk dimension in
+      traversal order, with exactly the pipelined schedule's block
+      boundaries (:func:`_chunk_regions` at ``block_size``), or ``[None]``
+      when the block has no chunkable dimension (rank-1 chains taskgraph
+      can still run, one tile per wave slab).
+    """
+    region = plan.region
+    loops = plan.compiled.loops
+    w, c = plan.wavefront_dim, plan.chunk_dim
+    wave: list[tuple[int, int, int]] = []
+    for rank, local in enumerate(locals_by_rank):
+        if local.is_empty():
+            continue
+        for piece in local.split(w, max(1, min(oversub, local.extent(w)))):
+            if not piece.is_empty():
+                lo, hi = piece.range(w)
+                wave.append((lo, hi, rank))
+    wave.sort(key=lambda t: t[0], reverse=loops.signs[w] < 0)
+    if c is None:
+        return wave, [None]
+    reverse = loops.signs[c] < 0
+    chunk = [
+        piece.range(c)
+        for piece in _chunk_regions(region, c, max(1, block_size), reverse)
+    ]
+    return wave, chunk
 
 
 def pipelined_wavefront(

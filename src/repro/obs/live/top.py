@@ -86,7 +86,8 @@ def render_top(
     if workers:
         lines.append("")
         lines.append(
-            f"{'rank':>4}  {'busy s':>9}  {'blocks':>8}  {'elements':>12}  util"
+            f"{'rank':>4}  {'busy s':>9}  {'blocks':>8}  {'elements':>12}  "
+            f"{'steals':>7}  util"
         )
         prev_workers = (prev or {}).get("workers", {})
         for rank in sorted(workers, key=lambda r: int(r)):
@@ -97,9 +98,14 @@ def render_top(
                 prev_busy = prev_workers.get(rank, {}).get("busy_seconds", 0.0)
                 util = (busy - prev_busy) / interval
                 util_text = f"{util * 100:4.0f}% [{_bar(util, 10)}]"
+            # Steals only exist under schedule="taskgraph"; pipelined rows
+            # show a dash rather than a misleading zero.
+            steals = row.get("steals_total")
+            steals_text = f"{steals:7.0f}" if steals is not None else f"{'--':>7}"
             lines.append(
                 f"{rank:>4}  {busy:9.3f}  {row.get('blocks_total', 0):8.0f}  "
-                f"{row.get('elements_total', 0):12.0f}  {util_text}"
+                f"{row.get('elements_total', 0):12.0f}  {steals_text}  "
+                f"{util_text}"
             )
 
     model = doc.get("model", {})

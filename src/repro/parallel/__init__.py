@@ -36,15 +36,18 @@ from repro.parallel.autotune import (
     measured_probe,
     normalized_params,
     optimal_block_size,
+    taskgraph_tiling,
     tuned_block_size,
 )
 from repro.parallel.bench import oversubscription, speedup_curve, tomcatv_forward
 from repro.parallel.executor import (
     MAX_PROCS_ENV,
     ParallelRun,
+    SCHEDULE_ENV,
     SCHEDULES,
     default_grid,
     execute,
+    resolve_schedule,
 )
 from repro.parallel.pool import (
     PoolSupervisor,
@@ -53,13 +56,16 @@ from repro.parallel.pool import (
     shared_pool,
 )
 from repro.parallel.sharedmem import SharedArrayPool, collect_arrays
+from repro.parallel.taskgraph import TaskgraphReport
 
 __all__ = [
     "AutotuneResult",
     "CommParams",
     "MAX_PROCS_ENV",
     "ParallelRun",
+    "SCHEDULE_ENV",
     "SCHEDULES",
+    "TaskgraphReport",
     "SharedArrayPool",
     "PoolSupervisor",
     "WorkerPool",
@@ -79,8 +85,10 @@ __all__ = [
     "normalized_params",
     "optimal_block_size",
     "oversubscription",
+    "resolve_schedule",
     "shared_pool",
     "speedup_curve",
+    "taskgraph_tiling",
     "tomcatv_forward",
     "tuned_block_size",
 ]

@@ -46,7 +46,23 @@ from repro.zpl.regions import Region
 #: Environment knob: hard cap on worker counts chosen *by default* (CI safety).
 MAX_PROCS_ENV = "REPRO_PARALLEL_MAX_PROCS"
 
-SCHEDULES = ("pipelined", "naive")
+#: Environment knob: the default schedule when a caller passes ``None``.
+SCHEDULE_ENV = "REPRO_SCHEDULE"
+
+SCHEDULES = ("pipelined", "naive", "taskgraph")
+
+
+def resolve_schedule(schedule: str | None) -> str:
+    """An explicit schedule, else ``REPRO_SCHEDULE``, else ``pipelined``."""
+    source = "schedule"
+    if schedule is None:
+        schedule = os.environ.get(SCHEDULE_ENV, "") or "pipelined"
+        source = SCHEDULE_ENV
+    if schedule not in SCHEDULES:
+        raise MachineError(
+            f"unknown {source} {schedule!r}; pick from {SCHEDULES}"
+        )
+    return schedule
 
 
 @dataclass(frozen=True)
@@ -66,6 +82,9 @@ class ParallelRun:
     plan: WavefrontPlan
     #: Structured event recording (:mod:`repro.obs`), when tracing was on.
     trace: Trace | None = None
+    #: Scheduler outcome (:class:`repro.parallel.taskgraph.TaskgraphReport`)
+    #: when ``schedule="taskgraph"``: tile/pruning/steal accounting.
+    taskgraph: object | None = None
 
     @property
     def n_procs(self) -> int:
@@ -153,7 +172,7 @@ def execute(
     compiled: CompiledScan,
     grid: ProcessorGrid | int | tuple[int, ...] | None = None,
     *,
-    schedule: str = "pipelined",
+    schedule: str | None = None,
     block: int | None = None,
     wavefront_dim: int | None = None,
     start_method: str | None = None,
@@ -186,7 +205,14 @@ def execute(
     ``None`` honours ``REPRO_SANITIZE``.  A detected violation raises
     :class:`~repro.errors.SanitizerError`.  Shadow execution forks fresh
     workers each run, so it cannot be combined with ``pool``.
+
+    ``schedule`` picks ``"pipelined"`` (static rank order, blocked tokens),
+    ``"naive"`` (whole-boundary messages), or ``"taskgraph"``
+    (dependence-driven firing with work stealing and dead-block pruning —
+    see :mod:`repro.compiler.taskdag`); ``None`` honours ``REPRO_SCHEDULE``
+    and defaults to pipelined.
     """
+    schedule = resolve_schedule(schedule)
     if sanitize is None:
         sanitize = os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
     if sanitize and pool is not None:
@@ -208,8 +234,17 @@ def execute(
             timeout=timeout,
             tracer=tracer,
         )
-    if schedule not in SCHEDULES:
-        raise MachineError(f"unknown schedule {schedule!r}; pick from {SCHEDULES}")
+    if schedule == "taskgraph":
+        return _execute_taskgraph(
+            compiled,
+            _as_grid(grid),
+            block=block,
+            wavefront_dim=wavefront_dim,
+            start_method=start_method,
+            timeout=timeout,
+            tracer=tracer,
+            sanitize=sanitize,
+        )
     grid = _as_grid(grid)
     plan = plan_wavefront(compiled, wavefront_dim)
     if plan.chunk_dim is None and grid.dims[0] > 1 and schedule == "pipelined":
@@ -393,4 +428,200 @@ def execute(
         setup_time=setup_time,
         plan=plan,
         trace=trace,
+    )
+
+
+def _execute_taskgraph(
+    compiled: CompiledScan,
+    grid: ProcessorGrid,
+    *,
+    block: int | None,
+    wavefront_dim: int | None,
+    start_method: str | None,
+    timeout: float,
+    tracer,
+    sanitize: bool,
+) -> ParallelRun:
+    """The fork-per-run ``schedule="taskgraph"`` backend.
+
+    Same sharing/fork/barrier/result skeleton as the pipelined path, but
+    instead of a static token fabric the workers share one scheduler
+    segment (:class:`repro.parallel.taskgraph.TaskgraphState`) and fire
+    tiles of the pruned dependence DAG (:mod:`repro.compiler.taskdag`) as
+    their predecessors complete.  ``sanitize`` swaps the pipelined shadow
+    for the scheduler's enqueue-evidence + completion-stamp checks, and
+    honours the ``early-fire`` injection of ``REPRO_SANITIZE_INJECT``.
+    """
+    from repro.compiler.taskdag import derive_taskgraph
+    from repro.parallel.taskgraph import (
+        TaskgraphState,
+        make_locks,
+        report_from_stats,
+        resolve_oversub,
+    )
+
+    if grid.rank != 1:
+        raise MachineError(
+            "schedule=\"taskgraph\" runs on rank-1 grids: the scheduler "
+            "itself spreads work along the chunk dimension"
+        )
+    plan = plan_wavefront(compiled, wavefront_dim)
+    dist = _build_distribution(plan, grid)
+    if block is not None:
+        if block < 1:
+            raise MachineError(f"block size must be >= 1, got {block}")
+        oversub, block_size = resolve_oversub(), block
+    else:
+        from repro.parallel.autotune import taskgraph_tiling
+
+        oversub, block_size = taskgraph_tiling(
+            compiled, grid.dims[0], plan=plan
+        )
+
+    obs = resolve_tracer(tracer)
+    setup_start = time.perf_counter()
+    with obs.span("prepare", "setup"):
+        compiled.prepare()
+    with obs.span("taskdag", "setup"):
+        graph = derive_taskgraph(
+            compiled,
+            plan,
+            [dist.local_region(rank) for rank in grid],
+            oversub,
+            block_size,
+        )
+    inject = None
+    if sanitize:
+        from repro.analyze.sanitizer import INJECT_ENV, parse_inject
+
+        inject = parse_inject(os.environ.get(INJECT_ENV))
+        if inject is not None and inject[0] != "early-fire":
+            inject = None  # early-release faults target the pipelined shadow
+    with obs.span("share", "setup"):
+        pool = SharedArrayPool(compiled)
+    state = TaskgraphState(graph, grid.size, inject=inject)
+    procs: list[mp.process.BaseProcess] = []
+    try:
+        spawn_start = time.perf_counter()
+        blob = pickle.dumps(compiled)
+        ctx = _context(start_method)
+        locks = make_locks(ctx, grid.size)
+        spec = state.spec(graph, grid.size, sanitize)
+        barrier = ctx.Barrier(grid.size + 1)
+        results = ctx.Queue()
+        for rank in grid:
+            task = WorkerTask(
+                rank=rank,
+                compiled_blob=blob,
+                specs=pool.specs,
+                chunks=(),
+                recv=None,
+                send=None,
+                timeout=timeout,
+                chunk_dim=plan.chunk_dim,
+                boundary_rows=plan.boundary_rows,
+                trace=obs.enabled,
+                taskgraph=spec,
+                tg_locks=locks,
+            )
+            proc = ctx.Process(
+                target=run_worker,
+                args=(task, barrier, results),
+                name=f"repro-worker-{rank}",
+            )
+            proc.start()
+            procs.append(proc)
+        obs.add_span("spawn", "setup", spawn_start, time.perf_counter())
+
+        try:
+            with obs.span("barrier", "sync"):
+                barrier.wait(timeout=timeout)
+        except Exception as exc:
+            detail = ""
+            try:
+                while True:
+                    status, rank, payload = results.get(timeout=1.0)
+                    if status == "error":
+                        detail = f"\nworker {rank}:\n{payload}"
+                        break
+            except Exception:
+                pass
+            raise MachineError(f"workers failed to start: {exc}{detail}") from exc
+        setup_time = time.perf_counter() - setup_start
+
+        outcomes: dict[int, float] = {}
+        run_stats: dict[int, dict] = {}
+        for _ in range(grid.size):
+            try:
+                status, rank, payload = results.get(timeout=timeout)
+            except Exception as exc:
+                raise MachineError(
+                    f"lost contact with {grid.size - len(outcomes)} worker(s) "
+                    f"after {timeout:.0f}s"
+                ) from exc
+            if status != "ok":
+                if "SanitizerError" in str(payload):
+                    raise SanitizerError(
+                        f"worker {rank} detected a taskgraph protocol "
+                        f"violation:\n{payload}"
+                    )
+                raise MachineError(f"worker {rank} failed:\n{payload}")
+            outcomes[rank] = payload["elapsed"]
+            run_stats[rank] = payload.get("stats") or {}
+            obs.absorb(payload["events"])
+        for proc in procs:
+            proc.join(timeout=timeout)
+        with obs.span("gather", "setup"):
+            pool.gather()
+    finally:
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        state.release()
+        pool.release()
+
+    worker_times = tuple(outcomes[rank] for rank in grid)
+    report = report_from_stats(graph, run_stats)
+    trace = None
+    if obs.enabled:
+        region = plan.region
+        trace = Trace.from_tracer(
+            obs,
+            clock="wall",
+            meta={
+                "backend": "parallel",
+                "schedule": "taskgraph",
+                "grid": list(grid.dims),
+                "n_procs": grid.size,
+                "block_size": block_size,
+                "oversub": oversub,
+                "n_tasks": graph.n_live,
+                "n_pruned": graph.n_pruned,
+                "n_edges": graph.n_edges,
+                "steals": report.steals,
+                "rows": region.extent(plan.wavefront_dim),
+                "cols": (
+                    region.extent(plan.chunk_dim)
+                    if plan.chunk_dim is not None
+                    else 1
+                ),
+                "wavefront_dim": plan.wavefront_dim,
+                "chunk_dim": plan.chunk_dim,
+                "wall_time": max(worker_times),
+                "setup_time": setup_time,
+                "sanitize": bool(sanitize),
+            },
+        )
+    return ParallelRun(
+        schedule="taskgraph",
+        grid_dims=grid.dims,
+        block_size=block_size,
+        n_chunks=graph.n_live,
+        wall_time=max(worker_times),
+        worker_times=worker_times,
+        setup_time=setup_time,
+        plan=plan,
+        trace=trace,
+        taskgraph=report,
     )

@@ -69,6 +69,7 @@ from repro.parallel.executor import (
     _chains,
     _context,
     _worker_chunks,
+    resolve_schedule,
 )
 from repro.parallel.sharedmem import ArraySpec, AttachedArrays, SharedArrayPool
 from repro.parallel.worker import pipeline_loop
@@ -98,6 +99,11 @@ class PoolJob:
     #: Request-context tags (serving request ids) stamped onto this job's
     #: spans and flight events — the worker half of end-to-end tracing.
     tags: dict | None = None
+    #: Task-graph spec (:class:`repro.parallel.taskgraph.TaskgraphSpec`)
+    #: when ``schedule="taskgraph"``: the worker joins the run's shared
+    #: scheduler segment instead of the static token fabric (``chunks`` is
+    #: empty, ``ascending`` unused).
+    taskgraph: object | None = None
 
 
 @dataclass
@@ -108,6 +114,10 @@ class PoolBoot:
     links_fwd: tuple[Connection | None, Connection | None]
     links_bwd: tuple[Connection | None, Connection | None]
     jobs: Connection
+    #: The pool-lifetime ``(graph_lock, deque_locks)`` for taskgraph jobs —
+    #: locks share only by inheritance, so they ship at fork time, not in
+    #: the job record.  One set serves every run: submissions serialise.
+    tg_locks: object | None = None
 
 
 def run_pool_worker(boot: PoolBoot, barrier, results) -> None:
@@ -184,22 +194,36 @@ def run_pool_worker(boot: PoolBoot, barrier, results) -> None:
             elapsed = 0.0
             stats: dict = {}
             if err is None:
-                recv, send = (
-                    boot.links_fwd if job.ascending else boot.links_bwd
-                )
                 try:
-                    elapsed = pipeline_loop(
-                        runnable,
-                        job.chunks,
-                        recv,
-                        send,
-                        job.timeout,
-                        tracer,
-                        job.chunk_dim,
-                        job.boundary_rows,
-                        stats=stats,
-                        tags=job.tags,
-                    )
+                    if job.taskgraph is not None:
+                        from repro.parallel.taskgraph import taskgraph_loop
+
+                        elapsed = taskgraph_loop(
+                            runnable,
+                            job.taskgraph,
+                            boot.tg_locks,
+                            boot.rank,
+                            job.timeout,
+                            tracer,
+                            stats=stats,
+                            tags=job.tags,
+                        )
+                    else:
+                        recv, send = (
+                            boot.links_fwd if job.ascending else boot.links_bwd
+                        )
+                        elapsed = pipeline_loop(
+                            runnable,
+                            job.chunks,
+                            recv,
+                            send,
+                            job.timeout,
+                            tracer,
+                            job.chunk_dim,
+                            job.boundary_rows,
+                            stats=stats,
+                            tags=job.tags,
+                        )
                 except BaseException:
                     err = traceback.format_exc()
             if err is not None:
@@ -282,6 +306,11 @@ class WorkerPool:
         links_fwd = chain_links(ctx, _chains(self.grid, True))
         links_bwd = chain_links(ctx, _chains(self.grid, False))
         self._links = (links_fwd, links_bwd)  # keep parent copies alive
+        # One lock set for every taskgraph job this pool will ever run:
+        # locks cannot ride a pipe, so they must exist before the fork.
+        from repro.parallel.taskgraph import make_locks
+
+        self._tg_locks = make_locks(ctx, self.grid.size)
         self._jobs: dict[int, Connection] = {}
         self._procs = []
         self._plans: dict[str, _PlanEntry] = {}
@@ -307,6 +336,7 @@ class WorkerPool:
                     links_fwd=links_fwd[rank],
                     links_bwd=links_bwd[rank],
                     jobs=recv_end,
+                    tg_locks=self._tg_locks,
                 )
                 proc = ctx.Process(
                     target=run_pool_worker,
@@ -418,7 +448,7 @@ class WorkerPool:
         self,
         compiled: CompiledScan,
         *,
-        schedule: str = "pipelined",
+        schedule: str | None = None,
         block: int | None = None,
         wavefront_dim: int | None = None,
         timeout: float | None = None,
@@ -464,7 +494,7 @@ class WorkerPool:
         self,
         compiled: CompiledScan,
         *,
-        schedule: str,
+        schedule: str | None,
         block: int | None,
         wavefront_dim: int | None,
         timeout: float | None,
@@ -478,10 +508,7 @@ class WorkerPool:
                 "close() it and build a new pool"
             )
         self._ensure_workers_alive()
-        if schedule not in SCHEDULES:
-            raise MachineError(
-                f"unknown schedule {schedule!r}; pick from {SCHEDULES}"
-            )
+        schedule = resolve_schedule(schedule)
         timeout = self.timeout if timeout is None else timeout
         grid = self.grid
         obs = resolve_tracer(tracer)
@@ -492,18 +519,34 @@ class WorkerPool:
             raise DistributionError(
                 "no chunkable dimension: this block cannot be pipelined"
             )
+        if schedule == "taskgraph" and grid.rank != 1:
+            raise MachineError(
+                "schedule=\"taskgraph\" runs on rank-1 grids: the scheduler "
+                "itself spreads work along the chunk dimension"
+            )
         dist = _build_distribution(plan, grid)
         loops = compiled.loops
         ascending = loops.signs[plan.wavefront_dim] >= 0
         reverse_chunks = (
             plan.chunk_dim is not None and loops.signs[plan.chunk_dim] < 0
         )
+        oversub = None
         if schedule == "naive":
             block_size = None
         elif block is not None:
             if block < 1:
                 raise MachineError(f"block size must be >= 1, got {block}")
             block_size = block
+            if schedule == "taskgraph":
+                from repro.parallel.taskgraph import resolve_oversub
+
+                oversub = resolve_oversub()
+        elif schedule == "taskgraph":
+            from repro.parallel.autotune import taskgraph_tiling
+
+            oversub, block_size = taskgraph_tiling(
+                compiled, grid.dims[0], plan=plan
+            )
         else:
             from repro.parallel.autotune import tuned_block_size
 
@@ -512,6 +555,26 @@ class WorkerPool:
         with obs.span("prepare", "setup"):
             compiled.prepare()  # hoisted temps must be current before refresh
         entry = self._entry_for(compiled, obs)
+
+        graph = None
+        state = None
+        tg_spec = None
+        if schedule == "taskgraph":
+            from repro.compiler.taskdag import derive_taskgraph
+            from repro.parallel.taskgraph import TaskgraphState
+
+            with obs.span("taskdag", "setup"):
+                graph = derive_taskgraph(
+                    compiled,
+                    plan,
+                    [dist.local_region(rank) for rank in grid],
+                    oversub,
+                    block_size,
+                )
+            # Per-run scheduler segment: pending counts, deques, stamps.
+            # The pool never sanitizes (REPRO_SANITIZE is fork-per-run only).
+            state = TaskgraphState(graph, grid.size)
+            tg_spec = state.spec(graph, grid.size, sanitize=False)
 
         self.stats["executes"] += 1
         self._seq += 1
@@ -523,17 +586,21 @@ class WorkerPool:
         tags = current_tags()
         with obs.span("dispatch", "setup", **tags):
             for rank in grid:
-                local = dist.local_region(rank)
-                width = (
-                    local.extent(plan.chunk_dim)
-                    if plan.chunk_dim is not None
-                    else 1
-                )
-                per_block = width if block_size is None else block_size
-                chunks = _worker_chunks(
-                    plan, local, max(1, per_block), reverse_chunks
-                )
-                n_chunks = max(n_chunks, len(chunks))
+                if tg_spec is None:
+                    local = dist.local_region(rank)
+                    width = (
+                        local.extent(plan.chunk_dim)
+                        if plan.chunk_dim is not None
+                        else 1
+                    )
+                    per_block = width if block_size is None else block_size
+                    chunks = _worker_chunks(
+                        plan, local, max(1, per_block), reverse_chunks
+                    )
+                    n_chunks = max(n_chunks, len(chunks))
+                else:
+                    chunks = ()
+                    n_chunks = graph.n_live
                 first_time = rank not in entry.shipped
                 if first_time:
                     self.stats["blobs_shipped"] += 1
@@ -549,55 +616,68 @@ class WorkerPool:
                     timeout=timeout,
                     trace=obs.enabled,
                     tags=tags or None,
+                    taskgraph=tg_spec,
                 )
                 self._jobs[rank].send(("run", job))
                 entry.shipped.add(rank)
 
         try:
-            with obs.span("barrier", "sync"):
-                self._barrier.wait(timeout=timeout)
-        except Exception as exc:
-            self._broken = True
-            detail = self._first_error(seq)
-            raise PoolBrokenError(
-                f"pool workers failed to start: {exc}{detail}"
-            ) from exc
-        setup_time = time.perf_counter() - setup_start
-
-        outcomes: dict[int, float] = {}
-        run_stats: dict[int, dict] = {}
-        deadline = time.monotonic() + timeout
-        while len(outcomes) < grid.size:
-            # Short poll slices instead of one long get(): a worker killed
-            # mid-run is noticed within a slice, not after the full timeout.
             try:
-                status, rank, payload = self._results.get(timeout=0.25)
-            except Exception:
-                self._ensure_workers_alive()
-                if time.monotonic() > deadline:
-                    self._broken = True
-                    raise PoolBrokenError(
-                        f"lost contact with {grid.size - len(outcomes)} pool "
-                        f"worker(s) after {timeout:.0f}s"
-                    ) from None
-                continue
-            if payload.get("seq") != seq:
-                continue  # stale report from an earlier failed run
-            if status != "ok":
+                with obs.span("barrier", "sync"):
+                    self._barrier.wait(timeout=timeout)
+            except Exception as exc:
                 self._broken = True
-                detail = payload["detail"]
-                flight_dump = payload.get("flight")
-                if flight_dump and flight_dump.get("events"):
-                    detail += (
-                        "\nworker flight recorder (last events before "
-                        "failure):\n" + format_flight_tail(flight_dump)
-                    )
-                raise PoolBrokenError(f"worker {rank} failed:\n{detail}")
-            outcomes[rank] = payload["elapsed"]
-            obs.absorb(payload["events"])
-            run_stats[rank] = payload.get("stats") or {}
-        with obs.span("gather", "setup"):
-            entry.shared.gather()
+                detail = self._first_error(seq)
+                raise PoolBrokenError(
+                    f"pool workers failed to start: {exc}{detail}"
+                ) from exc
+            setup_time = time.perf_counter() - setup_start
+
+            outcomes: dict[int, float] = {}
+            run_stats: dict[int, dict] = {}
+            deadline = time.monotonic() + timeout
+            while len(outcomes) < grid.size:
+                # Short poll slices instead of one long get(): a worker
+                # killed mid-run is noticed within a slice, not after the
+                # full timeout.
+                try:
+                    status, rank, payload = self._results.get(timeout=0.25)
+                except Exception:
+                    self._ensure_workers_alive()
+                    if time.monotonic() > deadline:
+                        self._broken = True
+                        raise PoolBrokenError(
+                            f"lost contact with "
+                            f"{grid.size - len(outcomes)} pool "
+                            f"worker(s) after {timeout:.0f}s"
+                        ) from None
+                    continue
+                if payload.get("seq") != seq:
+                    continue  # stale report from an earlier failed run
+                if status != "ok":
+                    self._broken = True
+                    detail = payload["detail"]
+                    flight_dump = payload.get("flight")
+                    if flight_dump and flight_dump.get("events"):
+                        detail += (
+                            "\nworker flight recorder (last events before "
+                            "failure):\n" + format_flight_tail(flight_dump)
+                        )
+                    raise PoolBrokenError(f"worker {rank} failed:\n{detail}")
+                outcomes[rank] = payload["elapsed"]
+                obs.absorb(payload["events"])
+                run_stats[rank] = payload.get("stats") or {}
+            with obs.span("gather", "setup"):
+                entry.shared.gather()
+        finally:
+            if state is not None:
+                state.release()
+
+        report = None
+        if graph is not None:
+            from repro.parallel.taskgraph import report_from_stats
+
+            report = report_from_stats(graph, run_stats)
 
         worker_times = tuple(outcomes[rank] for rank in grid)
         self._observe_run(
@@ -632,6 +712,14 @@ class WorkerPool:
                     "setup_time": setup_time,
                 },
             )
+            if report is not None:
+                trace.meta.update(
+                    oversub=oversub,
+                    n_tasks=report.n_tasks,
+                    n_pruned=report.n_pruned,
+                    n_edges=report.n_edges,
+                    steals=report.steals,
+                )
         return ParallelRun(
             schedule=schedule,
             grid_dims=grid.dims,
@@ -642,6 +730,7 @@ class WorkerPool:
             setup_time=setup_time,
             plan=plan,
             trace=trace,
+            taskgraph=report,
         )
 
     def _observe_run(
@@ -680,6 +769,14 @@ class WorkerPool:
             LIVE.counter(
                 "repro_pool_worker_tokens_total", rank=label
             ).inc(st.get("tokens", 0))
+            if "steals" in st:
+                # Taskgraph-only series: keep pipelined rows unpolluted.
+                LIVE.counter(
+                    "repro_pool_worker_steals_total", rank=label
+                ).inc(st.get("steals", 0))
+                LIVE.gauge(
+                    "repro_pool_worker_ready_depth", rank=label
+                ).set(st.get("ready_peak", 0))
             busy += st.get("busy", 0.0)
             wait += st.get("wait", 0.0)
             elements += st.get("elements", 0)

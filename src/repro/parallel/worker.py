@@ -68,6 +68,13 @@ class WorkerTask:
     #: when ``REPRO_SANITIZE=1``; kept untyped so the worker module does not
     #: import the analyzer unless shadow execution was requested.
     sanitize: object | None = None
+    #: Task-graph spec (:class:`repro.parallel.taskgraph.TaskgraphSpec`)
+    #: when ``schedule="taskgraph"``: the worker joins the shared scheduler
+    #: instead of the token pipeline (``chunks``/``recv``/``send`` unused).
+    taskgraph: object | None = None
+    #: The run's ``(graph_lock, deque_locks)`` — synchronisation primitives
+    #: travel by Process-argument inheritance, never over a pipe.
+    tg_locks: object | None = None
 
 
 def _width(chunk: Region, chunk_dim: int | None) -> int:
@@ -271,7 +278,20 @@ def run_worker(task: WorkerTask, barrier, results) -> None:
         barrier.wait(timeout=task.timeout)
         if tracing:
             tracer.add_span("barrier", "sync", t_barrier, time.perf_counter())
-        if shadow is not None:
+        stats: dict = {}
+        if task.taskgraph is not None:
+            from repro.parallel.taskgraph import taskgraph_loop
+
+            elapsed = taskgraph_loop(
+                runnable,
+                task.taskgraph,
+                task.tg_locks,
+                task.rank,
+                task.timeout,
+                tracer,
+                stats=stats,
+            )
+        elif shadow is not None:
             elapsed = sanitized_pipeline_loop(
                 runnable,
                 task.chunks,
@@ -293,7 +313,15 @@ def run_worker(task: WorkerTask, barrier, results) -> None:
                 task.boundary_rows,
             )
         results.put(
-            ("ok", task.rank, {"elapsed": elapsed, "events": tracer.drain()})
+            (
+                "ok",
+                task.rank,
+                {
+                    "elapsed": elapsed,
+                    "events": tracer.drain(),
+                    "stats": stats,
+                },
+            )
         )
     except BaseException:
         results.put(("error", task.rank, traceback.format_exc()))

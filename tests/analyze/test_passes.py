@@ -280,6 +280,50 @@ def test_w107_quiet_on_large_problem():
     assert "W107" not in codes(out)
 
 
+def _masked_lint(mask_values, n=16):
+    arrays = env(n)
+    arrays["c"].load(mask_values)
+    return lint(
+        "[2..n, 1..n with c] scan  a := a'@north;  end;", arrays=arrays, n=n
+    )
+
+
+def test_w108_dead_fraction_recommends_taskgraph():
+    # Banded mask: the corner tiles are entirely outside the band, so the
+    # taskgraph pruner would skip them — the dead-fraction branch.
+    n = 16
+    band = np.fromfunction(
+        lambda i, j: (np.abs(i - j) <= 2).astype(float), (n, n)
+    )
+    _, out = _masked_lint(band)
+    d = only(out, "W108")
+    assert d.data["branch"] == "dead-fraction"
+    assert d.data["dead_fraction"] >= 0.25
+    assert "taskgraph" in d.hint
+
+
+def test_w108_cost_variance_recommends_taskgraph():
+    # Every analysis tile has live work (no pruning win), but the density
+    # gradient leaves the static pipelined shares unbalanced.
+    n = 16
+    grad = np.zeros((n, n))
+    grad[::2, ::2] = 1.0
+    grad[:8, :8] = 1.0
+    _, out = _masked_lint(grad)
+    d = only(out, "W108")
+    assert d.data["branch"] == "cost-variance"
+    assert d.data["dead_fraction"] < 0.25
+    assert d.data["cost_cv"] >= 0.5
+
+
+def test_w108_quiet_on_uniform_mask_and_unmasked_block():
+    n = 16
+    _, out = _masked_lint(np.ones((n, n)))
+    assert "W108" not in codes(out)
+    _, out = lint("[2..n, 1..n] scan  a := a'@north;  end;")
+    assert "W108" not in codes(out)
+
+
 def test_boundary_rows_default_counts_primed_arrays():
     program, _ = lint(
         "[2..n, 1..n] scan  a := a'@north;  b := b'@north + a'@north; end;"
