@@ -166,3 +166,45 @@ def model2(
 ) -> PipelineModel:
     """Model2: the full linear-cost model, after Ohta et al."""
     return PipelineModel(params, n, p, boundary_rows, ignore_beta=False, cols=cols)
+
+
+def amortized_alpha(alpha_c: float, gamma: float, fanout: int) -> float:
+    """The per-edge α of a multicast release: ``(α_c + γ·f) / f``.
+
+    One collective release costs ``α_c + γ·f`` and unblocks ``f`` consumer
+    tiles at once (:mod:`repro.parallel.collectives`); each edge of the
+    tile DAG therefore sees the amortised share.  With ``f = 1`` this
+    degenerates to the point-to-point ``α_c + γ``, so the same Eq. (1)
+    covers both fabrics.
+    """
+    f = max(1, fanout)
+    return (alpha_c + gamma * f) / f
+
+
+def collective_model2(
+    params: MachineParams,
+    n: int,
+    p: int,
+    boundary_rows: int = 1,
+    cols: int | None = None,
+    fanout: int = 1,
+    gamma: float = 0.0,
+) -> PipelineModel:
+    """Model2 on the multicast fabric: Eq. (1) with the amortised α.
+
+    ``params.alpha`` is read as the collective α_c and ``gamma`` as the
+    marginal per-consumer cost, both in element-compute units; the model
+    then runs the unchanged Section 4 formulas on the amortised per-edge
+    value.  This is how the planner predicts a multicast schedule with the
+    same machinery (and residual tables) as the point-to-point tables.
+    """
+    from dataclasses import replace
+
+    amortized = replace(
+        params,
+        name=f"{params.name} (multicast f={max(1, fanout)})",
+        alpha=amortized_alpha(params.alpha, gamma, fanout),
+    )
+    return PipelineModel(
+        amortized, n, p, boundary_rows, ignore_beta=False, cols=cols
+    )

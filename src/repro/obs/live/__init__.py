@@ -42,6 +42,7 @@ from repro.obs.live.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    fabric_summary,
     worker_table,
 )
 from repro.obs.live.monitor import MONITOR, ModelMonitor, StreamingFit
@@ -64,6 +65,7 @@ __all__ = [
     "critical_path",
     "current_context",
     "current_tags",
+    "fabric_summary",
     "flight_enabled",
     "format_flight_tail",
     "path_duration",

@@ -268,5 +268,29 @@ def worker_table(registry: MetricsRegistry) -> dict[str, dict[str, float]]:
     return table
 
 
+def fabric_summary(registry: MetricsRegistry) -> dict[str, float]:
+    """Aggregate the multicast-fabric series across ranks, for ``obs top``.
+
+    Empty when no multicast run has happened — the dashboards use that to
+    hide the fabric line entirely on pipe-only deployments.
+    """
+    releases = flips = 0.0
+    overlap = 0.0
+    for name, _labels, _kind, metric in registry.series():
+        if name == "repro_multicast_releases_total":
+            releases += metric.value
+        elif name == "repro_boundary_buffer_flips_total":
+            flips += metric.value
+        elif name == "repro_multicast_overlap_seconds":
+            overlap += metric.value
+    if not (releases or flips or overlap):
+        return {}
+    return {
+        "multicast_releases": releases,
+        "buffer_flips": flips,
+        "overlap_seconds": overlap,
+    }
+
+
 #: The per-process aggregate registry ``/metrics`` and ``obs top`` read.
 LIVE = MetricsRegistry()

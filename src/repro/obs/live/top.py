@@ -122,6 +122,14 @@ def render_top(
             f"({model.get('samples', 0)} jobs, "
             f"{model.get('drift_events', 0)} transitions)"
         )
+    fabric = doc.get("fabric", {})
+    if fabric:
+        lines.append(
+            f"fabric      multicast: "
+            f"{fabric.get('multicast_releases', 0):.0f} releases, "
+            f"{fabric.get('buffer_flips', 0):.0f} buffer flips, "
+            f"{fabric.get('overlap_seconds', 0.0) * 1e3:.1f} ms overlapped"
+        )
     flight = doc.get("flight", {})
     if flight:
         lines.append(

@@ -15,6 +15,8 @@ Layers:
 
 * :mod:`repro.parallel.sharedmem` — shared-segment array storage;
 * :mod:`repro.parallel.channels`  — token pipes between pipeline stages;
+* :mod:`repro.parallel.collectives` — multicast epoch fabric + double
+  buffering (one stamp releases a whole fan-out; ``REPRO_MULTICAST``);
 * :mod:`repro.parallel.worker`    — the per-process SPMD loop;
 * :mod:`repro.parallel.executor`  — :func:`execute`, the single entry point;
 * :mod:`repro.parallel.pool`      — :class:`WorkerPool`, fork once / run many;
@@ -24,14 +26,18 @@ Layers:
 
 from repro.parallel.autotune import (
     AutotuneResult,
+    CollectiveParams,
     CommParams,
     autotune,
+    collective_effective_params,
     dynamic_block_size,
     effective_params,
+    host_collective,
     host_comm,
     measure_block_overhead,
     measure_comm,
     measure_compute_cost,
+    measure_multicast,
     measure_pool_dispatch,
     measured_probe,
     normalized_params,
@@ -40,6 +46,18 @@ from repro.parallel.autotune import (
     tuned_block_size,
 )
 from repro.parallel.bench import oversubscription, speedup_curve, tomcatv_forward
+from repro.parallel.collectives import (
+    DOUBLE_BUFFER_ENV,
+    MULTICAST_ENV,
+    MulticastChannel,
+    MulticastFabric,
+    MulticastGroups,
+    MulticastSpec,
+    boundary_layout,
+    plan_groups,
+    resolve_double_buffer,
+    resolve_multicast,
+)
 from repro.parallel.executor import (
     MAX_PROCS_ENV,
     ParallelRun,
@@ -55,13 +73,25 @@ from repro.parallel.pool import (
     close_pools,
     shared_pool,
 )
-from repro.parallel.sharedmem import SharedArrayPool, collect_arrays
+from repro.parallel.sharedmem import (
+    BoundaryPool,
+    SharedArrayPool,
+    collect_arrays,
+)
 from repro.parallel.taskgraph import TaskgraphReport
 
 __all__ = [
     "AutotuneResult",
+    "BoundaryPool",
+    "CollectiveParams",
     "CommParams",
+    "DOUBLE_BUFFER_ENV",
     "MAX_PROCS_ENV",
+    "MULTICAST_ENV",
+    "MulticastChannel",
+    "MulticastFabric",
+    "MulticastGroups",
+    "MulticastSpec",
     "ParallelRun",
     "SCHEDULE_ENV",
     "SCHEDULES",
@@ -70,21 +100,28 @@ __all__ = [
     "PoolSupervisor",
     "WorkerPool",
     "autotune",
+    "boundary_layout",
     "close_pools",
     "collect_arrays",
+    "collective_effective_params",
     "default_grid",
     "dynamic_block_size",
     "effective_params",
     "execute",
+    "host_collective",
     "host_comm",
     "measure_block_overhead",
     "measure_comm",
     "measure_compute_cost",
+    "measure_multicast",
     "measure_pool_dispatch",
     "measured_probe",
     "normalized_params",
     "optimal_block_size",
     "oversubscription",
+    "plan_groups",
+    "resolve_double_buffer",
+    "resolve_multicast",
     "resolve_schedule",
     "shared_pool",
     "speedup_curve",

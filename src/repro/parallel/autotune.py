@@ -380,6 +380,207 @@ def effective_params(
     )
 
 
+@dataclass(frozen=True)
+class CollectiveParams:
+    """Measured collective-release constants of the host, in seconds.
+
+    The multicast fabric's cost model: releasing one pipeline block to
+    ``fanout`` consumers costs ``α_c + β·s + γ·fanout`` seconds, where
+    ``s`` is the staged boundary size in elements.  α_c is the fixed epoch
+    publish (one stamp, independent of fan-out), β the per-element staging
+    cost, and γ the marginal per-consumer cost (parked-flag checks and
+    semaphore posts).  Dividing by the fan-out gives the *per-edge* α the
+    paper's Eq. (1) sees — the amortisation the multicast fabric buys.
+    """
+
+    #: Fixed per-release cost (the collective α_c), seconds.
+    alpha_seconds: float
+    #: Per-element staging cost, seconds per float64.
+    beta_seconds: float
+    #: Marginal per-consumer cost, seconds per unit of fan-out.
+    gamma_seconds: float
+    #: The ``(size, fanout, seconds)`` samples the fit was made from.
+    samples: tuple[tuple[int, int, float], ...]
+
+    def release_seconds(self, size: int, fanout: int) -> float:
+        """The fitted model: one release of ``size`` elements to ``fanout``."""
+        return (
+            self.alpha_seconds
+            + self.beta_seconds * size
+            + self.gamma_seconds * fanout
+        )
+
+    def per_edge_seconds(self, size: int, fanout: int) -> float:
+        """The amortised per-consumer cost (Eq. (1)'s α on this fabric)."""
+        return self.release_seconds(size, fanout) / max(1, fanout)
+
+
+def _collective_child(
+    spec, sems, rank: int, bpool_name: str, slot_elems: int,
+    sizes: tuple[int, ...], cycles: int,
+) -> None:
+    """Consumer peer of :func:`measure_multicast`: wait, read, credit."""
+    import numpy as np
+
+    from repro.parallel.collectives import MulticastChannel, attach_segment
+    from repro.parallel.sharedmem import BoundaryPool
+
+    channel = MulticastChannel(spec, sems, rank)
+    seg = attach_segment(bpool_name)
+    slots = np.ndarray(
+        (spec.n_ranks, BoundaryPool.N_SLOTS, slot_elems),
+        dtype=np.float64,
+        buffer=seg.buf,
+    )
+    buf = np.empty(max(sizes), dtype=np.float64)
+    k = 0
+    try:
+        for size in sizes:
+            for _ in range(cycles):
+                channel.wait_for(0, k, 60.0)
+                buf[:size] = slots[0][k % BoundaryPool.N_SLOTS][:size]
+                channel.credit(0, k)
+                k += 1
+    finally:
+        channel.detach()
+        try:
+            seg.close()
+        except BufferError:
+            pass
+
+
+def measure_multicast(
+    sizes: tuple[int, ...] = (1, 64, 512, 4096),
+    fanouts: tuple[int, ...] = (1, 2, 4),
+    cycles: int = 200,
+    start_method: str | None = None,
+) -> CollectiveParams:
+    """Measure the collective cost model against real consumer processes.
+
+    For each fan-out ``f`` a one-producer fabric with ``f`` consumers runs
+    the steady-state double-buffered cycle — credit wait, stage ``s``
+    elements, epoch publish — ``cycles`` times per boundary size; the
+    per-cycle seconds over the ``(s, f)`` grid are least-squares fitted to
+    ``α_c + β·s + γ·f``.  The producer side is timed (it carries the
+    critical path in a pipeline), with consumers running flat out so the
+    measurement captures real park/wake traffic.
+    """
+    import numpy as np
+
+    from repro.parallel.collectives import (
+        MulticastChannel,
+        MulticastGroups,
+        MulticastFabric,
+        MulticastSpec,
+    )
+    from repro.parallel.sharedmem import BoundaryPool
+
+    if len(sizes) < 2 or not fanouts:
+        raise MachineError(
+            "need at least two sizes and one fanout to fit the collective model"
+        )
+    if start_method is None:
+        start_method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+    ctx = mp.get_context(start_method)
+    slot_elems = max(sizes)
+    samples: list[tuple[int, int, float]] = []
+    for f in fanouts:
+        n_ranks = f + 1
+        groups = MulticastGroups(
+            producers=((),) + ((0,),) * f,
+            consumers=(tuple(range(1, n_ranks)),) + ((),) * f,
+            fanout=(f,) + (0,) * f,
+        )
+        fabric = MulticastFabric(ctx, n_ranks)
+        bpool = BoundaryPool(n_ranks, slot_elems)
+        spec = MulticastSpec(
+            epoch_seg=fabric.name,
+            n_ranks=n_ranks,
+            groups=groups,
+            wave_dim=0,
+            wave_ascending=True,
+            rows_by_rank=(None,) * n_ranks,
+        )
+        procs = [
+            ctx.Process(
+                target=_collective_child,
+                args=(spec, fabric.sems, r, bpool.name, slot_elems,
+                      tuple(sizes), cycles),
+                name=f"repro-mcast-probe-{r}",
+            )
+            for r in range(1, n_ranks)
+        ]
+        channel = MulticastChannel(spec, fabric.sems, 0)
+        try:
+            for proc in procs:
+                proc.start()
+            slots = bpool.slots()
+            k = 0
+            for size in sizes:
+                payload = np.full(size, 0.5, dtype=np.float64)
+                # Credit waits are backpressure, not release cost: in a real
+                # pipeline they overlap consumer compute.  wait_credit reports
+                # the seconds it blocked, so the sample is stage+publish only.
+                start = time.perf_counter()
+                waited = 0.0
+                for _ in range(cycles):
+                    waited += channel.wait_credit(k, 60.0)
+                    slots[0][k % BoundaryPool.N_SLOTS][:size] = payload
+                    channel.publish(k)
+                    k += 1
+                elapsed = time.perf_counter() - start - waited
+                samples.append((size, f, max(0.0, elapsed) / cycles))
+            for proc in procs:
+                proc.join(timeout=30.0)
+        finally:
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=5.0)
+            channel.detach()
+            fabric.release()
+            bpool.release()
+
+    design = np.array([[1.0, s, f] for s, f, _ in samples])
+    y = np.array([t for _, _, t in samples])
+    coeffs, *_ = np.linalg.lstsq(design, y, rcond=None)
+    alpha = max(0.0, float(coeffs[0]))
+    beta = max(0.0, float(coeffs[1]))
+    gamma = max(0.0, float(coeffs[2]))
+    if alpha == 0.0:
+        # Degenerate fit: the smallest single-consumer sample is almost
+        # pure publish cost.
+        alpha = min(t for _, _, t in samples)
+    return CollectiveParams(alpha, beta, gamma, tuple(samples))
+
+
+def collective_effective_params(
+    coll: CollectiveParams,
+    compute_seconds: float,
+    dispatch_seconds: float,
+    n_procs: int,
+    fanout: int = 1,
+    name: str = "measured host (multicast)",
+) -> MachineParams:
+    """The machine Eq. (1) sees on the multicast fabric.
+
+    One release costs ``α_c + γ·f`` regardless of block width; amortised
+    over the ``f`` consumer tiles it unblocks, the per-edge α drops by the
+    fan-out — that is the speedup Model 2 must predict.  Per-block engine
+    dispatch folds in exactly as on the pipe fabric.
+    """
+    if compute_seconds <= 0:
+        raise MachineError(f"compute cost must be positive, got {compute_seconds}")
+    f = max(1, fanout)
+    local_dispatch = dispatch_seconds / max(1, n_procs)
+    per_edge = (coll.alpha_seconds + coll.gamma_seconds * f) / f
+    return MachineParams(
+        name=name,
+        alpha=(per_edge + local_dispatch) / compute_seconds,
+        beta=coll.beta_seconds / compute_seconds,
+    )
+
+
 #: Per-process cache of the host's comm constants (measuring costs a child
 #: process; the constants do not change between calls).
 _HOST_COMM: CommParams | None = None
@@ -391,6 +592,18 @@ def host_comm(start_method: str | None = None) -> CommParams:
     if _HOST_COMM is None:
         _HOST_COMM = measure_comm(start_method=start_method)
     return _HOST_COMM
+
+
+#: Per-process cache of the collective constants (same rationale).
+_HOST_COLL: CollectiveParams | None = None
+
+
+def host_collective(start_method: str | None = None) -> CollectiveParams:
+    """The host's measured :class:`CollectiveParams`, measured once."""
+    global _HOST_COLL
+    if _HOST_COLL is None:
+        _HOST_COLL = measure_multicast(start_method=start_method)
+    return _HOST_COLL
 
 
 #: (plan fingerprint, plan kind) -> (compute s/elt, dispatch s/block).
@@ -405,15 +618,20 @@ def tuned_block_size(
     compiled: CompiledScan,
     n_procs: int,
     plan: WavefrontPlan | None = None,
+    *,
+    fabric: str = "pipes",
+    fanout: int = 1,
 ) -> int:
     """The executor's default block size: cached host α/β into Eq. (1).
 
     Compute and dispatch costs are memoised per (plan fingerprint, plan
     kind), so structurally equal blocks tune once per engine family.
+    ``fabric="multicast"`` swaps the pipe constants for the collective
+    model (:func:`host_collective`) amortised over ``fanout`` — a cheaper
+    α rewards narrower blocks, so the fabrics tune to different widths.
     """
     if plan is None:
         plan = plan_wavefront(compiled)
-    comm = host_comm()
     key = (plan_fingerprint(compiled), plan_kind(compiled))
     costs = _BLOCK_COSTS.get(key)
     if costs is None:
@@ -423,9 +641,13 @@ def tuned_block_size(
         )
         _BLOCK_COSTS[key] = costs
     compute, dispatch = costs
-    return optimal_block_size(
-        plan, effective_params(comm, compute, dispatch, n_procs), n_procs
-    )
+    if fabric == "multicast":
+        params = collective_effective_params(
+            host_collective(), compute, dispatch, n_procs, fanout
+        )
+    else:
+        params = effective_params(host_comm(), compute, dispatch, n_procs)
+    return optimal_block_size(plan, params, n_procs)
 
 
 def measured_probe(

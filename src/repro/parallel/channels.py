@@ -33,6 +33,8 @@ def chain_links(
     """
     links: dict[int, list[Connection | None]] = {}
     for chain in chains:
+        if not chain:
+            raise MachineError("empty pipeline chain in chain layout")
         for rank in chain:
             if rank in links:
                 raise MachineError(f"processor {rank} appears in two chains")
@@ -49,7 +51,13 @@ def send_token(conn: Connection, k: int) -> None:
     conn.send(k)
 
 
-def recv_token(conn: Connection, k: int, timeout: float) -> None:
+def _peer_label(peer: int | None) -> str:
+    return "predecessor" if peer is None else f"predecessor rank {peer}"
+
+
+def recv_token(
+    conn: Connection, k: int, timeout: float, peer: int | None = None
+) -> None:
     """Block until the predecessor finishes block ``k``.
 
     A bounded wait keeps a crashed predecessor from hanging the whole
@@ -57,7 +65,8 @@ def recv_token(conn: Connection, k: int, timeout: float) -> None:
     """
     if not conn.poll(timeout):
         raise MachineError(
-            f"timed out after {timeout:.0f}s waiting for pipeline block {k}"
+            f"timed out after {timeout:.2f}s waiting for pipeline block {k} "
+            f"from {_peer_label(peer)}"
         )
     got = conn.recv()
     if got != k:
@@ -74,12 +83,13 @@ def send_clocked_token(conn: Connection, k: int, clocks: tuple[int, ...]) -> Non
 
 
 def recv_clocked_token(
-    conn: Connection, k: int, timeout: float
+    conn: Connection, k: int, timeout: float, peer: int | None = None
 ) -> tuple[int, ...]:
     """Sanitized receive: return the clock that rode on token ``k``."""
     if not conn.poll(timeout):
         raise MachineError(
-            f"timed out after {timeout:.0f}s waiting for pipeline block {k}"
+            f"timed out after {timeout:.2f}s waiting for pipeline block {k} "
+            f"from {_peer_label(peer)}"
         )
     got = conn.recv()
     if not (isinstance(got, tuple) and len(got) == 2 and got[0] == k):

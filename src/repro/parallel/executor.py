@@ -39,7 +39,15 @@ from repro.machine.grid import ProcessorGrid
 from repro.machine.schedules import WavefrontPlan, _chunk_regions, plan_wavefront
 from repro.obs.trace import Trace, resolve_tracer
 from repro.parallel.channels import chain_links
-from repro.parallel.sharedmem import SharedArrayPool
+from repro.parallel.collectives import (
+    MulticastFabric,
+    MulticastSpec,
+    boundary_layout,
+    plan_groups,
+    resolve_double_buffer,
+    resolve_multicast,
+)
+from repro.parallel.sharedmem import BoundaryPool, SharedArrayPool
 from repro.parallel.worker import WorkerTask, run_worker
 from repro.zpl.regions import Region
 
@@ -85,6 +93,10 @@ class ParallelRun:
     #: Scheduler outcome (:class:`repro.parallel.taskgraph.TaskgraphReport`)
     #: when ``schedule="taskgraph"``: tile/pruning/steal accounting.
     taskgraph: object | None = None
+    #: The communication fabric the run synchronised on: ``"pipes"``
+    #: (point-to-point tokens) or ``"multicast"`` (epoch publishes, with
+    #: double-buffered boundary staging unless ``REPRO_DOUBLE_BUFFER=0``).
+    fabric: str = "pipes"
 
     @property
     def n_procs(self) -> int:
@@ -168,6 +180,53 @@ def _worker_chunks(
     return tuple(_chunk_regions(local, plan.chunk_dim, block_size, reverse))
 
 
+def check_chain_legality(
+    compiled: CompiledScan, plan: WavefrontPlan, n_stages: int, n_chunks: int
+) -> None:
+    """Refuse chain distributions the one-way boundary protocol cannot honour.
+
+    Two shapes are sequentially legal yet race on a multi-stage chain:
+
+    * **Upstream flow** — a dependence whose wave component opposes the
+      traversal (reader in an *earlier* chain stage than the writer).
+      Boundary data only travels down the chain, under every schedule, so
+      the reader would consume values its downstream neighbour has not
+      produced; no chunking makes this sound.
+    * **Lookahead** — wave component along the traversal but chunk
+      component against it (e.g. ``(1, -1)`` ascending): pipeline block
+      ``k`` downstream reads columns its upstream stage only computes in
+      block ``k + 1``.  Tokens and epoch stamps both release strictly in
+      block order, so this races exactly when the chain is chunked;
+      single-chunk (naive or full-width) runs are safe.
+
+    Single-stage chains are always safe: no boundary ever crosses a rank.
+    """
+    if n_stages <= 1:
+        return
+    w, c = plan.wavefront_dim, plan.chunk_dim
+    signs = compiled.loops.signs
+    sw = 1 if signs[w] >= 0 else -1
+    sc = 1 if c is None or signs[c] >= 0 else -1
+    for dep in compiled.dependences:
+        vw = dep.vector[w]
+        vc = dep.vector[c] if c is not None else 0
+        if vw * sw < 0:
+            raise DistributionError(
+                f"{dep.kind.value} dependence {dep.vector} on {dep.array!r} "
+                f"points upstream along wavefront dimension {w}: boundary "
+                f"data only flows down the chain — distribute along a "
+                f"different wavefront dimension or run on one process"
+            )
+        if n_chunks > 1 and vw * sw > 0 and vc * sc < 0:
+            raise DistributionError(
+                f"{dep.kind.value} dependence {dep.vector} on {dep.array!r} "
+                f"points against the chunk traversal: pipeline block k would "
+                f"read columns its upstream stage only computes in block "
+                f"k+1 — use schedule=\"naive\" or a block covering the full "
+                f"width"
+            )
+
+
 def execute(
     compiled: CompiledScan,
     grid: ProcessorGrid | int | tuple[int, ...] | None = None,
@@ -180,6 +239,8 @@ def execute(
     tracer=None,
     pool=None,
     sanitize: bool | None = None,
+    multicast: bool | str | None = None,
+    double_buffer: bool | None = None,
 ) -> ParallelRun:
     """Run a compiled scan block across real OS processes.
 
@@ -211,6 +272,14 @@ def execute(
     (dependence-driven firing with work stealing and dead-block pruning —
     see :mod:`repro.compiler.taskdag`); ``None`` honours ``REPRO_SCHEDULE``
     and defaults to pipelined.
+
+    ``multicast`` picks the pipelined schedule's communication fabric
+    (:mod:`repro.parallel.collectives`): ``True`` forces the epoch fabric,
+    ``False`` forces pipes, ``"auto"``/``None`` honours ``REPRO_MULTICAST``
+    and selects the epoch fabric when the tile DAG shows fan-out ≥ 2 from
+    one producer tile.  ``double_buffer`` gates the staged boundary copies
+    on multicast runs (``None`` honours ``REPRO_DOUBLE_BUFFER``, default
+    on).  The sanitizer always runs on pipes (clocks ride the tokens).
     """
     schedule = resolve_schedule(schedule)
     if sanitize is None:
@@ -233,6 +302,8 @@ def execute(
             wavefront_dim=wavefront_dim,
             timeout=timeout,
             tracer=tracer,
+            multicast=multicast,
+            double_buffer=double_buffer,
         )
     if schedule == "taskgraph":
         return _execute_taskgraph(
@@ -257,6 +328,28 @@ def execute(
     reverse_chunks = (
         plan.chunk_dim is not None and loops.signs[plan.chunk_dim] < 0
     )
+    locals_by_rank = {rank: dist.local_region(rank) for rank in grid}
+    chains = _chains(grid, ascending)
+
+    # Fabric selection happens before block sizing: the autotuner's cost
+    # model depends on whether a release costs one pipe round per edge or
+    # one epoch stamp per fan-out.
+    fabric = "pipes"
+    groups = None
+    mcast_mode = resolve_multicast(multicast)
+    if (
+        schedule == "pipelined"
+        and not sanitize
+        and mcast_mode != "off"
+        and plan.chunk_dim is not None
+    ):
+        groups = plan_groups(compiled, plan, chains, locals_by_rank, grid.size)
+        if groups is not None and (
+            mcast_mode == "on" or groups.max_fanout >= 2
+        ):
+            fabric = "multicast"
+        else:
+            groups = None
 
     if schedule == "naive":
         block_size = None
@@ -267,7 +360,13 @@ def execute(
     else:
         from repro.parallel.autotune import tuned_block_size
 
-        block_size = tuned_block_size(compiled, grid.dims[0], plan=plan)
+        block_size = tuned_block_size(
+            compiled,
+            grid.dims[0],
+            plan=plan,
+            fabric=fabric,
+            fanout=groups.max_fanout if groups is not None else 1,
+        )
 
     obs = resolve_tracer(tracer)
     setup_start = time.perf_counter()
@@ -277,19 +376,51 @@ def execute(
         pool = SharedArrayPool(compiled)
     procs: list[mp.process.BaseProcess] = []
     shadow = None
+    mcast_fabric = None
+    bpool = None
     try:
         spawn_start = time.perf_counter()
         blob = pickle.dumps(compiled)
         ctx = _context(start_method)
-        chains = _chains(grid, ascending)
         links = chain_links(ctx, chains)
+        pred_by_rank: dict[int, int] = {}
+        for chain in chains:
+            for upstream, downstream in zip(chain, chain[1:]):
+                pred_by_rank[downstream] = upstream
+        mcast_spec = None
+        if fabric == "multicast":
+            layout = (
+                boundary_layout(compiled, plan)
+                if resolve_double_buffer(double_buffer)
+                else None
+            )
+            mcast_fabric = MulticastFabric(ctx, grid.size)
+            if layout is not None:
+                bpool = BoundaryPool(grid.size, layout.slot_elems)
+            rows_by_rank = tuple(
+                None
+                if locals_by_rank[rank].is_empty()
+                else locals_by_rank[rank].range(plan.wavefront_dim)
+                for rank in grid
+            )
+            mcast_spec = MulticastSpec(
+                epoch_seg=mcast_fabric.name,
+                n_ranks=grid.size,
+                groups=groups,
+                wave_dim=plan.wavefront_dim,
+                wave_ascending=ascending,
+                rows_by_rank=rows_by_rank,
+                boundary_seg=bpool.name if bpool is not None else None,
+                layout=layout if bpool is not None else None,
+                chunk_dim=plan.chunk_dim,
+            )
         barrier = ctx.Barrier(grid.size + 1)
         results = ctx.Queue()
 
         chunks_by_rank: dict[int, tuple[Region, ...]] = {}
         n_chunks = 1
         for rank in grid:
-            local = dist.local_region(rank)
+            local = locals_by_rank[rank]
             width = (
                 local.extent(plan.chunk_dim)
                 if plan.chunk_dim is not None
@@ -299,6 +430,7 @@ def execute(
             chunks = _worker_chunks(plan, local, max(1, per_block), reverse_chunks)
             chunks_by_rank[rank] = chunks
             n_chunks = max(n_chunks, len(chunks))
+        check_chain_legality(compiled, plan, grid.dims[0], n_chunks)
         if sanitize:
             from repro.analyze.sanitizer import (
                 INJECT_ENV,
@@ -314,6 +446,8 @@ def execute(
             )
         for rank in grid:
             recv, send = links[rank]
+            if mcast_spec is not None:
+                recv = send = None  # epochs replace the pipe tokens
             task = WorkerTask(
                 rank=rank,
                 compiled_blob=blob,
@@ -326,6 +460,11 @@ def execute(
                 boundary_rows=plan.boundary_rows,
                 trace=obs.enabled,
                 sanitize=shadow.spec if shadow is not None else None,
+                mcast=mcast_spec,
+                mcast_sems=(
+                    mcast_fabric.sems if mcast_fabric is not None else None
+                ),
+                peer=pred_by_rank.get(rank),
             )
             proc = ctx.Process(
                 target=run_worker,
@@ -384,6 +523,10 @@ def execute(
                 proc.join(timeout=5.0)
         if shadow is not None:
             shadow.release()
+        if mcast_fabric is not None:
+            mcast_fabric.release()
+        if bpool is not None:
+            bpool.release()
         pool.release()
 
     worker_times = tuple(outcomes[rank] for rank in grid)
@@ -416,6 +559,8 @@ def execute(
                 "wall_time": max(worker_times),
                 "setup_time": setup_time,
                 "sanitize": bool(sanitize),
+                "fabric": fabric,
+                "fanout": groups.max_fanout if groups is not None else 1,
             },
         )
     return ParallelRun(
@@ -428,6 +573,7 @@ def execute(
         setup_time=setup_time,
         plan=plan,
         trace=trace,
+        fabric=fabric,
     )
 
 

@@ -61,6 +61,15 @@ from repro.obs.live import (
 )
 from repro.obs.trace import NULL_TRACER, Trace, Tracer, resolve_tracer
 from repro.parallel.channels import chain_links
+from repro.parallel.collectives import (
+    MulticastChannel,
+    MulticastFabric,
+    MulticastSpec,
+    boundary_layout,
+    plan_groups,
+    resolve_double_buffer,
+    resolve_multicast,
+)
 from repro.parallel.executor import (
     SCHEDULES,
     ParallelRun,
@@ -69,10 +78,17 @@ from repro.parallel.executor import (
     _chains,
     _context,
     _worker_chunks,
+    check_chain_legality,
     resolve_schedule,
 )
-from repro.parallel.sharedmem import ArraySpec, AttachedArrays, SharedArrayPool
-from repro.parallel.worker import pipeline_loop
+from repro.parallel.sharedmem import (
+    ArraySpec,
+    AttachedArrays,
+    BoundaryPool,
+    SharedArrayPool,
+    collect_arrays,
+)
+from repro.parallel.worker import multicast_pipeline_loop, pipeline_loop
 from repro.runtime.kernels import plan_fingerprint
 from repro.zpl.regions import Region
 
@@ -104,6 +120,10 @@ class PoolJob:
     #: scheduler segment instead of the static token fabric (``chunks`` is
     #: empty, ``ascending`` unused).
     taskgraph: object | None = None
+    #: Multicast spec (:class:`repro.parallel.collectives.MulticastSpec`)
+    #: when the planner selected the epoch fabric: the worker joins the
+    #: pool-lifetime epoch segment instead of the token pipes.
+    mcast: MulticastSpec | None = None
 
 
 @dataclass
@@ -118,6 +138,12 @@ class PoolBoot:
     #: locks share only by inheritance, so they ship at fork time, not in
     #: the job record.  One set serves every run: submissions serialise.
     tg_locks: object | None = None
+    #: The epoch fabric's per-rank semaphores — like ``tg_locks``, these
+    #: only share by inheritance, so they ship at fork time.
+    mcast_sems: object | None = None
+    #: Predecessor rank on each pipe fabric (timeout diagnostics only).
+    pred_fwd: int | None = None
+    pred_bwd: int | None = None
 
 
 def run_pool_worker(boot: PoolBoot, barrier, results) -> None:
@@ -136,6 +162,16 @@ def run_pool_worker(boot: PoolBoot, barrier, results) -> None:
     """
     #: fingerprint -> (compiled, attachment, runnable-with-hoisted-stripped)
     cache: dict[str, tuple[CompiledScan, AttachedArrays, CompiledScan]] = {}
+    #: segment name -> SharedMemory: multicast attachments live here so a
+    #: repeat job re-uses the mapping instead of re-attaching.
+    seg_cache: dict[str, object] = {}
+    #: fingerprint -> per-plan segment names (boundary pools); closed on
+    #: "forget" so an evicted plan's staging memory is actually reclaimed.
+    plan_segs: dict[str, set[str]] = {}
+    #: (fingerprint, spec) -> MulticastChannel: a channel outlives its job
+    #: so its compiled staging geometry (view plans, copy pairs) amortises
+    #: across repeat runs of the same plan.
+    channels: dict[tuple, MulticastChannel] = {}
     # Freeze the inherited heap once: every job after this pays collector
     # time only for what the pipeline loop itself allocates.
     gc.freeze()
@@ -152,6 +188,15 @@ def run_pool_worker(boot: PoolBoot, barrier, results) -> None:
                 entry = cache.pop(msg[1], None)
                 if entry is not None:
                     entry[1].detach()
+                for key in [k for k in channels if k[0] == msg[1]]:
+                    channels.pop(key).detach()
+                for name in plan_segs.pop(msg[1], ()):
+                    seg = seg_cache.pop(name, None)
+                    if seg is not None:
+                        try:
+                            seg.close()
+                        except BufferError:
+                            pass
                 continue
             job: PoolJob = msg[1]
             tracer = Tracer(proc=boot.rank) if job.trace else NULL_TRACER
@@ -208,9 +253,43 @@ def run_pool_worker(boot: PoolBoot, barrier, results) -> None:
                             stats=stats,
                             tags=job.tags,
                         )
+                    elif job.mcast is not None:
+                        if job.mcast.boundary_seg is not None:
+                            plan_segs.setdefault(job.fingerprint, set()).add(
+                                job.mcast.boundary_seg
+                            )
+                        chan_key = (job.fingerprint, job.mcast)
+                        channel = channels.get(chan_key)
+                        if channel is None:
+                            channel = MulticastChannel(
+                                job.mcast,
+                                boot.mcast_sems,
+                                boot.rank,
+                                arrays=collect_arrays(
+                                    cache[job.fingerprint][0]
+                                ),
+                                attach_cache=seg_cache,
+                            )
+                            channels[chan_key] = channel
+                        channel.drain()
+                        channel.reset_stats()
+                        elapsed = multicast_pipeline_loop(
+                            runnable,
+                            job.chunks,
+                            channel,
+                            job.timeout,
+                            tracer,
+                            job.chunk_dim,
+                            job.boundary_rows,
+                            stats=stats,
+                            tags=job.tags,
+                        )
                     else:
                         recv, send = (
                             boot.links_fwd if job.ascending else boot.links_bwd
+                        )
+                        peer = (
+                            boot.pred_fwd if job.ascending else boot.pred_bwd
                         )
                         elapsed = pipeline_loop(
                             runnable,
@@ -223,6 +302,7 @@ def run_pool_worker(boot: PoolBoot, barrier, results) -> None:
                             job.boundary_rows,
                             stats=stats,
                             tags=job.tags,
+                            peer=peer,
                         )
                 except BaseException:
                     err = traceback.format_exc()
@@ -258,8 +338,15 @@ def run_pool_worker(boot: PoolBoot, barrier, results) -> None:
                     )
                 )
     finally:
+        for channel in channels.values():
+            channel.detach()
         for _, attached, _ in cache.values():
             attached.detach()
+        for seg in seg_cache.values():
+            try:
+                seg.close()
+            except BufferError:
+                pass
 
 
 @dataclass
@@ -272,6 +359,10 @@ class _PlanEntry:
     blob: bytes
     #: Ranks that have already received (and cached) the blob.
     shipped: set[int] = field(default_factory=set)
+    #: Lazily-built multicast plumbing per (wave_dim, ascending, staging):
+    #: ``key -> (MulticastSpec, BoundaryPool | None)``.  Boundary pools pin
+    #: shared memory, so they are released with the entry.
+    mcast: dict = field(default_factory=dict)
 
 
 class WorkerPool:
@@ -303,9 +394,21 @@ class WorkerPool:
         # Two static token fabrics: one per wavefront direction.  A job
         # selects the fabric matching its traversal sign, so one pool serves
         # forward and backward sweeps without rebuilding pipes.
-        links_fwd = chain_links(ctx, _chains(self.grid, True))
-        links_bwd = chain_links(ctx, _chains(self.grid, False))
+        chains_fwd = _chains(self.grid, True)
+        chains_bwd = _chains(self.grid, False)
+        links_fwd = chain_links(ctx, chains_fwd)
+        links_bwd = chain_links(ctx, chains_bwd)
         self._links = (links_fwd, links_bwd)  # keep parent copies alive
+        self._chains_by_dir = {True: chains_fwd, False: chains_bwd}
+        pred_fwd: dict[int, int] = {}
+        pred_bwd: dict[int, int] = {}
+        for chains, preds in ((chains_fwd, pred_fwd), (chains_bwd, pred_bwd)):
+            for chain in chains:
+                for upstream, downstream in zip(chain, chain[1:]):
+                    preds[downstream] = upstream
+        # The pool-lifetime epoch fabric: the segment and the per-rank
+        # semaphores must exist before the fork (semaphores only inherit).
+        self._mcast_fabric = MulticastFabric(ctx, self.grid.size)
         # One lock set for every taskgraph job this pool will ever run:
         # locks cannot ride a pipe, so they must exist before the fork.
         from repro.parallel.taskgraph import make_locks
@@ -337,6 +440,9 @@ class WorkerPool:
                     links_bwd=links_bwd[rank],
                     jobs=recv_end,
                     tg_locks=self._tg_locks,
+                    mcast_sems=self._mcast_fabric.sems,
+                    pred_fwd=pred_fwd.get(rank),
+                    pred_bwd=pred_bwd.get(rank),
                 )
                 proc = ctx.Process(
                     target=run_pool_worker,
@@ -388,7 +494,11 @@ class WorkerPool:
                 proc.join(timeout=timeout)
         for entry in self._plans.values():
             entry.shared.release()
+            for _spec, bpool in entry.mcast.values():
+                if bpool is not None:
+                    bpool.release()
         self._plans.clear()
+        self._mcast_fabric.release()
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -405,6 +515,10 @@ class WorkerPool:
             except (OSError, BrokenPipeError, ValueError):
                 pass
         entry.shared.release()
+        for _spec, bpool in entry.mcast.values():
+            if bpool is not None:
+                bpool.release()
+        entry.mcast.clear()
         self._plans.pop(entry.fingerprint, None)
 
     def _entry_for(self, compiled: CompiledScan, obs) -> _PlanEntry:
@@ -453,6 +567,8 @@ class WorkerPool:
         wavefront_dim: int | None = None,
         timeout: float | None = None,
         tracer=None,
+        multicast: bool | str | None = None,
+        double_buffer: bool | None = None,
     ) -> ParallelRun:
         """Run a compiled scan block on the pooled workers.
 
@@ -474,6 +590,8 @@ class WorkerPool:
                 wavefront_dim=wavefront_dim,
                 timeout=timeout,
                 tracer=tracer,
+                multicast=multicast,
+                double_buffer=double_buffer,
             )
 
     def _ensure_workers_alive(self) -> None:
@@ -499,6 +617,8 @@ class WorkerPool:
         wavefront_dim: int | None,
         timeout: float | None,
         tracer,
+        multicast: bool | str | None = None,
+        double_buffer: bool | None = None,
     ) -> ParallelRun:
         if self._closed:
             raise MachineError("worker pool is closed")
@@ -530,6 +650,32 @@ class WorkerPool:
         reverse_chunks = (
             plan.chunk_dim is not None and loops.signs[plan.chunk_dim] < 0
         )
+        locals_by_rank = {rank: dist.local_region(rank) for rank in grid}
+
+        # Fabric selection before block sizing — the autotuner's cost model
+        # depends on whether a release is one pipe round or one epoch stamp.
+        fabric = "pipes"
+        groups = None
+        mcast_mode = resolve_multicast(multicast)
+        if (
+            schedule == "pipelined"
+            and mcast_mode != "off"
+            and plan.chunk_dim is not None
+        ):
+            groups = plan_groups(
+                compiled,
+                plan,
+                self._chains_by_dir[ascending],
+                locals_by_rank,
+                grid.size,
+            )
+            if groups is not None and (
+                mcast_mode == "on" or groups.max_fanout >= 2
+            ):
+                fabric = "multicast"
+            else:
+                groups = None
+
         oversub = None
         if schedule == "naive":
             block_size = None
@@ -550,11 +696,71 @@ class WorkerPool:
         else:
             from repro.parallel.autotune import tuned_block_size
 
-            block_size = tuned_block_size(compiled, grid.dims[0], plan=plan)
+            block_size = tuned_block_size(
+                compiled,
+                grid.dims[0],
+                plan=plan,
+                fabric=fabric,
+                fanout=groups.max_fanout if groups is not None else 1,
+            )
+
+        if schedule in ("pipelined", "naive"):
+            # Pre-dispatch: raising mid-dispatch would abandon jobs already
+            # sent and break the pool.
+            if block_size is None or plan.chunk_dim is None:
+                chunk_bound = 1
+            else:
+                chunk_bound = max(
+                    (
+                        -(-locals_by_rank[rank].extent(plan.chunk_dim)
+                          // max(1, block_size))
+                        for rank in grid
+                    ),
+                    default=1,
+                )
+            check_chain_legality(compiled, plan, grid.dims[0], chunk_bound)
 
         with obs.span("prepare", "setup"):
             compiled.prepare()  # hoisted temps must be current before refresh
         entry = self._entry_for(compiled, obs)
+
+        mcast_spec = None
+        if fabric == "multicast":
+            staging = resolve_double_buffer(double_buffer)
+            key = (plan.wavefront_dim, ascending, staging)
+            spec_entry = entry.mcast.get(key)
+            if spec_entry is None:
+                layout = boundary_layout(compiled, plan) if staging else None
+                bpool = (
+                    BoundaryPool(grid.size, layout.slot_elems)
+                    if layout is not None
+                    else None
+                )
+                rows_by_rank = tuple(
+                    None
+                    if locals_by_rank[rank].is_empty()
+                    else locals_by_rank[rank].range(plan.wavefront_dim)
+                    for rank in grid
+                )
+                spec_entry = (
+                    MulticastSpec(
+                        epoch_seg=self._mcast_fabric.name,
+                        n_ranks=grid.size,
+                        groups=groups,
+                        wave_dim=plan.wavefront_dim,
+                        wave_ascending=ascending,
+                        rows_by_rank=rows_by_rank,
+                        boundary_seg=bpool.name if bpool is not None else None,
+                        layout=layout if bpool is not None else None,
+                        chunk_dim=plan.chunk_dim,
+                    ),
+                    bpool,
+                )
+                entry.mcast[key] = spec_entry
+            mcast_spec = spec_entry[0]
+            # Zero the epochs/credits from the previous run; safe because
+            # submissions serialise and every worker is idle here.
+            self._mcast_fabric.reset()
 
         graph = None
         state = None
@@ -587,7 +793,7 @@ class WorkerPool:
         with obs.span("dispatch", "setup", **tags):
             for rank in grid:
                 if tg_spec is None:
-                    local = dist.local_region(rank)
+                    local = locals_by_rank[rank]
                     width = (
                         local.extent(plan.chunk_dim)
                         if plan.chunk_dim is not None
@@ -617,6 +823,7 @@ class WorkerPool:
                     trace=obs.enabled,
                     tags=tags or None,
                     taskgraph=tg_spec,
+                    mcast=mcast_spec,
                 )
                 self._jobs[rank].send(("run", job))
                 entry.shipped.add(rank)
@@ -710,6 +917,10 @@ class WorkerPool:
                     "chunk_dim": plan.chunk_dim,
                     "wall_time": max(worker_times),
                     "setup_time": setup_time,
+                    "fabric": fabric,
+                    "fanout": (
+                        groups.max_fanout if groups is not None else 1
+                    ),
                 },
             )
             if report is not None:
@@ -731,6 +942,7 @@ class WorkerPool:
             plan=plan,
             trace=trace,
             taskgraph=report,
+            fabric=fabric,
         )
 
     def _observe_run(
@@ -777,6 +989,19 @@ class WorkerPool:
                 LIVE.gauge(
                     "repro_pool_worker_ready_depth", rank=label
                 ).set(st.get("ready_peak", 0))
+            if "mcast_releases" in st:
+                # Multicast-fabric series: one release = one epoch stamp
+                # serving the whole fan-out; flips count staged boundary
+                # buffers, the gauge accumulates compute/copy overlap.
+                LIVE.counter(
+                    "repro_multicast_releases_total", rank=label
+                ).inc(st.get("mcast_releases", 0))
+                LIVE.counter(
+                    "repro_boundary_buffer_flips_total", rank=label
+                ).inc(st.get("buffer_flips", 0))
+                LIVE.gauge(
+                    "repro_multicast_overlap_seconds", rank=label
+                ).inc(st.get("overlap_seconds", 0.0))
             busy += st.get("busy", 0.0)
             wait += st.get("wait", 0.0)
             elements += st.get("elements", 0)

@@ -43,7 +43,7 @@ import numpy as np
 
 from repro.errors import MachineError, SanitizerError
 from repro.parallel.sharedmem import _untracked_attach
-from repro.runtime.kernels import plan_kind
+from repro.runtime.kernels import plan_kind, resolve_engine
 from repro.runtime.vectorized import execute_vectorized
 from repro.zpl.regions import Region
 
@@ -229,6 +229,8 @@ def taskgraph_loop(
     """
     graph_lock, deque_locks = locks
     tracing = tracer.enabled
+    # Loop-invariant engine resolution: skip the per-tile environment reads.
+    engine = resolve_engine(None)
     extra = tags or {}
     kind = plan_kind(runnable) if tracing else None
     n_live = spec.n_live
@@ -314,7 +316,7 @@ def taskgraph_loop(
                 t0 = time.perf_counter()
                 if not tile.is_empty():
                     execute_vectorized(
-                        runnable, within=tile,
+                        runnable, within=tile, engine=engine,
                         tracer=tracer if tracing else None,
                     )
                 t1 = time.perf_counter()

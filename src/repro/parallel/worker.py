@@ -37,8 +37,8 @@ from repro.parallel.channels import (
     send_clocked_token,
     send_token,
 )
-from repro.parallel.sharedmem import ArraySpec, AttachedArrays
-from repro.runtime.kernels import plan_kind
+from repro.parallel.sharedmem import ArraySpec, AttachedArrays, collect_arrays
+from repro.runtime.kernels import plan_kind, resolve_engine
 from repro.runtime.vectorized import execute_vectorized
 from repro.zpl.regions import Region
 
@@ -75,6 +75,16 @@ class WorkerTask:
     #: The run's ``(graph_lock, deque_locks)`` — synchronisation primitives
     #: travel by Process-argument inheritance, never over a pipe.
     tg_locks: object | None = None
+    #: Multicast-fabric spec (:class:`repro.parallel.collectives.MulticastSpec`)
+    #: when the planner selected the epoch fabric: the worker publishes and
+    #: waits on shared-memory epochs instead of pipe tokens (``recv``/``send``
+    #: unused).
+    mcast: object | None = None
+    #: The fabric's per-rank semaphores — like ``tg_locks``, these inherit
+    #: through the Process arguments and never ride a pipe.
+    mcast_sems: object | None = None
+    #: Predecessor rank on the pipe fabric (timeout diagnostics only).
+    peer: int | None = None
 
 
 def _width(chunk: Region, chunk_dim: int | None) -> int:
@@ -102,6 +112,7 @@ def sanitized_pipeline_loop(
     """
     inject = state.spec.inject
     tracing = tracer.enabled
+    engine = resolve_engine(None)
     start = time.perf_counter()
     for k, chunk in enumerate(chunks):
         if recv is not None:
@@ -122,7 +133,7 @@ def sanitized_pipeline_loop(
             # one, so downstream's happens-before check must trip.
             send_clocked_token(send, k, state.token())
         if not chunk.is_empty():
-            execute_vectorized(runnable, within=chunk, tracer=tracer)
+            execute_vectorized(runnable, within=chunk, engine=engine, tracer=tracer)
             if tracing:
                 tracer.count("blocks_executed")
                 tracer.count("elements_computed", chunk.size)
@@ -148,6 +159,7 @@ def pipeline_loop(
     boundary_rows: int,
     stats: dict | None = None,
     tags: dict | None = None,
+    peer: int | None = None,
 ) -> float:
     """The classic pipelined inner loop: recv token → compute block → send.
 
@@ -179,6 +191,9 @@ def pipeline_loop(
     # The plan family is loop-invariant: resolve it once so every compute
     # span carries its kind (skewed/flat/interp) for the phase analytics.
     kind = plan_kind(runnable) if tracing else None
+    # Engine resolution reads environment knobs; loop-invariant, so pay for
+    # it once per job instead of once per block.
+    engine = resolve_engine(None)
     busy_s = wait_s = 0.0
     tokens = 0
     start = time.perf_counter()
@@ -186,7 +201,7 @@ def pipeline_loop(
         if recv is not None:
             if tracing or lite:
                 t = time.perf_counter()
-                recv_token(recv, k, timeout)
+                recv_token(recv, k, timeout, peer)
                 t_done = time.perf_counter()
                 wait_s += t_done - t
                 tokens += 1
@@ -196,11 +211,11 @@ def pipeline_loop(
                     )
                     tracer.count("tokens_recv")
             else:
-                recv_token(recv, k, timeout)
+                recv_token(recv, k, timeout, peer)
         if not chunk.is_empty():
             if tracing:
                 t = time.perf_counter()
-                execute_vectorized(runnable, within=chunk, tracer=tracer)
+                execute_vectorized(runnable, within=chunk, engine=engine, tracer=tracer)
                 t_done = time.perf_counter()
                 busy_s += t_done - t
                 tracer.add_span(
@@ -218,7 +233,7 @@ def pipeline_loop(
                 tracer.count("elements_computed", chunk.size)
             elif lite:
                 t = time.perf_counter()
-                execute_vectorized(runnable, within=chunk)
+                execute_vectorized(runnable, within=chunk, engine=engine)
                 t_done = time.perf_counter()
                 busy_s += t_done - t
                 if flight is not None:
@@ -227,7 +242,7 @@ def pipeline_loop(
                         block=k, elements=chunk.size, **extra,
                     )
             else:
-                execute_vectorized(runnable, within=chunk)
+                execute_vectorized(runnable, within=chunk, engine=engine)
         if send is not None:
             if tracing:
                 t = time.perf_counter()
@@ -250,6 +265,116 @@ def pipeline_loop(
         stats["tokens"] = tokens
         stats["blocks"] = sum(1 for c in chunks if not c.is_empty())
         stats["elements"] = sum(c.size for c in chunks if not c.is_empty())
+    return elapsed
+
+
+def multicast_pipeline_loop(
+    runnable,
+    chunks: tuple[Region, ...],
+    channel,
+    timeout: float,
+    tracer,
+    chunk_dim: int | None,
+    boundary_rows: int,
+    stats: dict | None = None,
+    tags: dict | None = None,
+) -> float:
+    """The pipelined loop on the multicast epoch fabric.
+
+    Same wait → compute → release skeleton as :func:`pipeline_loop`, but the
+    synchronisation runs through a
+    :class:`~repro.parallel.collectives.MulticastChannel`: the wait is a
+    shared-memory epoch read per producer (plus the double-buffer absorb
+    when staging is on), and the release is ``stage`` + one ``publish``
+    stamp serving every consumer at once.  Span names are kept identical
+    to the pipe loop (``recv_wait``/``compute``/``send``) so the phase
+    analytics and residual tables apply unchanged.
+    """
+    tracing = tracer.enabled
+    flight = FLIGHT if FLIGHT.enabled else None
+    lite = not tracing and (stats is not None or flight is not None)
+    extra = tags or {}
+    kind = plan_kind(runnable) if tracing else None
+    engine = resolve_engine(None)
+    waits = channel.producers
+    releases = channel.consumers
+    busy_s = wait_s = 0.0
+    tokens = 0
+    absorbed = 0
+    start = time.perf_counter()
+    for k, chunk in enumerate(chunks):
+        if waits:
+            if tracing or lite:
+                t = time.perf_counter()
+                channel.wait_block(k, timeout)
+                absorbed = channel.absorb_through(k, absorbed, chunks)
+                t_done = time.perf_counter()
+                wait_s += t_done - t
+                tokens += len(waits)
+                if tracing:
+                    tracer.add_span(
+                        "recv_wait", "comm", t, t_done, block=k, **extra
+                    )
+                    tracer.count("tokens_recv", len(waits))
+            else:
+                channel.wait_block(k, timeout)
+                absorbed = channel.absorb_through(k, absorbed, chunks)
+        if not chunk.is_empty():
+            if tracing:
+                t = time.perf_counter()
+                execute_vectorized(runnable, within=chunk, engine=engine, tracer=tracer)
+                t_done = time.perf_counter()
+                busy_s += t_done - t
+                tracer.add_span(
+                    "compute",
+                    "compute",
+                    t,
+                    t_done,
+                    block=k,
+                    elements=chunk.size,
+                    width=_width(chunk, chunk_dim),
+                    plan=kind,
+                    **extra,
+                )
+                tracer.count("blocks_executed")
+                tracer.count("elements_computed", chunk.size)
+            elif lite:
+                t = time.perf_counter()
+                execute_vectorized(runnable, within=chunk, engine=engine)
+                t_done = time.perf_counter()
+                busy_s += t_done - t
+                if flight is not None:
+                    flight.span(
+                        "block", t, t_done,
+                        block=k, elements=chunk.size, **extra,
+                    )
+            else:
+                execute_vectorized(runnable, within=chunk, engine=engine)
+        if tracing:
+            t = time.perf_counter()
+            channel.stage(k, chunk, timeout)
+            channel.publish(k)
+            tracer.add_span(
+                "send", "comm", t, time.perf_counter(), block=k, **extra
+            )
+            if releases:
+                tracer.count("tokens_sent")
+                tracer.count(
+                    "bytes_moved",
+                    boundary_rows * _width(chunk, chunk_dim) * ELEMENT_BYTES,
+                )
+        else:
+            channel.stage(k, chunk, timeout)
+            channel.publish(k)
+    elapsed = time.perf_counter() - start
+    if stats is not None:
+        stats["elapsed"] = elapsed
+        stats["busy"] = busy_s
+        stats["wait"] = wait_s
+        stats["tokens"] = tokens
+        stats["blocks"] = sum(1 for c in chunks if not c.is_empty())
+        stats["elements"] = sum(c.size for c in chunks if not c.is_empty())
+        stats.update(channel.stats())
     return elapsed
 
 
@@ -291,6 +416,29 @@ def run_worker(task: WorkerTask, barrier, results) -> None:
                 tracer,
                 stats=stats,
             )
+        elif task.mcast is not None:
+            from repro.parallel.collectives import MulticastChannel
+
+            channel = MulticastChannel(
+                task.mcast,
+                task.mcast_sems,
+                task.rank,
+                arrays=collect_arrays(compiled),
+            )
+            try:
+                channel.drain()
+                elapsed = multicast_pipeline_loop(
+                    runnable,
+                    task.chunks,
+                    channel,
+                    task.timeout,
+                    tracer,
+                    task.chunk_dim,
+                    task.boundary_rows,
+                    stats=stats,
+                )
+            finally:
+                channel.detach()
         elif shadow is not None:
             elapsed = sanitized_pipeline_loop(
                 runnable,
@@ -311,6 +459,8 @@ def run_worker(task: WorkerTask, barrier, results) -> None:
                 tracer,
                 task.chunk_dim,
                 task.boundary_rows,
+                stats=stats,
+                peer=task.peer,
             )
         results.put(
             (

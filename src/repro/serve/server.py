@@ -42,6 +42,7 @@ from repro.obs.live import (
     FLIGHT,
     LIVE,
     MONITOR,
+    fabric_summary,
     prometheus_text,
     wants_text,
     worker_table,
@@ -242,6 +243,7 @@ class ServeApp:
         """The JSON ``/metrics`` body: serve counters + live telemetry."""
         doc = self.metrics.snapshot()
         doc["workers"] = worker_table(LIVE)
+        doc["fabric"] = fabric_summary(LIVE)
         doc["model"] = self.monitor.snapshot()
         doc["flight"] = {
             "enabled": FLIGHT.enabled,
