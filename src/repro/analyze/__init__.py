@@ -49,6 +49,11 @@ __all__ = [
     "lint_block",
     "explain_block",
     "PASSES",
+    "ScheduleModel",
+    "build_schedule_model",
+    "certify_model",
+    "certify_execution",
+    "MUTATIONS",
 ]
 
 _LAZY = {
@@ -56,6 +61,15 @@ _LAZY = {
     "lint_block": "repro.analyze.passes",
     "explain_block": "repro.analyze.passes",
     "PASSES": "repro.analyze.passes",
+    # NB: the certify *function* is not re-exported here — the submodule of
+    # the same name would shadow it in the package namespace as soon as
+    # anything imported ``repro.analyze.certify`` directly.  Import the
+    # function from the submodule instead.
+    "ScheduleModel": "repro.analyze.certify",
+    "build_schedule_model": "repro.analyze.certify",
+    "certify_model": "repro.analyze.certify",
+    "certify_execution": "repro.analyze.certify",
+    "MUTATIONS": "repro.analyze.certify",
 }
 
 

@@ -18,6 +18,15 @@ Three commands:
     wavefront race sanitizer enabled (shadow stamps + vector-clocked
     tokens).  Exit status 1 when a happens-before violation was detected.
 
+``certify``
+    Statically prove (:mod:`repro.analyze.certify`) that each schedule's
+    sync protocol covers every projected dependence edge and is
+    deadlock-free — no execution.  One report per input × schedule; exit
+    status 1 when any ``E101``/``E102``/``E103`` was produced.  Planner
+    refusals (a schedule the executor would not run either) appear as
+    ``W110`` warnings, not errors.  ``--mutate NAME`` corrupts the model
+    first (the soundness smoke: the mutant must fail certification).
+
 Textual ZPL inputs declare their array environment in ``#!`` pragma
 comments (ordinary ``#`` comments to the tokenizer), e.g.::
 
@@ -270,6 +279,143 @@ def cmd_race(args) -> int:
     return 1 if failed else 0
 
 
+def _certify_inputs_from_file(path: str) -> list[tuple]:
+    """Compile one ``.zpl`` file into ``(label, compiled, pre, source)``
+    certify inputs — ``compiled`` is ``None`` (with ``pre`` holding the
+    parse/legality diagnostic) when the front end refuses the program."""
+    from repro.compiler.lowering import compile_scan
+    from repro.errors import ReproError
+    from repro.zpl.parser import ParseError, parse_program
+
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    arrays, constants = _parse_pragmas(source)
+    try:
+        program = parse_program(source, arrays, constants, filename=path)
+    except ParseError as exc:
+        diagnostic = Diagnostic(
+            "E000",
+            str(exc),
+            span=getattr(exc, "span", None),
+            hint="fix the syntax/name error; certification needs a parse",
+        )
+        return [(path, None, [diagnostic], source)]
+    blocks = program.scan_blocks()
+    inputs: list[tuple] = []
+    for index, block in enumerate(blocks):
+        label = path if len(blocks) == 1 else f"{path}#{index}"
+        try:
+            compiled = compile_scan(block)
+        except ReproError as exc:
+            diagnostic = exc.diagnostic or Diagnostic(
+                "E000",
+                str(exc),
+                hint="fix the legality error; certification needs a plan",
+            )
+            inputs.append((label, None, [diagnostic], source))
+            continue
+        inputs.append((label, compiled, [], source))
+    return inputs
+
+
+def cmd_certify(args) -> int:
+    """Statically certify each input at each requested schedule."""
+    from repro.analyze.certify import (
+        MUTATIONS,
+        MutationUnsupported,
+        PSEUDO_SCHEDULES,
+        apply_mutation,
+        build_schedule_model,
+        certify_model,
+        schedule_kwargs,
+    )
+    from repro.errors import MachineError
+
+    if not args.paths and args.suite is None:
+        print(
+            "nothing to certify: give .zpl paths and/or --suite",
+            file=sys.stderr,
+        )
+        return 2
+    if args.mutate is not None and args.mutate not in MUTATIONS:
+        print(
+            f"unknown mutation {args.mutate!r}; pick from: "
+            + ", ".join(MUTATIONS),
+            file=sys.stderr,
+        )
+        return 2
+    grid = tuple(int(g) for g in args.grid.split("x"))
+    schedules = (
+        PSEUDO_SCHEDULES if args.schedule == "all" else (args.schedule,)
+    )
+
+    inputs: list[tuple] = []
+    for path in args.paths:
+        inputs.extend(_certify_inputs_from_file(path))
+    if args.suite is not None:
+        from repro.apps.suite import SUITE, get
+
+        entries = SUITE if not args.suite else [get(s) for s in args.suite]
+        for entry in entries:
+            inputs.append((f"suite:{entry.name}", entry.build(args.n), [], None))
+
+    reports: list[dict] = []
+
+    def add(label, diagnostics, source):
+        report = make_report(diagnostics, label)
+        report["_diagnostics"] = diagnostics
+        report["_source"] = source
+        reports.append(report)
+
+    for label, compiled, pre, source in inputs:
+        if compiled is None:
+            add(label, pre, source)
+            continue
+        for pseudo in schedules:
+            diagnostics = list(pre)
+            try:
+                model = build_schedule_model(
+                    compiled, grid=grid, block=args.block,
+                    **schedule_kwargs(pseudo),
+                )
+            except MachineError as exc:
+                diagnostics.append(
+                    Diagnostic(
+                        "W110",
+                        f"schedule {pseudo!r} unavailable on grid {grid}: "
+                        f"{exc}",
+                        hint=(
+                            "the planner refuses this configuration "
+                            "natively; there is no schedule to certify"
+                        ),
+                    )
+                )
+                model = None
+            if model is not None and args.mutate is not None:
+                try:
+                    _mutation, model = apply_mutation(model, args.mutate)
+                except MutationUnsupported as exc:
+                    diagnostics.append(
+                        Diagnostic(
+                            "W110",
+                            f"mutation {args.mutate!r} does not apply at "
+                            f"{pseudo!r}: {exc}",
+                            hint="pick a mutation matching the protocol",
+                        )
+                    )
+                    model = None
+            if model is not None:
+                diagnostics.extend(certify_model(model))
+            add(f"{label}@{pseudo}", diagnostics, source)
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(_strip_private(reports), handle, indent=2)
+    if args.json:
+        return _emit(_strip_private(reports), True, False)
+    return _emit(reports, False, args.color)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analyze",
@@ -325,6 +471,38 @@ def build_parser() -> argparse.ArgumentParser:
     race.add_argument(
         "--block", type=int, default=None, help="pipeline block size"
     )
+
+    certify = sub.add_parser(
+        "certify",
+        help="statically prove sync coverage and deadlock freedom",
+    )
+    certify.add_argument("paths", nargs="*", help=".zpl files with #! pragmas")
+    common(certify)
+    certify.add_argument(
+        "--grid", default="2", help="processor grid, e.g. 2 or 2x2 (default 2)"
+    )
+    certify.add_argument(
+        "--schedule",
+        choices=("all", "naive", "pipelined", "multicast", "taskgraph"),
+        default="all",
+        help="which schedule(s) to certify (default all four)",
+    )
+    certify.add_argument(
+        "--block", type=int, default=None, help="pipeline block size"
+    )
+    certify.add_argument(
+        "--mutate",
+        default=None,
+        metavar="NAME",
+        help="corrupt the model first (soundness smoke; must fail)",
+    )
+    certify.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="also write the JSON reports to FILE (CERTIFY_report.json)",
+    )
+    certify.add_argument("--color", action="store_true", help="ANSI colours")
     return parser
 
 
@@ -337,6 +515,8 @@ def main(argv=None) -> int:
         args.passes = None
         args.color = getattr(args, "color", False)
         return cmd_lint(args, explain=True)
+    if args.command == "certify":
+        return cmd_certify(args)
     return cmd_race(args)
 
 

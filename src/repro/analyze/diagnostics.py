@@ -63,6 +63,10 @@ CODES: dict[str, tuple[Severity, str]] = {
     "E009": (Severity.ERROR, "empty scan block"),
     # Dynamic wavefront race sanitizer.
     "E100": (Severity.ERROR, "wavefront race: read before owning write"),
+    # Static schedule certifier (repro.analyze.certify).
+    "E101": (Severity.ERROR, "unsynchronized dependence"),
+    "E102": (Severity.ERROR, "potential deadlock"),
+    "E103": (Severity.ERROR, "staging slot aliases a live read window"),
     # Lints.
     "W101": (Severity.WARNING, "unused array"),
     "W102": (Severity.WARNING, "unused region"),
@@ -72,6 +76,8 @@ CODES: dict[str, tuple[Severity, str]] = {
     "W106": (Severity.WARNING, "dead store"),
     "W107": (Severity.WARNING, "pipelining predicted unprofitable"),
     "W108": (Severity.WARNING, "taskgraph schedule recommended"),
+    "W109": (Severity.WARNING, "multicast fabric forced on fan-out < 2"),
+    "W110": (Severity.WARNING, "checker unavailable in this configuration"),
     # Explanations (requested via `repro.analyze explain`).
     "I301": (Severity.INFO, "fusion blocked"),
     "I302": (Severity.INFO, "skew ineligible"),

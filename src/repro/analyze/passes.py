@@ -15,8 +15,9 @@ The registry covers three groups:
   over-constraint check (``E002``).
 * **Lints** — unused declarations (``W101``–``W103``), redundant primes
   (``W104``), dead masks (``W105``), dead stores (``W106``), the α+β
-  pipeline-hazard advisor (``W107``), and the taskgraph-schedule advisor
-  (``W108``).
+  pipeline-hazard advisor (``W107``), the taskgraph-schedule advisor
+  (``W108``), and the forced-multicast fan-out advisor (``W109``, only
+  when ``REPRO_MULTICAST=1`` overrides the auto fabric selection).
 * **Explanations** (``I301``/``I302``) — *why* fusion split a statement
   sequence, and why skewing found no legal time vector.  These are emitted
   by :func:`explain_program` (the CLI's ``explain`` command), not by plain
@@ -548,8 +549,79 @@ def taskgraph_advisor(
     return []
 
 
+def multicast_advisor(
+    block: ScanBlock,
+    label: str | None = None,
+    procs: int = HAZARD_PROCS,
+) -> list[Diagnostic]:
+    """Warn when ``REPRO_MULTICAST=1`` forces the fabric onto fan-out < 2.
+
+    The multicast fabric pays off when one producer's boundary feeds two or
+    more consumers; at uniform fan-out 1 it is a straight chain wearing
+    epoch-stamp overhead (staging copies, credit waits) for nothing — the
+    pipe-token fabric is the cheaper identical schedule.  The auto mode
+    (``REPRO_MULTICAST`` unset) already makes that call per plan; this
+    advisor fires only when the env knob overrides it to ``on``, probing the
+    same :func:`~repro.parallel.collectives.plan_groups` projection the
+    executor runs, on a rank-1 chain of ``procs`` workers.
+    """
+    try:
+        from repro.compiler.lowering import compile_scan
+        from repro.machine.grid import ProcessorGrid
+        from repro.machine.schedules import plan_wavefront
+        from repro.parallel.collectives import plan_groups, resolve_multicast
+        from repro.parallel.executor import _build_distribution, _chains
+
+        if resolve_multicast(None) != "on":
+            return []
+        compiled = compile_scan(block)
+        plan = plan_wavefront(compiled, None)
+        if plan.chunk_dim is None:
+            return []  # cannot pipeline at all; the fabric never engages
+        w = plan.wavefront_dim
+        grid = ProcessorGrid(
+            (max(2, min(procs, plan.region.extent(w))),)
+        )
+        dist = _build_distribution(plan, grid)
+        locals_by_rank = {rank: dist.local_region(rank) for rank in grid}
+        ascending = compiled.loops.signs[w] >= 0
+        chains = _chains(grid, ascending)
+        groups = plan_groups(
+            compiled, plan, chains, locals_by_rank, grid.size
+        )
+    except ReproError:
+        return []  # the executor will explain; the advisor stays silent
+    if groups is None or groups.max_fanout >= 2:
+        return []
+    return [
+        Diagnostic(
+            "W109",
+            f"REPRO_MULTICAST=1 forces the multicast fabric, but every "
+            f"producer in this block feeds at most one consumer "
+            f"(uniform fan-out {groups.max_fanout}): the epoch fabric "
+            f"adds staging and credit overhead over plain pipe tokens",
+            span=span_of(block.statements[0]),
+            because=(
+                Because(
+                    "model",
+                    f"boundary projection on a {grid.dims[0]}-rank chain: "
+                    f"max consumer tiles per stamp is {groups.max_fanout}, "
+                    f"and the fabric only amortises at 2 or more",
+                ),
+            ),
+            hint="unset REPRO_MULTICAST (auto mode picks pipes here), or "
+            "reshape the block so a boundary feeds several ranks",
+            data={
+                "max_fanout": groups.max_fanout,
+                "p": grid.dims[0],
+            }
+            | ({"block": label} if label else {}),
+        )
+    ]
+
+
 def pass_block_lints(program: Program) -> list[Diagnostic]:
-    """Block-scoped lints (W104, W107, W108) over every scan block."""
+    """Block-scoped lints (W104, W107, W108, W109) over every scan block."""
     out: list[Diagnostic] = []
     for index, block in enumerate(program.scan_blocks()):
         if legality_diagnostics(block):
@@ -558,6 +630,7 @@ def pass_block_lints(program: Program) -> list[Diagnostic]:
         out.extend(redundant_primes(block.statements, block=label))
         out.extend(pipeline_hazard(block.statements, block=label))
         out.extend(taskgraph_advisor(block.statements, block=label))
+        out.extend(multicast_advisor(block, label=label))
     return out
 
 
@@ -736,6 +809,7 @@ def lint_block(block: ScanBlock, name: str | None = None) -> list[Diagnostic]:
     out = redundant_primes(block.statements, block=label)
     out.extend(pipeline_hazard(block.statements, block=label))
     out.extend(taskgraph_advisor(block.statements, block=label))
+    out.extend(multicast_advisor(block, label=label))
     return out
 
 

@@ -36,12 +36,36 @@ carries a clock that does not yet cover the block, no matter how the
 processes interleave afterwards.  Plain stamp-checking would only catch
 the race when the timing happened to expose it.
 
+Multicast and pool coverage
+---------------------------
+The fabric and the persistent pool sanitize too.  On the multicast fabric
+no token carries a clock, so clocks ride the epochs instead: the shadow
+segment grows a per-``(rank, block)`` **epoch-clock plane** and a producer
+publishing block ``k`` first writes its clock into row ``(rank, k)``
+(:meth:`SanitizerState.publish_clocks`); a consumer joins that row after
+its epoch wait (:meth:`SanitizerState.join_epoch`).  Each row is written
+exactly once — unlike a shared per-rank clock row it is never overwritten
+by later publishes, so an early-published (un-advanced) clock stays
+visible to every consumer no matter how the processes interleave, keeping
+the must-trip injections deterministic.  On the pool, workers ship their
+final clock back over the result channel (``stats["clocks"]``) and the
+parent cross-checks it against the block count each rank owned.
+
 Fault injection
 ---------------
-``REPRO_SANITIZE_INJECT=early-release:<rank>:<block>`` makes the worker at
-``rank`` send its token for ``block`` *before* computing it (with its
-honest, un-incremented clock) — the canonical token-protocol violation the
-acceptance test uses.  The injection only exists when the sanitizer is on.
+``REPRO_SANITIZE_INJECT=kind:rank:block`` plants one deterministic
+protocol violation (the knob only exists while the sanitizer is on):
+
+* ``early-release:RANK:BLOCK`` — the pipelined schedule's canonical token
+  violation: the worker at ``RANK`` sends its token for ``BLOCK`` *before*
+  computing it, with its honest, un-incremented clock.
+* ``early-fire:RANK:TILE`` — the taskgraph violation: ``TILE`` is enqueued
+  onto ``RANK``'s deque before its predecessors complete, with its honest,
+  non-zero pending count as enqueue evidence.
+* ``early-publish:RANK:STAMP`` — the epoch-fabric violation: the producer
+  at ``RANK`` stages and publishes the epoch stamp for block ``STAMP``
+  *before* computing it, with its honest, un-advanced clock in the epoch-
+  clock row — every consumer's join then fails the happens-before check.
 """
 
 from __future__ import annotations
@@ -66,15 +90,18 @@ def parse_inject(value: str | None) -> tuple[str, int, int] | None:
 
     ``early-release`` targets the pipelined schedule (publish a token before
     computing the block); ``early-fire`` targets ``schedule="taskgraph"``
-    (enqueue a tile before its predecessors complete).
+    (enqueue a tile before its predecessors complete); ``early-publish``
+    targets the multicast fabric (stamp an epoch before computing its
+    block).
     """
     if not value:
         return None
     parts = value.split(":")
-    if len(parts) != 3 or parts[0] not in ("early-release", "early-fire"):
+    kinds = ("early-release", "early-fire", "early-publish")
+    if len(parts) != 3 or parts[0] not in kinds:
         raise SanitizerError(
-            f"bad {INJECT_ENV}={value!r}; expected 'early-release:RANK:BLOCK'"
-            f" or 'early-fire:RANK:TILE'"
+            f"bad {INJECT_ENV}={value!r}; expected 'early-release:RANK:BLOCK',"
+            f" 'early-fire:RANK:TILE' or 'early-publish:RANK:STAMP'"
         )
     try:
         return (parts[0], int(parts[1]), int(parts[2]))
@@ -100,6 +127,9 @@ class SanitizerSpec:
     #: Distinct primed reads: (array name, shift vector).
     primed: tuple[tuple[str, tuple[int, ...]], ...]
     inject: tuple[str, int, int] | None = None
+    #: Block count of the per-``(rank, block)`` epoch-clock plane appended
+    #: to the stamp segment (multicast runs); ``0`` allocates no plane.
+    epoch_clocks: int = 0
 
 
 class ShadowPool:
@@ -111,6 +141,7 @@ class ShadowPool:
         grid,
         chunks_by_rank: dict[int, tuple[Region, ...]],
         inject: tuple[str, int, int] | None = None,
+        epoch_clocks: int = 0,
     ):
         region = plan.region
         base = region.lo
@@ -124,13 +155,24 @@ class ShadowPool:
                 owner[sl] = rank
                 block_index[sl] = k
         stamps = np.zeros(region.shape, dtype=np.int64)
+        # Multicast runs append a per-(rank, block) clock plane: row (p, k)
+        # receives p's clock exactly once, when p publishes epoch k.
+        plane_bytes = 8 * grid.size * epoch_clocks * grid.size
         self._segment = shared_memory.SharedMemory(
-            create=True, size=max(1, stamps.nbytes)
+            create=True, size=max(1, stamps.nbytes + plane_bytes)
         )
         view = np.ndarray(
             stamps.shape, dtype=stamps.dtype, buffer=self._segment.buf
         )
         view[...] = 0
+        if epoch_clocks:
+            plane = np.ndarray(
+                (grid.size, epoch_clocks, grid.size),
+                dtype=np.int64,
+                buffer=self._segment.buf,
+                offset=stamps.nbytes,
+            )
+            plane[...] = 0
         primed = sorted(
             {
                 (ref.array.name or "<array>", tuple(ref.offset))
@@ -147,6 +189,7 @@ class ShadowPool:
             n_procs=grid.size,
             primed=tuple(primed),
             inject=inject,
+            epoch_clocks=epoch_clocks,
         )
 
     def release(self) -> None:
@@ -174,6 +217,14 @@ class SanitizerState:
         self.stamps = np.ndarray(
             self.region.shape, dtype=np.int64, buffer=self._segment.buf
         )
+        self.epoch_clocks = None
+        if spec.epoch_clocks:
+            self.epoch_clocks = np.ndarray(
+                (spec.n_procs, spec.epoch_clocks, spec.n_procs),
+                dtype=np.int64,
+                buffer=self._segment.buf,
+                offset=self.stamps.nbytes,
+            )
         #: Checks run / cells verified, for the obs counters.
         self.checks = 0
         self.cells = 0
@@ -186,6 +237,21 @@ class SanitizerState:
     def token(self) -> tuple[int, ...]:
         """The clock to ride on an outgoing token."""
         return tuple(int(c) for c in self.clocks)
+
+    def publish_clocks(self, k: int) -> None:
+        """Write our clock into epoch-clock row ``(rank, k)`` — the
+        multicast analogue of putting the clock on an outgoing token.
+        Each row is written exactly once (block ``k`` publishes once), so
+        an early-published, un-advanced clock can never be papered over by
+        a later publish."""
+        self.epoch_clocks[self.rank, k, :] = self.clocks
+
+    def join_epoch(self, producer: int, k: int) -> None:
+        """Join the clock ``producer`` published with its epoch stamp for
+        block ``k`` — the multicast analogue of a clocked-token receive."""
+        np.maximum(
+            self.clocks, self.epoch_clocks[producer, k], out=self.clocks
+        )
 
     def check(self, chunk: Region, k: int) -> None:
         """Verify every primed read of block ``k`` is happens-before ordered.
@@ -230,6 +296,7 @@ class SanitizerState:
     def detach(self) -> None:
         """Drop the stamp view and close the segment handle."""
         self.stamps = None
+        self.epoch_clocks = None
         try:
             self._segment.close()
         except BufferError:

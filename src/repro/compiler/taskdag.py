@@ -135,6 +135,40 @@ def _prunable_masks(compiled: CompiledScan) -> list | None:
     return masks if masks else None
 
 
+def tile_dependences(
+    compiled: CompiledScan,
+    tiles: Sequence[Region],
+    region: Region,
+) -> list[tuple[int, int, object]]:
+    """Geometric block-level dependence edges between arbitrary tiles.
+
+    The projection :func:`derive_taskgraph` applies to its own interval
+    tiling, generalised to any tile set (the certifier feeds it the
+    pipelined schedule's chunk regions too): for each dependence ``v`` and
+    each non-empty destination tile ``T``, the source tiles are exactly the
+    non-empty tiles intersecting ``T.shift(-v)`` clipped to ``region``.
+    Returns ``(src_index, dst_index, dependence)`` triples, self-edges
+    omitted — an engine orders the cells *within* one tile by construction,
+    so only cross-tile edges need schedule-level synchronisation.
+    """
+    nonempty = [(i, tile) for i, tile in enumerate(tiles) if not tile.is_empty()]
+    out: list[tuple[int, int, object]] = []
+    for dep in compiled.dependences:
+        if dep.is_loop_independent():
+            continue
+        back = tuple(-component for component in dep.vector)
+        for dst, tile in nonempty:
+            src_region = tile.shift(back).intersect(region)
+            if src_region.is_empty():
+                continue
+            for src, src_tile in nonempty:
+                if src == dst:
+                    continue
+                if not src_tile.intersect(src_region).is_empty():
+                    out.append((src, dst, dep))
+    return out
+
+
 def derive_taskgraph(
     compiled: CompiledScan,
     plan: WavefrontPlan,

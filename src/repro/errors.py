@@ -91,6 +91,23 @@ class SanitizerError(ReproError):
     """The wavefront race sanitizer observed a happens-before violation."""
 
 
+class CertifyError(ReproError):
+    """The static schedule certifier rejected a schedule before execution.
+
+    Raised by :func:`repro.analyze.certify.certify_execution` (the
+    ``REPRO_CERTIFY=1`` pre-flight hook) when certification produces error
+    diagnostics.  ``diagnostics`` carries the full list; ``diagnostic`` (the
+    base-class slot) points at the first error so generic renderers work.
+    """
+
+    def __init__(self, message: str, diagnostics=()):
+        super().__init__(message)
+        self.diagnostics = list(diagnostics)
+        self.diagnostic = next(
+            (d for d in self.diagnostics if d.severity.value == "error"), None
+        )
+
+
 class CompilationError(ReproError):
     """Internal compilation failure that is not a user legality error."""
 

@@ -264,8 +264,9 @@ def execute(
     (:mod:`repro.analyze.sanitizer`): tokens carry vector clocks and every
     primed read is happens-before-checked against the owning block's write.
     ``None`` honours ``REPRO_SANITIZE``.  A detected violation raises
-    :class:`~repro.errors.SanitizerError`.  Shadow execution forks fresh
-    workers each run, so it cannot be combined with ``pool``.
+    :class:`~repro.errors.SanitizerError`.  ``pool`` runs sanitize too —
+    the shadow planes are built per run and the workers ship their final
+    clocks back over the result channel.
 
     ``schedule`` picks ``"pipelined"`` (static rank order, blocked tokens),
     ``"naive"`` (whole-boundary messages), or ``"taskgraph"``
@@ -279,16 +280,18 @@ def execute(
     and selects the epoch fabric when the tile DAG shows fan-out ≥ 2 from
     one producer tile.  ``double_buffer`` gates the staged boundary copies
     on multicast runs (``None`` honours ``REPRO_DOUBLE_BUFFER``, default
-    on).  The sanitizer always runs on pipes (clocks ride the tokens).
+    on).  On multicast the sanitizer's clocks ride the epoch fabric (a
+    per-``(rank, block)`` clock row in the shadow segment, indexed by the
+    epoch value) instead of the tokens.
+
+    ``REPRO_CERTIFY=1`` additionally runs the static schedule certifier
+    (:mod:`repro.analyze.certify`) on the resolved geometry before any
+    worker forks; certification errors raise
+    :class:`~repro.errors.CertifyError`.
     """
     schedule = resolve_schedule(schedule)
     if sanitize is None:
         sanitize = os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
-    if sanitize and pool is not None:
-        raise MachineError(
-            "REPRO_SANITIZE is incompatible with pool=: the sanitizer's "
-            "shadow state is built per run; use the fork-per-run backend"
-        )
     if pool is not None:
         if grid is not None and _as_grid(grid).dims != pool.grid.dims:
             raise MachineError(
@@ -302,6 +305,7 @@ def execute(
             wavefront_dim=wavefront_dim,
             timeout=timeout,
             tracer=tracer,
+            sanitize=sanitize,
             multicast=multicast,
             double_buffer=double_buffer,
         )
@@ -339,7 +343,6 @@ def execute(
     mcast_mode = resolve_multicast(multicast)
     if (
         schedule == "pipelined"
-        and not sanitize
         and mcast_mode != "off"
         and plan.chunk_dim is not None
     ):
@@ -366,6 +369,21 @@ def execute(
             plan=plan,
             fabric=fabric,
             fanout=groups.max_fanout if groups is not None else 1,
+        )
+
+    if os.environ.get("REPRO_CERTIFY", "") not in ("", "0"):
+        from repro.analyze.certify import certify_execution
+
+        # Certify exactly what is about to run: the resolved schedule,
+        # grid, tuned block size, and selected fabric.
+        certify_execution(
+            compiled,
+            schedule=schedule,
+            grid=grid,
+            block=block_size,
+            wavefront_dim=wavefront_dim,
+            multicast=(fabric == "multicast"),
+            double_buffer=double_buffer,
         )
 
     obs = resolve_tracer(tracer)
@@ -443,6 +461,9 @@ def execute(
                 grid,
                 chunks_by_rank,
                 inject=parse_inject(os.environ.get(INJECT_ENV)),
+                # Multicast clocks ride the epochs: one immutable clock row
+                # per (rank, block) in the shadow segment.
+                epoch_clocks=n_chunks if mcast_spec is not None else 0,
             )
         for rank in grid:
             recv, send = links[rank]
@@ -622,6 +643,18 @@ def _execute_taskgraph(
 
         oversub, block_size = taskgraph_tiling(
             compiled, grid.dims[0], plan=plan
+        )
+
+    if os.environ.get("REPRO_CERTIFY", "") not in ("", "0"):
+        from repro.analyze.certify import certify_execution
+
+        certify_execution(
+            compiled,
+            schedule="taskgraph",
+            grid=grid,
+            block=block_size,
+            wavefront_dim=wavefront_dim,
+            oversub=oversub,
         )
 
     obs = resolve_tracer(tracer)

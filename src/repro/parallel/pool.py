@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import atexit
 import gc
+import os
 import pickle
 import threading
 import time
@@ -49,7 +50,12 @@ from dataclasses import dataclass, field, replace
 from multiprocessing.connection import Connection
 
 from repro.compiler.lowering import CompiledScan
-from repro.errors import DistributionError, MachineError, PoolBrokenError
+from repro.errors import (
+    DistributionError,
+    MachineError,
+    PoolBrokenError,
+    SanitizerError,
+)
 from repro.machine.grid import ProcessorGrid
 from repro.machine.schedules import plan_wavefront
 from repro.obs.live import (
@@ -88,7 +94,12 @@ from repro.parallel.sharedmem import (
     SharedArrayPool,
     collect_arrays,
 )
-from repro.parallel.worker import multicast_pipeline_loop, pipeline_loop
+from repro.parallel.worker import (
+    multicast_pipeline_loop,
+    pipeline_loop,
+    sanitized_multicast_loop,
+    sanitized_pipeline_loop,
+)
 from repro.runtime.kernels import plan_fingerprint
 from repro.zpl.regions import Region
 
@@ -124,6 +135,11 @@ class PoolJob:
     #: when the planner selected the epoch fabric: the worker joins the
     #: pool-lifetime epoch segment instead of the token pipes.
     mcast: MulticastSpec | None = None
+    #: Sanitizer spec (:class:`repro.analyze.sanitizer.SanitizerSpec`) when
+    #: the run shadow-executes (``REPRO_SANITIZE=1``): the worker attaches
+    #: the run's stamp segment and swaps in the sanitized pipeline loop.
+    #: Taskgraph runs sanitize through ``taskgraph`` instead.
+    sanitize: object | None = None
 
 
 @dataclass
@@ -273,17 +289,34 @@ def run_pool_worker(boot: PoolBoot, barrier, results) -> None:
                             channels[chan_key] = channel
                         channel.drain()
                         channel.reset_stats()
-                        elapsed = multicast_pipeline_loop(
-                            runnable,
-                            job.chunks,
-                            channel,
-                            job.timeout,
-                            tracer,
-                            job.chunk_dim,
-                            job.boundary_rows,
-                            stats=stats,
-                            tags=job.tags,
-                        )
+                        if job.sanitize is not None:
+                            from repro.analyze.sanitizer import SanitizerState
+
+                            state = SanitizerState(job.sanitize, boot.rank)
+                            try:
+                                elapsed = sanitized_multicast_loop(
+                                    runnable,
+                                    job.chunks,
+                                    channel,
+                                    job.timeout,
+                                    tracer,
+                                    state,
+                                    stats=stats,
+                                )
+                            finally:
+                                state.detach()
+                        else:
+                            elapsed = multicast_pipeline_loop(
+                                runnable,
+                                job.chunks,
+                                channel,
+                                job.timeout,
+                                tracer,
+                                job.chunk_dim,
+                                job.boundary_rows,
+                                stats=stats,
+                                tags=job.tags,
+                            )
                     else:
                         recv, send = (
                             boot.links_fwd if job.ascending else boot.links_bwd
@@ -291,19 +324,37 @@ def run_pool_worker(boot: PoolBoot, barrier, results) -> None:
                         peer = (
                             boot.pred_fwd if job.ascending else boot.pred_bwd
                         )
-                        elapsed = pipeline_loop(
-                            runnable,
-                            job.chunks,
-                            recv,
-                            send,
-                            job.timeout,
-                            tracer,
-                            job.chunk_dim,
-                            job.boundary_rows,
-                            stats=stats,
-                            tags=job.tags,
-                            peer=peer,
-                        )
+                        if job.sanitize is not None:
+                            from repro.analyze.sanitizer import SanitizerState
+
+                            state = SanitizerState(job.sanitize, boot.rank)
+                            try:
+                                elapsed = sanitized_pipeline_loop(
+                                    runnable,
+                                    job.chunks,
+                                    recv,
+                                    send,
+                                    job.timeout,
+                                    tracer,
+                                    state,
+                                    stats=stats,
+                                )
+                            finally:
+                                state.detach()
+                        else:
+                            elapsed = pipeline_loop(
+                                runnable,
+                                job.chunks,
+                                recv,
+                                send,
+                                job.timeout,
+                                tracer,
+                                job.chunk_dim,
+                                job.boundary_rows,
+                                stats=stats,
+                                tags=job.tags,
+                                peer=peer,
+                            )
                 except BaseException:
                     err = traceback.format_exc()
             if err is not None:
@@ -569,12 +620,16 @@ class WorkerPool:
         tracer=None,
         multicast: bool | str | None = None,
         double_buffer: bool | None = None,
+        sanitize: bool | None = None,
     ) -> ParallelRun:
         """Run a compiled scan block on the pooled workers.
 
         Same semantics and return type as
         :func:`repro.parallel.executor.execute`; the difference is purely in
         what is amortised.  The block's arrays are updated in place.
+        ``sanitize`` (default: ``REPRO_SANITIZE``) shadow-executes the run
+        with vector clocks; the stamp segment is per-run, so sanitizing one
+        request costs nothing for the next.
 
         Thread-safe: submissions serialise behind an internal lock, so
         concurrent batches (same fingerprint or not) never interleave the
@@ -592,6 +647,7 @@ class WorkerPool:
                 tracer=tracer,
                 multicast=multicast,
                 double_buffer=double_buffer,
+                sanitize=sanitize,
             )
 
     def _ensure_workers_alive(self) -> None:
@@ -619,6 +675,7 @@ class WorkerPool:
         tracer,
         multicast: bool | str | None = None,
         double_buffer: bool | None = None,
+        sanitize: bool | None = None,
     ) -> ParallelRun:
         if self._closed:
             raise MachineError("worker pool is closed")
@@ -629,6 +686,8 @@ class WorkerPool:
             )
         self._ensure_workers_alive()
         schedule = resolve_schedule(schedule)
+        if sanitize is None:
+            sanitize = os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
         timeout = self.timeout if timeout is None else timeout
         grid = self.grid
         obs = resolve_tracer(tracer)
@@ -704,21 +763,48 @@ class WorkerPool:
                 fanout=groups.max_fanout if groups is not None else 1,
             )
 
+        if os.environ.get("REPRO_CERTIFY", "") not in ("", "0"):
+            from repro.analyze.certify import certify_execution
+
+            # Certify exactly what is about to run on the pooled workers.
+            if schedule == "taskgraph":
+                certify_execution(
+                    compiled,
+                    schedule="taskgraph",
+                    grid=grid,
+                    block=block_size,
+                    wavefront_dim=wavefront_dim,
+                    oversub=oversub,
+                )
+            else:
+                certify_execution(
+                    compiled,
+                    schedule=schedule,
+                    grid=grid,
+                    block=block_size,
+                    wavefront_dim=wavefront_dim,
+                    multicast=(fabric == "multicast"),
+                    double_buffer=double_buffer,
+                )
+
+        chunks_by_rank: dict[int, tuple[Region, ...]] = {}
+        n_chunks = 1
         if schedule in ("pipelined", "naive"):
+            for rank in grid:
+                local = locals_by_rank[rank]
+                width = (
+                    local.extent(plan.chunk_dim)
+                    if plan.chunk_dim is not None
+                    else 1
+                )
+                per_block = width if block_size is None else block_size
+                chunks_by_rank[rank] = _worker_chunks(
+                    plan, local, max(1, per_block), reverse_chunks
+                )
+                n_chunks = max(n_chunks, len(chunks_by_rank[rank]))
             # Pre-dispatch: raising mid-dispatch would abandon jobs already
             # sent and break the pool.
-            if block_size is None or plan.chunk_dim is None:
-                chunk_bound = 1
-            else:
-                chunk_bound = max(
-                    (
-                        -(-locals_by_rank[rank].extent(plan.chunk_dim)
-                          // max(1, block_size))
-                        for rank in grid
-                    ),
-                    default=1,
-                )
-            check_chain_legality(compiled, plan, grid.dims[0], chunk_bound)
+            check_chain_legality(compiled, plan, grid.dims[0], n_chunks)
 
         with obs.span("prepare", "setup"):
             compiled.prepare()  # hoisted temps must be current before refresh
@@ -778,14 +864,40 @@ class WorkerPool:
                     block_size,
                 )
             # Per-run scheduler segment: pending counts, deques, stamps.
-            # The pool never sanitizes (REPRO_SANITIZE is fork-per-run only).
-            state = TaskgraphState(graph, grid.size)
-            tg_spec = state.spec(graph, grid.size, sanitize=False)
+            # Sanitizing rides the scheduler stamps, not a shadow segment.
+            inject = None
+            if sanitize:
+                from repro.analyze.sanitizer import INJECT_ENV, parse_inject
+
+                inject = parse_inject(os.environ.get(INJECT_ENV))
+                if inject is not None and inject[0] != "early-fire":
+                    inject = None  # other kinds target the pipe/epoch loops
+            state = TaskgraphState(graph, grid.size, inject=inject)
+            tg_spec = state.spec(graph, grid.size, sanitize)
+
+        shadow = None
+        if sanitize and tg_spec is None:
+            from repro.analyze.sanitizer import (
+                INJECT_ENV,
+                ShadowPool,
+                parse_inject,
+            )
+
+            # Per-run stamp plane, released in the finally below: one
+            # sanitized request can never leak stamps into the next.
+            shadow = ShadowPool(
+                plan,
+                grid,
+                chunks_by_rank,
+                inject=parse_inject(os.environ.get(INJECT_ENV)),
+                # Multicast clocks ride the epochs: one immutable clock row
+                # per (rank, block) in the shadow segment.
+                epoch_clocks=n_chunks if mcast_spec is not None else 0,
+            )
 
         self.stats["executes"] += 1
         self._seq += 1
         seq = self._seq
-        n_chunks = 1
         # The serving layer's request ids arrive via the active request
         # context; stamping them onto the dispatch span and the jobs is what
         # links serve_request → dispatch → per-block worker spans.
@@ -793,17 +905,7 @@ class WorkerPool:
         with obs.span("dispatch", "setup", **tags):
             for rank in grid:
                 if tg_spec is None:
-                    local = locals_by_rank[rank]
-                    width = (
-                        local.extent(plan.chunk_dim)
-                        if plan.chunk_dim is not None
-                        else 1
-                    )
-                    per_block = width if block_size is None else block_size
-                    chunks = _worker_chunks(
-                        plan, local, max(1, per_block), reverse_chunks
-                    )
-                    n_chunks = max(n_chunks, len(chunks))
+                    chunks = chunks_by_rank[rank]
                 else:
                     chunks = ()
                     n_chunks = graph.n_live
@@ -824,6 +926,7 @@ class WorkerPool:
                     tags=tags or None,
                     taskgraph=tg_spec,
                     mcast=mcast_spec,
+                    sanitize=shadow.spec if shadow is not None else None,
                 )
                 self._jobs[rank].send(("run", job))
                 entry.shipped.add(rank)
@@ -864,6 +967,14 @@ class WorkerPool:
                 if status != "ok":
                     self._broken = True
                     detail = payload["detail"]
+                    if "SanitizerError" in detail:
+                        # The race report, not the pool plumbing, is the
+                        # story; the pool still breaks (workers may hold
+                        # half-drained channels).
+                        raise SanitizerError(
+                            f"worker {rank} detected a wavefront race:\n"
+                            f"{detail}"
+                        )
                     flight_dump = payload.get("flight")
                     if flight_dump and flight_dump.get("events"):
                         detail += (
@@ -876,9 +987,25 @@ class WorkerPool:
                 run_stats[rank] = payload.get("stats") or {}
             with obs.span("gather", "setup"):
                 entry.shared.gather()
+            if shadow is not None:
+                # Clock accounting over the result channel: every rank must
+                # have advanced its own clock through all its blocks.  A
+                # short count means completions went missing — a protocol
+                # hole the per-block checks cannot see from the other side.
+                for rank in grid:
+                    clocks = run_stats.get(rank, {}).get("clocks")
+                    expected = len(chunks_by_rank.get(rank, ()))
+                    if clocks is None or clocks[rank] != expected:
+                        got = "none" if clocks is None else clocks[rank]
+                        raise SanitizerError(
+                            f"sanitizer clock accounting failed: worker "
+                            f"{rank} retired {got} of {expected} blocks"
+                        )
         finally:
             if state is not None:
                 state.release()
+            if shadow is not None:
+                shadow.release()
 
         report = None
         if graph is not None:
@@ -921,6 +1048,7 @@ class WorkerPool:
                     "fanout": (
                         groups.max_fanout if groups is not None else 1
                     ),
+                    "sanitize": bool(sanitize),
                 },
             )
             if report is not None:

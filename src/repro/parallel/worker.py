@@ -99,6 +99,7 @@ def sanitized_pipeline_loop(
     timeout: float,
     tracer,
     state,
+    stats: dict | None = None,
 ) -> float:
     """The pipelined loop under shadow execution (``REPRO_SANITIZE=1``).
 
@@ -108,7 +109,9 @@ def sanitized_pipeline_loop(
     and completion stamps the shared shadow plane.  ``state`` is a
     :class:`repro.analyze.sanitizer.SanitizerState`.  The injected
     early-release fault (``REPRO_SANITIZE_INJECT``) lives here so the stock
-    loop stays byte-for-byte untouched.
+    loop stays byte-for-byte untouched.  ``stats`` (when given) receives the
+    worker's final vector clock — the pool's parent-side clock accounting
+    rides the result channel on it.
     """
     inject = state.spec.inject
     tracing = tracer.enabled
@@ -145,6 +148,78 @@ def sanitized_pipeline_loop(
     if tracing:
         tracer.count("sanitize_checks", state.checks)
         tracer.count("sanitize_cells", state.cells)
+    if stats is not None:
+        stats["clocks"] = list(state.token())
+    return time.perf_counter() - start
+
+
+def sanitized_multicast_loop(
+    runnable,
+    chunks: tuple[Region, ...],
+    channel,
+    timeout: float,
+    tracer,
+    state,
+    stats: dict | None = None,
+) -> float:
+    """The multicast epoch loop under shadow execution.
+
+    Same wait → absorb → compute → stage → publish skeleton as
+    :func:`multicast_pipeline_loop`, with the sanitizer's clocks riding the
+    epochs: a producer writes its clock into the shadow segment's
+    per-``(rank, block)`` epoch-clock row *before* stamping the epoch, and
+    a consumer joins each producer's row right after its epoch wait — the
+    exact clocked-token protocol, minus the pipes.  The injected
+    ``early-publish`` fault lives here: stage + publish before computing,
+    with the honest, un-advanced clock row, so every consumer's
+    happens-before check must trip regardless of interleaving.
+    """
+    inject = state.spec.inject
+    tracing = tracer.enabled
+    engine = resolve_engine(None)
+    waits = channel.producers
+    absorbed = 0
+    start = time.perf_counter()
+    for k, chunk in enumerate(chunks):
+        if waits:
+            channel.wait_block(k, timeout)
+            for producer in waits:
+                state.join_epoch(producer, k)
+            absorbed = channel.absorb_through(k, absorbed, chunks)
+            if tracing:
+                tracer.count("tokens_recv", len(waits))
+        state.check(chunk, k)
+        published_early = (
+            inject is not None
+            and inject[0] == "early-publish"
+            and inject[1] == state.rank
+            and inject[2] == k
+        )
+        if published_early:
+            # The injected protocol violation: stamp epoch k before
+            # computing its block.  The clock row is the honest,
+            # un-advanced one, so consumers' happens-before checks trip.
+            state.publish_clocks(k)
+            channel.stage(k, chunk, timeout)
+            channel.publish(k)
+        if not chunk.is_empty():
+            execute_vectorized(runnable, within=chunk, engine=engine, tracer=tracer)
+            if tracing:
+                tracer.count("blocks_executed")
+                tracer.count("elements_computed", chunk.size)
+        state.complete(chunk, k)
+        if not published_early:
+            state.publish_clocks(k)
+            channel.stage(k, chunk, timeout)
+            channel.publish(k)
+            if tracing and channel.consumers:
+                tracer.count("tokens_sent")
+    if tracing:
+        tracer.count("sanitize_checks", state.checks)
+        tracer.count("sanitize_cells", state.cells)
+    if stats is not None:
+        stats["clocks"] = list(state.token())
+        stats.update(channel.stats())
     return time.perf_counter() - start
 
 
@@ -427,16 +502,27 @@ def run_worker(task: WorkerTask, barrier, results) -> None:
             )
             try:
                 channel.drain()
-                elapsed = multicast_pipeline_loop(
-                    runnable,
-                    task.chunks,
-                    channel,
-                    task.timeout,
-                    tracer,
-                    task.chunk_dim,
-                    task.boundary_rows,
-                    stats=stats,
-                )
+                if shadow is not None:
+                    elapsed = sanitized_multicast_loop(
+                        runnable,
+                        task.chunks,
+                        channel,
+                        task.timeout,
+                        tracer,
+                        shadow,
+                        stats=stats,
+                    )
+                else:
+                    elapsed = multicast_pipeline_loop(
+                        runnable,
+                        task.chunks,
+                        channel,
+                        task.timeout,
+                        tracer,
+                        task.chunk_dim,
+                        task.boundary_rows,
+                        stats=stats,
+                    )
             finally:
                 channel.detach()
         elif shadow is not None:

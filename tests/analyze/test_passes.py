@@ -324,6 +324,26 @@ def test_w108_quiet_on_uniform_mask_and_unmasked_block():
     assert "W108" not in codes(out)
 
 
+def test_w109_forced_multicast_on_fanout_one(monkeypatch):
+    # A single-stream block projects a straight chain (fan-out 1): forcing
+    # the epoch fabric over it is pure overhead, and the advisor says so.
+    monkeypatch.setenv("REPRO_MULTICAST", "1")
+    _, out = lint("[2..n, 1..n] scan  a := a'@north;  end;")
+    d = only(out, "W109")
+    assert d.data["max_fanout"] < 2
+    assert "REPRO_MULTICAST" in d.hint or "REPRO_MULTICAST" in d.message
+    assert any(b.kind == "model" for b in d.because)
+
+
+def test_w109_quiet_without_the_env_override(monkeypatch):
+    monkeypatch.delenv("REPRO_MULTICAST", raising=False)
+    _, out = lint("[2..n, 1..n] scan  a := a'@north;  end;")
+    assert "W109" not in codes(out)
+    monkeypatch.setenv("REPRO_MULTICAST", "auto")
+    _, out = lint("[2..n, 1..n] scan  a := a'@north;  end;")
+    assert "W109" not in codes(out)
+
+
 def test_boundary_rows_default_counts_primed_arrays():
     program, _ = lint(
         "[2..n, 1..n] scan  a := a'@north;  b := b'@north + a'@north; end;"

@@ -5,6 +5,13 @@ happens-before checks *and* stay bit-identical to the sequential engine; the
 injected early-release token-protocol violation must be detected
 deterministically.  Worker counts stay at two, matching the rest of the
 parallel suite.
+
+Coverage extends to every fabric and both process backends: the multicast
+epoch fabric (clocks ride per-``(rank, block)`` epoch-clock rows; the
+``early-publish`` injection must trip) and the persistent worker pool
+(clocks ride the result channel; a sanitized run stays bit-identical and
+every injection kind still trips, breaking the pool as any failed run
+does).
 """
 
 import numpy as np
@@ -13,8 +20,9 @@ import pytest
 from repro import zpl
 from repro.analyze.sanitizer import parse_inject
 from repro.compiler import compile_scan
-from repro.errors import MachineError, SanitizerError
+from repro.errors import PoolBrokenError, SanitizerError
 from repro.parallel import execute
+from repro.parallel.pool import WorkerPool
 from repro.runtime import execute_vectorized, run_and_capture
 from repro.zpl import NORTH, Region
 from tests.conftest import record_tomcatv_block
@@ -49,6 +57,7 @@ def test_parse_inject():
     assert parse_inject(None) is None
     assert parse_inject("") is None
     assert parse_inject("early-release:1:3") == ("early-release", 1, 3)
+    assert parse_inject("early-publish:0:2") == ("early-publish", 0, 2)
     with pytest.raises(SanitizerError, match="expected"):
         parse_inject("late-release:1:3")
     with pytest.raises(SanitizerError, match="integers"):
@@ -114,10 +123,124 @@ def test_injection_ignored_without_matching_rank(monkeypatch):
     )
 
 
-def test_sanitize_incompatible_with_pool():
-    from repro.parallel.pool import WorkerPool
+# ---------------------------------------------------------------------------
+# Multicast fabric coverage: clocks ride the epoch-clock rows.
+# ---------------------------------------------------------------------------
+def test_clean_multicast_sanitized(monkeypatch):
+    monkeypatch.setenv("REPRO_MULTICAST", "1")
+    compiled, arrays = _single_stream()
+    run = _assert_sanitized_matches(
+        compiled, arrays, grid=2, schedule="pipelined", block=8
+    )
+    assert run.fabric == "multicast"
 
-    compiled, _ = _single_stream(16)
+
+def test_injected_early_publish_detected(monkeypatch):
+    monkeypatch.setenv("REPRO_MULTICAST", "1")
+    monkeypatch.setenv("REPRO_SANITIZE_INJECT", "early-publish:0:0")
+    compiled, _ = _single_stream()
+    with pytest.raises(SanitizerError, match="wavefront race"):
+        execute(compiled, grid=2, schedule="pipelined", block=8, sanitize=True)
+
+
+def test_injected_mid_stream_early_publish_detected(monkeypatch):
+    monkeypatch.setenv("REPRO_MULTICAST", "1")
+    monkeypatch.setenv("REPRO_SANITIZE_INJECT", "early-publish:0:2")
+    compiled, _ = _single_stream()
+    with pytest.raises(SanitizerError, match="wavefront race"):
+        execute(compiled, grid=2, schedule="pipelined", block=8, sanitize=True)
+
+
+def test_early_publish_ignored_on_pipes(monkeypatch):
+    # The fault targets the epoch fabric; a pipes run has no publishes, so
+    # the run must stay clean (and bit-identical).
+    monkeypatch.setenv("REPRO_SANITIZE_INJECT", "early-publish:0:0")
+    compiled, arrays = _single_stream(24)
+    _assert_sanitized_matches(
+        compiled, arrays, grid=2, schedule="pipelined", block=6
+    )
+
+
+# ---------------------------------------------------------------------------
+# Worker-pool coverage: clocks ride the result channel.
+# ---------------------------------------------------------------------------
+def test_pool_sanitized_pipes_matches():
+    compiled, arrays = _single_stream()
     with WorkerPool(2) as pool:
-        with pytest.raises(MachineError, match="REPRO_SANITIZE"):
-            execute(compiled, pool=pool, sanitize=True)
+        run = _assert_sanitized_matches(
+            compiled, arrays, pool=pool, schedule="pipelined", block=8
+        )
+        assert run.fabric == "pipes"
+        # A second sanitized run on the warm pool: the per-run shadow
+        # segment must not leak state between requests.
+        _assert_sanitized_matches(
+            compiled, arrays, pool=pool, schedule="pipelined", block=8
+        )
+
+
+def test_pool_sanitized_multicast_matches(monkeypatch):
+    monkeypatch.setenv("REPRO_MULTICAST", "1")
+    compiled, arrays = _single_stream()
+    with WorkerPool(2) as pool:
+        run = _assert_sanitized_matches(
+            compiled, arrays, pool=pool, schedule="pipelined", block=8
+        )
+        assert run.fabric == "multicast"
+        # An unsanitized request after a sanitized one reuses the cached
+        # channel without the shadow plane.
+        execute(compiled, pool=pool, schedule="pipelined", block=8)
+
+
+def test_pool_injected_early_release_detected(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE_INJECT", "early-release:0:0")
+    compiled, _ = _single_stream()
+    with WorkerPool(2) as pool:
+        with pytest.raises(SanitizerError, match="wavefront race"):
+            execute(
+                compiled, pool=pool, schedule="pipelined", block=8,
+                sanitize=True,
+            )
+        # A detected race is a failed run: the pool breaks by contract.
+        with pytest.raises(PoolBrokenError):
+            execute(compiled, pool=pool, schedule="pipelined", block=8)
+
+
+def test_pool_injected_early_publish_detected(monkeypatch):
+    monkeypatch.setenv("REPRO_MULTICAST", "1")
+    monkeypatch.setenv("REPRO_SANITIZE_INJECT", "early-publish:0:1")
+    compiled, _ = _single_stream()
+    with WorkerPool(2) as pool:
+        with pytest.raises(SanitizerError, match="wavefront race"):
+            execute(
+                compiled, pool=pool, schedule="pipelined", block=8,
+                sanitize=True,
+            )
+
+
+def test_pool_sanitized_taskgraph_and_early_fire(monkeypatch):
+    compiled, arrays = _single_stream()
+    with WorkerPool(2) as pool:
+        _assert_sanitized_matches(
+            compiled, arrays, pool=pool, schedule="taskgraph", block=8
+        )
+    monkeypatch.setenv("REPRO_SANITIZE_INJECT", "early-fire:0:20")
+    with WorkerPool(2) as pool:
+        with pytest.raises(SanitizerError, match="wavefront race"):
+            execute(
+                compiled, pool=pool, schedule="taskgraph", block=8,
+                sanitize=True,
+            )
+
+
+def test_pool_env_knob_enables_sanitizer(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    compiled, arrays = _single_stream(24)
+    oracle = run_and_capture(execute_vectorized, compiled, arrays)
+    with WorkerPool(2) as pool:
+        got = run_and_capture(
+            lambda c: execute(c, pool=pool, schedule="pipelined", block=6),
+            compiled,
+            arrays,
+        )
+    for want, have in zip(oracle, got):
+        np.testing.assert_array_equal(have, want)

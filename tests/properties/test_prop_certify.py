@@ -1,0 +1,56 @@
+"""Property: the certifier accepts every planner-generated schedule.
+
+Soundness has the mutation harness; this is the completeness half: random
+legal scan blocks — masked, contracted, with drawn per-dimension direction
+signs and block sizes — must certify with *zero* errors at every
+pseudo-schedule (naive, pipelined pipes, pipelined multicast, taskgraph)
+the planner agrees to run.  A false positive here would make
+``REPRO_CERTIFY=1`` reject a schedule the executor proves correct by
+construction.  Configurations the planner itself refuses (no chunkable
+dimension, chain-illegal lookahead, rank constraints) are skipped: the
+CLI maps those refusals to W110, not to proofs.
+"""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.analyze.certify import (
+    PSEUDO_SCHEDULES,
+    build_schedule_model,
+    certify_model,
+    schedule_kwargs,
+)
+from repro.errors import MachineError
+from tests.properties.test_prop_taskgraph_equivalence import (
+    N_PROCS,
+    taskgraph_programs,
+)
+
+
+@given(taskgraph_programs())
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_planner_schedules_certify_clean(program):
+    compiled, arrays, block_size = program
+    modelled = 0
+    for pseudo in PSEUDO_SCHEDULES:
+        try:
+            model = build_schedule_model(
+                compiled,
+                grid=N_PROCS,
+                block=block_size,
+                **schedule_kwargs(pseudo),
+            )
+        except MachineError:
+            continue  # the executor would refuse this config natively
+        diagnostics = certify_model(model)
+        assert diagnostics == [], (
+            f"false positive at {pseudo}: "
+            + "; ".join(f"{d.code}: {d.message}" for d in diagnostics)
+        )
+        modelled += 1
+    # Some drawn programs are refused by every schedule (e.g. a dependence
+    # flowing against the traversal on the distributed dimension) — that is
+    # the executor's call, not the certifier's; there is nothing to prove.
